@@ -1,0 +1,121 @@
+// Ablation bench for the design choices called out in DESIGN.md §6:
+//   (1) λ eviction ratio sweep (frequency ARE, heavy-hitter F1)
+//   (2) T promotion threshold sweep (frequency ARE, decode success count)
+//   (3) memory split across FP/EF/IFP (frequency ARE)
+//   (4) ζ sign hashes on/off (inner-join RE)
+//   (5) decode cross-validation on/off (spurious decodes under overload)
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+namespace {
+
+using davinci::DaVinciConfig;
+using davinci::DaVinciSketch;
+using davinci::GroundTruth;
+using davinci::Trace;
+
+constexpr size_t kBytes = 300 * 1024;
+
+double FrequencyAre(const GroundTruth& truth, const DaVinciSketch& sketch) {
+  auto observations = davinci::bench::Observe(
+      truth, [&](uint32_t key) { return sketch.Query(key); });
+  return davinci::AverageRelativeError(observations);
+}
+
+}  // namespace
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  Trace trace = davinci::BuildCaidaLike(scale);
+  GroundTruth truth(trace.keys);
+  size_t n = trace.keys.size();
+  int64_t hh_threshold = static_cast<int64_t>(n * 0.0002);
+  auto hh_actual = truth.HeavyHitters(hh_threshold);
+
+  std::printf("# Ablation 1: eviction ratio lambda (scale=%.2f)\n", scale);
+  std::printf("lambda,freq_are,hh_f1\n");
+  for (int64_t lambda : {1, 2, 4, 8, 16, 32}) {
+    DaVinciConfig config = DaVinciConfig::FromMemory(kBytes, 47);
+    config.evict_lambda = lambda;
+    DaVinciSketch sketch(config);
+    for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+    std::printf("%lld,%.5f,%.4f\n", static_cast<long long>(lambda),
+                FrequencyAre(truth, sketch),
+                davinci::bench::HeavySetF1(sketch.HeavyHitters(hh_threshold),
+                                           hh_actual));
+  }
+
+  std::printf("\n# Ablation 2: promotion threshold T\n");
+  std::printf("threshold,freq_are,decoded_flows\n");
+  for (int64_t t : {2, 4, 8, 16, 32, 64}) {
+    DaVinciConfig config = DaVinciConfig::FromMemory(kBytes, 47);
+    config.promotion_threshold = t;
+    DaVinciSketch sketch(config);
+    for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+    std::printf("%lld,%.5f,%zu\n", static_cast<long long>(t),
+                FrequencyAre(truth, sketch),
+                sketch.DecodedFlows().size());
+  }
+
+  std::printf("\n# Ablation 3: FP/EF/IFP byte split\n");
+  std::printf("fp_pct,ef_pct,ifp_pct,freq_are\n");
+  struct Split {
+    double fp, ef;
+  };
+  for (Split split : {Split{0.10, 0.60}, Split{0.25, 0.50}, Split{0.40, 0.40},
+                      Split{0.50, 0.25}, Split{0.25, 0.25}}) {
+    DaVinciConfig config =
+        DaVinciConfig::FromMemorySplit(kBytes, split.fp, split.ef, 47);
+    DaVinciSketch sketch(config);
+    for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+    std::printf("%.0f,%.0f,%.0f,%.5f\n", split.fp * 100, split.ef * 100,
+                (1.0 - split.fp - split.ef) * 100,
+                FrequencyAre(truth, sketch));
+  }
+
+  std::printf("\n# Ablation 4: zeta sign hashes (inner-join RE)\n");
+  std::printf("signs,join_re\n");
+  {
+    Trace da = davinci::Slice(trace, 0, 2 * n / 3, "da");
+    Trace db = davinci::Slice(trace, n / 3, n, "db");
+    double join_truth = GroundTruth::InnerJoin(GroundTruth(da.keys),
+                                               GroundTruth(db.keys));
+    for (bool signs : {true, false}) {
+      DaVinciConfig config = DaVinciConfig::FromMemory(kBytes, 47);
+      config.use_sign_hash = signs;
+      DaVinciSketch a(config), b(config);
+      for (uint32_t key : da.keys) a.Insert(key, 1);
+      for (uint32_t key : db.keys) b.Insert(key, 1);
+      std::printf("%s,%.5f\n", signs ? "on" : "off",
+                  davinci::RelativeError(
+                      join_truth, DaVinciSketch::InnerProduct(a, b)));
+    }
+  }
+
+  std::printf("\n# Ablation 5: decode cross-validation under IFP overload\n");
+  std::printf("cross_validation,decoded,spurious\n");
+  {
+    // Deliberately undersized IFP so peeling is stressed.
+    for (bool validate : {true, false}) {
+      DaVinciConfig config = DaVinciConfig::FromMemory(64 * 1024, 47);
+      config.ifp_buckets_per_row = 48;  // hopelessly overloaded IFP
+      config.decode_cross_validation = validate;
+      DaVinciSketch sketch(config);
+      for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+      size_t spurious = 0;
+      const auto& decoded = sketch.DecodedFlows();
+      for (const auto& [key, count] : decoded) {
+        (void)count;
+        if (truth.frequencies().find(key) == truth.frequencies().end()) {
+          ++spurious;
+        }
+      }
+      std::printf("%s,%zu,%zu\n", validate ? "on" : "off", decoded.size(),
+                  spurious);
+    }
+  }
+  return 0;
+}

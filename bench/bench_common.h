@@ -1,0 +1,73 @@
+#ifndef DAVINCI_BENCH_BENCH_COMMON_H_
+#define DAVINCI_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+// Shared plumbing for the figure/table reproduction harnesses. Every bench
+// prints a self-describing CSV so results can be compared side-by-side with
+// the paper's plots (EXPERIMENTS.md maps each output to its figure).
+//
+// DAVINCI_SCALE (env var, default 0.25) scales the Table II trace sizes;
+// set DAVINCI_SCALE=1.0 to run the paper's full trace sizes.
+
+namespace davinci::bench {
+
+inline double ScaleFromEnv() {
+  const char* env = std::getenv("DAVINCI_SCALE");
+  if (env == nullptr) return 0.25;
+  double scale = std::atof(env);
+  return (scale > 0.0 && scale <= 1.0) ? scale : 0.25;
+}
+
+struct Dataset {
+  Trace trace;
+  GroundTruth truth;
+};
+
+inline std::vector<Dataset> AllDatasets(double scale) {
+  std::vector<Dataset> datasets;
+  for (Trace trace : {BuildCaidaLike(scale), BuildMawiLike(scale),
+                      BuildTpcdsLike(scale)}) {
+    GroundTruth truth(trace.keys);
+    datasets.push_back({std::move(trace), std::move(truth)});
+  }
+  return datasets;
+}
+
+// The paper's memory axis: 200 KB – 600 KB.
+inline std::vector<size_t> MemorySweepKb() { return {200, 300, 400, 500, 600}; }
+
+// Frequency observations for ARE/AAE against a point-query functor.
+template <typename QueryFn>
+std::vector<Estimate> Observe(const GroundTruth& truth, QueryFn&& query) {
+  std::vector<Estimate> observations;
+  observations.reserve(truth.frequencies().size());
+  for (const auto& [key, f] : truth.frequencies()) {
+    observations.push_back({f, query(key)});
+  }
+  return observations;
+}
+
+// F1 of a reported heavy set vs the exact heavy set.
+inline double HeavySetF1(
+    const std::vector<std::pair<uint32_t, int64_t>>& reported,
+    const std::vector<std::pair<uint32_t, int64_t>>& actual) {
+  std::unordered_map<uint32_t, int64_t> actual_map(actual.begin(),
+                                                   actual.end());
+  size_t correct = 0;
+  for (const auto& [key, est] : reported) {
+    if (actual_map.count(key)) ++correct;
+  }
+  return F1Score(correct, reported.size(), actual.size());
+}
+
+}  // namespace davinci::bench
+
+#endif  // DAVINCI_BENCH_BENCH_COMMON_H_

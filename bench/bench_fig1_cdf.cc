@@ -1,0 +1,42 @@
+// Figure 1: the motivation plot — CDF of flow sizes, showing that a small
+// number of large flows dominates the traffic (the Pareto premise behind
+// the frequent/infrequent split).
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  std::printf("# Fig 1: CDF of flow sizes (scale=%.2f)\n", scale);
+  std::printf("dataset,flow_percentile,traffic_share\n");
+  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+    std::vector<int64_t> sizes;
+    sizes.reserve(dataset.truth.cardinality());
+    double total = 0;
+    for (const auto& [key, f] : dataset.truth.frequencies()) {
+      (void)key;
+      sizes.push_back(f);
+      total += static_cast<double>(f);
+    }
+    std::sort(sizes.rbegin(), sizes.rend());  // biggest flows first
+    double cumulative = 0;
+    size_t next_report = 0;
+    const double percentiles[] = {0.001, 0.01, 0.05, 0.10, 0.25,
+                                  0.50,  0.75, 0.90, 1.00};
+    for (size_t i = 0; i < sizes.size(); ++i) {
+      cumulative += static_cast<double>(sizes[i]);
+      double flow_pct = static_cast<double>(i + 1) /
+                        static_cast<double>(sizes.size());
+      while (next_report < std::size(percentiles) &&
+             flow_pct >= percentiles[next_report]) {
+        std::printf("%s,%.3f,%.4f\n", dataset.trace.name.c_str(),
+                    percentiles[next_report], cumulative / total);
+        ++next_report;
+      }
+    }
+  }
+  return 0;
+}

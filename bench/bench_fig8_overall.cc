@@ -1,0 +1,164 @@
+// Figure 8: overall multi-task performance — DaVinci vs CSOA (the minimal
+// composite of FCM + FermatSketch + JoinSketch covering the same nine
+// tasks).
+//   (a) average memory accesses per insertion
+//   (b) insertion throughput (Mpps)
+//   (c) memory consumption: for each case, CSOA components are sized by a
+//       doubling search until they match DaVinci's accuracy on their tasks
+//       (frequency ARE for FCM, difference ARE for Fermat, join RE for
+//       JoinSketch), which is how the paper defines "same accuracy".
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/csoa.h"
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+namespace {
+
+using davinci::Csoa;
+using davinci::DaVinciSketch;
+using davinci::FcmSketch;
+using davinci::FermatSketch;
+using davinci::GroundTruth;
+using davinci::JoinSketch;
+using davinci::Trace;
+
+struct Workload {
+  Trace trace;
+  GroundTruth truth;
+  Trace da, db;  // difference/join operands
+  GroundTruth ta, tb;
+  GroundTruth diff_truth;
+  double join_truth;
+};
+
+Workload MakeWorkload(double scale) {
+  Workload w;
+  w.trace = davinci::BuildCaidaLike(scale);
+  w.truth = GroundTruth(w.trace.keys);
+  size_t n = w.trace.keys.size();
+  w.da = davinci::Slice(w.trace, 0, 2 * n / 3, "da");
+  w.db = davinci::Slice(w.trace, n / 3, n, "db");
+  w.ta = GroundTruth(w.da.keys);
+  w.tb = GroundTruth(w.db.keys);
+  w.diff_truth = GroundTruth::Difference(w.ta, w.tb);
+  w.join_truth = GroundTruth::InnerJoin(w.ta, w.tb);
+  return w;
+}
+
+double FrequencyAre(const Workload& w, const davinci::FrequencySketch& s) {
+  auto observations = davinci::bench::Observe(
+      w.truth, [&](uint32_t key) { return s.Query(key); });
+  return davinci::AverageRelativeError(observations);
+}
+
+// Smallest FCM memory whose frequency ARE matches `target`.
+size_t SearchFcmBytes(const Workload& w, double target) {
+  for (size_t bytes = 64 * 1024; bytes <= 64 * 1024 * 1024; bytes *= 2) {
+    FcmSketch s(bytes, 43);
+    for (uint32_t key : w.trace.keys) s.Insert(key, 1);
+    if (FrequencyAre(w, s) <= target) return bytes;
+  }
+  return 64 * 1024 * 1024;
+}
+
+double FermatDiffAre(const Workload& w, size_t bytes) {
+  FermatSketch sa(bytes, 3, 43), sb(bytes, 3, 43);
+  for (uint32_t key : w.da.keys) sa.Insert(key, 1);
+  for (uint32_t key : w.db.keys) sb.Insert(key, 1);
+  sa.Subtract(sb);
+  auto decoded = sa.Decode();
+  std::vector<davinci::Estimate> observations;
+  for (const auto& [key, f] : w.diff_truth.frequencies()) {
+    auto it = decoded.find(key);
+    observations.push_back({f, it == decoded.end() ? 0 : it->second});
+  }
+  return davinci::AverageRelativeError(observations);
+}
+
+size_t SearchFermatBytes(const Workload& w, double target) {
+  for (size_t bytes = 64 * 1024; bytes <= 64 * 1024 * 1024; bytes *= 2) {
+    if (FermatDiffAre(w, bytes) <= target) return bytes;
+  }
+  return 64 * 1024 * 1024;
+}
+
+double JoinRe(const Workload& w, size_t bytes) {
+  JoinSketch a(bytes, 43), b(bytes, 43);
+  for (uint32_t key : w.da.keys) a.Insert(key, 1);
+  for (uint32_t key : w.db.keys) b.Insert(key, 1);
+  return davinci::RelativeError(w.join_truth,
+                                JoinSketch::InnerProduct(a, b));
+}
+
+size_t SearchJoinBytes(const Workload& w, double target) {
+  for (size_t bytes = 64 * 1024; bytes <= 64 * 1024 * 1024; bytes *= 2) {
+    if (JoinRe(w, bytes) <= target) return bytes;
+  }
+  return 64 * 1024 * 1024;
+}
+
+}  // namespace
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  Workload w = MakeWorkload(scale);
+
+  std::printf("# Fig 8: overall performance, DaVinci vs CSOA (scale=%.2f)\n",
+              scale);
+  std::printf(
+      "case,davinci_kb,csoa_kb,memory_pct,davinci_ama,csoa_ama,"
+      "davinci_mpps,csoa_mpps,speedup\n");
+
+  for (int c = 1; c <= 9; ++c) {
+    size_t bytes = static_cast<size_t>(c) * 100 * 1024;
+
+    // --- DaVinci: accuracy targets + AMA + throughput.
+    DaVinciSketch davinci_sketch(bytes, 43);
+    davinci::Timer timer;
+    for (uint32_t key : w.trace.keys) davinci_sketch.Insert(key, 1);
+    double davinci_seconds = timer.ElapsedSeconds();
+    double davinci_mpps =
+        davinci::ThroughputMpps(w.trace.keys.size(), davinci_seconds);
+    double davinci_ama = static_cast<double>(davinci_sketch.MemoryAccesses()) /
+                         static_cast<double>(w.trace.keys.size());
+
+    double freq_target = FrequencyAre(w, davinci_sketch);
+    // Difference target.
+    DaVinciSketch sa(bytes, 43), sb(bytes, 43);
+    for (uint32_t key : w.da.keys) sa.Insert(key, 1);
+    for (uint32_t key : w.db.keys) sb.Insert(key, 1);
+    DaVinciSketch diff = sa;
+    diff.Subtract(sb);
+    std::vector<davinci::Estimate> diff_observations;
+    for (const auto& [key, f] : w.diff_truth.frequencies()) {
+      diff_observations.push_back({f, diff.Query(key)});
+    }
+    double diff_target = davinci::AverageRelativeError(diff_observations);
+    double join_target = davinci::RelativeError(
+        w.join_truth, DaVinciSketch::InnerProduct(sa, sb));
+
+    // --- CSOA sized to match those targets.
+    Csoa::MemoryPlan plan;
+    plan.fcm_bytes = SearchFcmBytes(w, freq_target);
+    plan.fermat_bytes = SearchFermatBytes(w, diff_target);
+    plan.join_bytes = SearchJoinBytes(w, join_target);
+    Csoa csoa(plan, 43);
+    timer.Restart();
+    for (uint32_t key : w.trace.keys) csoa.Insert(key, 1);
+    double csoa_seconds = timer.ElapsedSeconds();
+    double csoa_mpps =
+        davinci::ThroughputMpps(w.trace.keys.size(), csoa_seconds);
+    double csoa_ama = static_cast<double>(csoa.MemoryAccesses()) /
+                      static_cast<double>(w.trace.keys.size());
+
+    double memory_pct = 100.0 * static_cast<double>(bytes) /
+                        static_cast<double>(csoa.MemoryBytes());
+    std::printf("%d,%zu,%zu,%.2f,%.2f,%.2f,%.2f,%.2f,%.1f\n", c, bytes / 1024,
+                csoa.MemoryBytes() / 1024, memory_pct, davinci_ama, csoa_ama,
+                davinci_mpps, csoa_mpps, davinci_mpps / csoa_mpps);
+  }
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Figures 4h/4j, 5h/5j, 6h/6j: set difference, frequency ARE on the
+// difference vs memory, in the paper's two scenarios:
+//   inclusion — subtract the first half from the whole trace (B ⊂ A);
+//   overlap   — subtract the last two-thirds from the first two-thirds.
+// Comparators: FlowRadar, LossRadar, FermatSketch vs DaVinci.
+
+#include <cstdio>
+#include <string>
+
+#include "baselines/fermat_sketch.h"
+#include "baselines/flow_radar.h"
+#include "baselines/loss_radar.h"
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+namespace {
+
+using davinci::GroundTruth;
+using davinci::Trace;
+
+struct Scenario {
+  std::string name;
+  Trace a;
+  Trace b;
+};
+
+// ARE over the keys with non-zero true difference.
+template <typename QueryFn>
+double DifferenceAre(const GroundTruth& truth_diff, QueryFn&& query) {
+  std::vector<davinci::Estimate> observations;
+  for (const auto& [key, f] : truth_diff.frequencies()) {
+    observations.push_back({f, query(key)});
+  }
+  return davinci::AverageRelativeError(observations);
+}
+
+}  // namespace
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  std::printf(
+      "# Fig 4h/4j (and 5/6 twins): set difference, frequency ARE "
+      "(scale=%.2f)\n",
+      scale);
+  std::printf("dataset,scenario,memory_kb,algorithm,are\n");
+  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+    size_t n = dataset.trace.keys.size();
+    std::vector<Scenario> scenarios;
+    scenarios.push_back({"inclusion", davinci::Slice(dataset.trace, 0, n, "A"),
+                         davinci::Slice(dataset.trace, 0, n / 2, "B")});
+    scenarios.push_back(
+        {"overlap", davinci::Slice(dataset.trace, 0, 2 * n / 3, "A"),
+         davinci::Slice(dataset.trace, n / 3, n, "B")});
+
+    for (const Scenario& scenario : scenarios) {
+      GroundTruth ta(scenario.a.keys), tb(scenario.b.keys);
+      GroundTruth diff = GroundTruth::Difference(ta, tb);
+      for (size_t kb : davinci::bench::MemorySweepKb()) {
+        size_t bytes = kb * 1024;
+        {
+          davinci::DaVinciSketch sa(bytes, 31), sb(bytes, 31);
+          for (uint32_t key : scenario.a.keys) sa.Insert(key, 1);
+          for (uint32_t key : scenario.b.keys) sb.Insert(key, 1);
+          sa.Subtract(sb);
+          std::printf("%s,%s,%zu,Ours,%.6f\n", dataset.trace.name.c_str(),
+                      scenario.name.c_str(), kb,
+                      DifferenceAre(diff, [&](uint32_t key) {
+                        return sa.Query(key);
+                      }));
+        }
+        {
+          davinci::FlowRadar sa(bytes, 31), sb(bytes, 31);
+          for (uint32_t key : scenario.a.keys) sa.Insert(key, 1);
+          for (uint32_t key : scenario.b.keys) sb.Insert(key, 1);
+          sa.Subtract(sb);
+          auto decoded = sa.Decode();
+          std::printf("%s,%s,%zu,FlowRadar,%.6f\n",
+                      dataset.trace.name.c_str(), scenario.name.c_str(), kb,
+                      DifferenceAre(diff, [&](uint32_t key) -> int64_t {
+                        auto it = decoded.find(key);
+                        return it == decoded.end() ? 0 : it->second;
+                      }));
+        }
+        {
+          davinci::LossRadar sa(bytes, 31), sb(bytes, 31);
+          for (uint32_t key : scenario.a.keys) sa.Insert(key, 1);
+          for (uint32_t key : scenario.b.keys) sb.Insert(key, 1);
+          sa.Subtract(sb);
+          auto decoded = sa.Decode();
+          std::printf("%s,%s,%zu,LossRadar,%.6f\n",
+                      dataset.trace.name.c_str(), scenario.name.c_str(), kb,
+                      DifferenceAre(diff, [&](uint32_t key) -> int64_t {
+                        auto it = decoded.find(key);
+                        return it == decoded.end() ? 0 : it->second;
+                      }));
+        }
+        {
+          davinci::FermatSketch sa(bytes, 3, 31), sb(bytes, 3, 31);
+          for (uint32_t key : scenario.a.keys) sa.Insert(key, 1);
+          for (uint32_t key : scenario.b.keys) sb.Insert(key, 1);
+          sa.Subtract(sb);
+          auto decoded = sa.Decode();
+          std::printf("%s,%s,%zu,Fermat,%.6f\n", dataset.trace.name.c_str(),
+                      scenario.name.c_str(), kb,
+                      DifferenceAre(diff, [&](uint32_t key) -> int64_t {
+                        auto it = decoded.find(key);
+                        return it == decoded.end() ? 0 : it->second;
+                      }));
+        }
+      }
+    }
+  }
+  return 0;
+}

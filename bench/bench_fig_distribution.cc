@@ -1,0 +1,50 @@
+// Figures 4e / 5e / 6e: flow-size distribution WMRE vs memory.
+// Comparators: Elastic, FCM, MRAC vs DaVinci. The paper sweeps 200–600 KB
+// and highlights 600 KB.
+
+#include <cstdio>
+
+#include "baselines/elastic_sketch.h"
+#include "baselines/fcm_sketch.h"
+#include "baselines/mrac.h"
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  std::printf("# Fig 4e/5e/6e: flow-size distribution WMRE (scale=%.2f)\n",
+              scale);
+  std::printf("dataset,memory_kb,algorithm,wmre\n");
+  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+    auto truth = dataset.truth.Distribution();
+    for (size_t kb : davinci::bench::MemorySweepKb()) {
+      size_t bytes = kb * 1024;
+      auto report = [&](const char* name,
+                        const std::map<int64_t, int64_t>& estimate) {
+        std::printf("%s,%zu,%s,%.6f\n", dataset.trace.name.c_str(), kb, name,
+                    davinci::WeightedMeanRelativeError(truth, estimate));
+      };
+      {
+        davinci::DaVinciSketch s(bytes, 19);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("Ours", s.Distribution());
+      }
+      {
+        davinci::ElasticSketch s(bytes, 19);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("Elastic", s.Distribution());
+      }
+      {
+        davinci::FcmSketch s(bytes, 19);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("FCM", s.Distribution());
+      }
+      {
+        davinci::Mrac s(bytes, 19);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("MRAC", s.Distribution());
+      }
+    }
+  }
+  return 0;
+}

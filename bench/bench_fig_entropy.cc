@@ -1,0 +1,60 @@
+// Figures 4f / 5f / 6f: entropy estimation relative error vs memory.
+// Comparators: UnivMon, Elastic, FCM, MRAC vs DaVinci.
+
+#include <cstdio>
+
+#include "baselines/elastic_sketch.h"
+#include "estimators/ams_entropy.h"
+#include "baselines/fcm_sketch.h"
+#include "baselines/mrac.h"
+#include "baselines/univmon.h"
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  std::printf("# Fig 4f/5f/6f: entropy estimation RE (scale=%.2f)\n", scale);
+  std::printf("dataset,memory_kb,algorithm,re\n");
+  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+    double truth = dataset.truth.Entropy();
+    for (size_t kb : davinci::bench::MemorySweepKb()) {
+      size_t bytes = kb * 1024;
+      auto report = [&](const char* name, double estimate) {
+        std::printf("%s,%zu,%s,%.6f\n", dataset.trace.name.c_str(), kb, name,
+                    davinci::RelativeError(truth, estimate));
+      };
+      {
+        davinci::DaVinciSketch s(bytes, 23);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("Ours", s.EstimateEntropy());
+      }
+      {
+        davinci::UnivMon s(bytes, 8, 23);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("UnivMon", s.EstimateEntropy());
+      }
+      {
+        davinci::ElasticSketch s(bytes, 23);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("Elastic", s.EstimateEntropy());
+      }
+      {
+        davinci::FcmSketch s(bytes, 23);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("FCM", s.EstimateEntropy());
+      }
+      {
+        davinci::Mrac s(bytes, 23);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key, 1);
+        report("MRAC", s.EstimateEntropy());
+      }
+      {
+        // 1024 samples ≈ 16 KB: the sampling-based streaming estimator.
+        davinci::AmsEntropyEstimator s(1024, 23);
+        for (uint32_t key : dataset.trace.keys) s.Insert(key);
+        report("AMS-16KB", s.EstimateEntropy());
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Figures 4i / 5i / 6i: cardinality of the inner join, relative error vs
+// memory. Two overlapping windows of each trace are joined. Comparators:
+// JoinSketch, SkimmedSketch, F-AGMS vs DaVinci (nine-component estimate).
+// Each point averages several seeds since a single join yields one scalar.
+
+#include <cstdio>
+
+#include "baselines/agms.h"
+#include "baselines/join_sketch.h"
+#include "baselines/skimmed_sketch.h"
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+namespace {
+
+constexpr int kTrials = 3;
+
+}  // namespace
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  std::printf("# Fig 4i/5i/6i: cardinality of the inner join, RE "
+              "(scale=%.2f, %d trials)\n",
+              scale, kTrials);
+  std::printf("dataset,memory_kb,algorithm,re\n");
+  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+    size_t n = dataset.trace.keys.size();
+    davinci::Trace wa = davinci::Slice(dataset.trace, 0, 2 * n / 3, "a");
+    davinci::Trace wb = davinci::Slice(dataset.trace, n / 3, n, "b");
+    double truth = davinci::GroundTruth::InnerJoin(
+        davinci::GroundTruth(wa.keys), davinci::GroundTruth(wb.keys));
+
+    for (size_t kb : davinci::bench::MemorySweepKb()) {
+      size_t bytes = kb * 1024;
+      double ours = 0, join = 0, skim = 0, fagms = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        uint64_t seed = 37 + trial * 101;
+        {
+          davinci::DaVinciSketch a(bytes, seed), b(bytes, seed);
+          for (uint32_t key : wa.keys) a.Insert(key, 1);
+          for (uint32_t key : wb.keys) b.Insert(key, 1);
+          ours += davinci::RelativeError(
+              truth, davinci::DaVinciSketch::InnerProduct(a, b));
+        }
+        {
+          davinci::JoinSketch a(bytes, seed), b(bytes, seed);
+          for (uint32_t key : wa.keys) a.Insert(key, 1);
+          for (uint32_t key : wb.keys) b.Insert(key, 1);
+          join += davinci::RelativeError(
+              truth, davinci::JoinSketch::InnerProduct(a, b));
+        }
+        {
+          davinci::SkimmedSketch a(bytes, seed), b(bytes, seed);
+          for (uint32_t key : wa.keys) a.Insert(key, 1);
+          for (uint32_t key : wb.keys) b.Insert(key, 1);
+          skim += davinci::RelativeError(
+              truth, davinci::SkimmedSketch::InnerProduct(a, b));
+        }
+        {
+          davinci::FAgms a(bytes, 5, seed), b(bytes, 5, seed);
+          for (uint32_t key : wa.keys) a.Insert(key, 1);
+          for (uint32_t key : wb.keys) b.Insert(key, 1);
+          fagms += davinci::RelativeError(truth,
+                                          davinci::FAgms::InnerProduct(a, b));
+        }
+      }
+      const char* dataset_name = dataset.trace.name.c_str();
+      std::printf("%s,%zu,Ours,%.6f\n", dataset_name, kb, ours / kTrials);
+      std::printf("%s,%zu,JoinSketch,%.6f\n", dataset_name, kb,
+                  join / kTrials);
+      std::printf("%s,%zu,Skimmed,%.6f\n", dataset_name, kb, skim / kTrials);
+      std::printf("%s,%zu,F-AGMS,%.6f\n", dataset_name, kb, fagms / kTrials);
+    }
+  }
+  return 0;
+}

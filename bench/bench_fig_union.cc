@@ -1,0 +1,64 @@
+// Figures 4g / 5g / 6g: union of two sets — frequency ARE on the merged
+// sketch vs memory. Comparators: Elastic (heavy/light merge) and
+// FermatSketch (linear merge + decode) vs DaVinci (Algorithm 3).
+
+#include <cstdio>
+
+#include "baselines/elastic_sketch.h"
+#include "baselines/fermat_sketch.h"
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  std::printf("# Fig 4g/5g/6g: union of two sets, frequency ARE (scale=%.2f)\n",
+              scale);
+  std::printf("dataset,memory_kb,algorithm,are\n");
+  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+    size_t half = dataset.trace.keys.size() / 2;
+    davinci::Trace a = davinci::Slice(dataset.trace, 0, half, "a");
+    davinci::Trace b =
+        davinci::Slice(dataset.trace, half, dataset.trace.keys.size(), "b");
+    // Union truth == the whole trace's truth (the halves partition it).
+    const davinci::GroundTruth& truth = dataset.truth;
+
+    for (size_t kb : davinci::bench::MemorySweepKb()) {
+      size_t bytes = kb * 1024;
+      {
+        davinci::DaVinciSketch sa(bytes, 29), sb(bytes, 29);
+        for (uint32_t key : a.keys) sa.Insert(key, 1);
+        for (uint32_t key : b.keys) sb.Insert(key, 1);
+        sa.Merge(sb);
+        auto observations = davinci::bench::Observe(
+            truth, [&](uint32_t key) { return sa.Query(key); });
+        std::printf("%s,%zu,Ours,%.6f\n", dataset.trace.name.c_str(), kb,
+                    davinci::AverageRelativeError(observations));
+      }
+      {
+        davinci::ElasticSketch sa(bytes, 29), sb(bytes, 29);
+        for (uint32_t key : a.keys) sa.Insert(key, 1);
+        for (uint32_t key : b.keys) sb.Insert(key, 1);
+        sa.Merge(sb);
+        auto observations = davinci::bench::Observe(
+            truth, [&](uint32_t key) { return sa.Query(key); });
+        std::printf("%s,%zu,Elastic,%.6f\n", dataset.trace.name.c_str(), kb,
+                    davinci::AverageRelativeError(observations));
+      }
+      {
+        davinci::FermatSketch sa(bytes, 3, 29), sb(bytes, 3, 29);
+        for (uint32_t key : a.keys) sa.Insert(key, 1);
+        for (uint32_t key : b.keys) sb.Insert(key, 1);
+        sa.Merge(sb);
+        auto decoded = sa.Decode();
+        auto observations =
+            davinci::bench::Observe(truth, [&](uint32_t key) -> int64_t {
+              auto it = decoded.find(key);
+              return it == decoded.end() ? 0 : it->second;
+            });
+        std::printf("%s,%zu,Fermat,%.6f\n", dataset.trace.name.c_str(), kb,
+                    davinci::AverageRelativeError(observations));
+      }
+    }
+  }
+  return 0;
+}

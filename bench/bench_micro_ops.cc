@@ -1,0 +1,114 @@
+// Google-benchmark micro-benchmarks: per-sketch insertion and query
+// throughput on a Zipf stream (backs the paper's throughput claims with
+// op-level numbers).
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/cm_sketch.h"
+#include "baselines/csoa.h"
+#include "baselines/cu_sketch.h"
+#include "baselines/elastic_sketch.h"
+#include "baselines/cold_filter.h"
+#include "baselines/fcm_sketch.h"
+#include "baselines/heavy_guardian.h"
+#include "baselines/space_saving.h"
+#include "core/davinci_sketch.h"
+#include "workload/trace.h"
+
+namespace {
+
+constexpr size_t kBytes = 200 * 1024;
+
+const std::vector<uint32_t>& Keys() {
+  static const std::vector<uint32_t>* keys = [] {
+    auto trace = new davinci::Trace(
+        davinci::BuildSkewedTrace("bench", 200000, 20000, 1.05, 97));
+    return &trace->keys;
+  }();
+  return *keys;
+}
+
+template <typename Sketch>
+Sketch MakeSketch();
+
+template <>
+davinci::DaVinciSketch MakeSketch() {
+  return davinci::DaVinciSketch(kBytes, 1);
+}
+template <>
+davinci::CmSketch MakeSketch() {
+  return davinci::CmSketch(kBytes, 3, 1);
+}
+template <>
+davinci::CuSketch MakeSketch() {
+  return davinci::CuSketch(kBytes, 3, 1);
+}
+template <>
+davinci::ElasticSketch MakeSketch() {
+  return davinci::ElasticSketch(kBytes, 1);
+}
+template <>
+davinci::FcmSketch MakeSketch() {
+  return davinci::FcmSketch(kBytes, 1);
+}
+template <>
+davinci::Csoa MakeSketch() {
+  return davinci::Csoa({kBytes, kBytes, kBytes}, 1);
+}
+template <>
+davinci::ColdFilterCm MakeSketch() {
+  return davinci::ColdFilterCm(kBytes, 15, 1);
+}
+template <>
+davinci::SpaceSaving MakeSketch() {
+  return davinci::SpaceSaving(kBytes, 1);
+}
+template <>
+davinci::HeavyGuardian MakeSketch() {
+  return davinci::HeavyGuardian(kBytes, 1);
+}
+
+template <typename Sketch>
+void BM_Insert(benchmark::State& state) {
+  const auto& keys = Keys();
+  for (auto _ : state) {
+    Sketch sketch = MakeSketch<Sketch>();
+    for (uint32_t key : keys) sketch.Insert(key, 1);
+    benchmark::DoNotOptimize(sketch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(keys.size()));
+}
+
+template <typename Sketch>
+void BM_Query(benchmark::State& state) {
+  const auto& keys = Keys();
+  Sketch sketch = MakeSketch<Sketch>();
+  for (uint32_t key : keys) sketch.Insert(key, 1);
+  size_t i = 0;
+  int64_t sink = 0;
+  for (auto _ : state) {
+    sink += sketch.Query(keys[i % keys.size()]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_Insert, davinci::DaVinciSketch)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::CmSketch)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::CuSketch)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::ElasticSketch)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::FcmSketch)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::Csoa)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::ColdFilterCm)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::SpaceSaving)->Unit(benchmark::kMillisecond);
+BENCHMARK_TEMPLATE(BM_Insert, davinci::HeavyGuardian)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_TEMPLATE(BM_Query, davinci::DaVinciSketch);
+BENCHMARK_TEMPLATE(BM_Query, davinci::CmSketch);
+BENCHMARK_TEMPLATE(BM_Query, davinci::ElasticSketch);
+
+BENCHMARK_MAIN();

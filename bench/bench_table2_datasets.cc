@@ -1,0 +1,18 @@
+// Table II: dataset statistics (#packets, #flows, cardinality) for the
+// three synthetic traces calibrated to the paper's datasets.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  std::printf("# Table II: dataset statistics (scale=%.2f)\n", scale);
+  std::printf("dataset,packets,flows,cardinality\n");
+  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+    davinci::TraceStats stats = davinci::ComputeStats(dataset.trace);
+    std::printf("%s,%zu,%zu,%zu\n", dataset.trace.name.c_str(), stats.packets,
+                stats.flows, stats.cardinality);
+  }
+  return 0;
+}

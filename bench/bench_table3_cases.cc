@@ -1,0 +1,109 @@
+// Table III: DaVinci Sketch accuracy on all nine tasks across nine memory
+// cases (case k = k × 100 KB). Columns mirror the paper's table:
+// frequency ARE, heavy-hitter F1, heavy-changer F1, cardinality RE,
+// distribution WMRE, entropy RE, union ARE, difference ARE, inner-join RE.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_common.h"
+#include "core/davinci_sketch.h"
+
+namespace {
+
+using davinci::DaVinciSketch;
+using davinci::GroundTruth;
+using davinci::Trace;
+
+DaVinciSketch Build(const std::vector<uint32_t>& keys, size_t bytes,
+                    uint64_t seed) {
+  DaVinciSketch sketch(bytes, seed);
+  for (uint32_t key : keys) sketch.Insert(key, 1);
+  return sketch;
+}
+
+}  // namespace
+
+int main() {
+  double scale = davinci::bench::ScaleFromEnv();
+  Trace trace = davinci::BuildCaidaLike(scale);
+  GroundTruth truth(trace.keys);
+  size_t n = trace.keys.size();
+
+  // Pre-slice the operand sets shared by all cases.
+  Trace w1 = davinci::Slice(trace, 0, n / 2, "w1");
+  Trace w2 = davinci::Slice(trace, n / 2, n, "w2");
+  GroundTruth t1(w1.keys), t2(w2.keys);
+  Trace da = davinci::Slice(trace, 0, 2 * n / 3, "da");
+  Trace db = davinci::Slice(trace, n / 3, n, "db");
+  GroundTruth ta(da.keys), tb(db.keys);
+  GroundTruth diff_truth = GroundTruth::Difference(ta, tb);
+  double join_truth = GroundTruth::InnerJoin(ta, tb);
+
+  int64_t hh_threshold = static_cast<int64_t>(n * 0.0002);
+  int64_t hc_delta = static_cast<int64_t>(n * 0.0001);
+  auto hh_actual = truth.HeavyHitters(hh_threshold);
+  GroundTruth window_diff = GroundTruth::Difference(t1, t2);
+  std::vector<std::pair<uint32_t, int64_t>> hc_actual;
+  for (const auto& [key, change] : window_diff.frequencies()) {
+    if (std::llabs(change) > hc_delta) hc_actual.emplace_back(key, change);
+  }
+
+  std::printf("# Table III: DaVinci accuracy per memory case (scale=%.2f)\n",
+              scale);
+  std::printf(
+      "case,memory_kb,freq_are,hh_f1,hc_f1,card_re,dist_wmre,entropy_re,"
+      "union_are,diff_are,join_re\n");
+
+  for (int c = 1; c <= 9; ++c) {
+    size_t bytes = static_cast<size_t>(c) * 100 * 1024;
+    DaVinciSketch full = Build(trace.keys, bytes, 41);
+
+    auto observations = davinci::bench::Observe(
+        truth, [&](uint32_t key) { return full.Query(key); });
+    double freq_are = davinci::AverageRelativeError(observations);
+
+    double hh_f1 = davinci::bench::HeavySetF1(
+        full.HeavyHitters(hh_threshold), hh_actual);
+
+    DaVinciSketch s1 = Build(w1.keys, bytes, 41);
+    DaVinciSketch s2 = Build(w2.keys, bytes, 41);
+    double hc_f1 =
+        davinci::bench::HeavySetF1(s1.HeavyChangers(s2, hc_delta), hc_actual);
+
+    double card_re = davinci::RelativeError(
+        static_cast<double>(truth.cardinality()), full.EstimateCardinality());
+    double dist_wmre = davinci::WeightedMeanRelativeError(
+        truth.Distribution(), full.Distribution());
+    double entropy_re =
+        davinci::RelativeError(truth.Entropy(), full.EstimateEntropy());
+
+    // Union of the two windows, evaluated by frequency ARE.
+    DaVinciSketch u1 = Build(w1.keys, bytes, 41);
+    DaVinciSketch u2 = Build(w2.keys, bytes, 41);
+    u1.Merge(u2);
+    auto union_observations = davinci::bench::Observe(
+        truth, [&](uint32_t key) { return u1.Query(key); });
+    double union_are = davinci::AverageRelativeError(union_observations);
+
+    // Overlap difference.
+    DaVinciSketch sa = Build(da.keys, bytes, 41);
+    DaVinciSketch sb = Build(db.keys, bytes, 41);
+    sa.Subtract(sb);
+    std::vector<davinci::Estimate> diff_observations;
+    for (const auto& [key, f] : diff_truth.frequencies()) {
+      diff_observations.push_back({f, sa.Query(key)});
+    }
+    double diff_are = davinci::AverageRelativeError(diff_observations);
+
+    DaVinciSketch ja = Build(da.keys, bytes, 41);
+    DaVinciSketch jb = Build(db.keys, bytes, 41);
+    double join_re = davinci::RelativeError(
+        join_truth, DaVinciSketch::InnerProduct(ja, jb));
+
+    std::printf("%d,%zu,%.4f,%.4f,%.4f,%.5f,%.4f,%.5f,%.4f,%.4f,%.5f\n", c,
+                bytes / 1024, freq_are, hh_f1, hc_f1, card_re, dist_wmre,
+                entropy_re, union_are, diff_are, join_re);
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Capacity planning: a network operator sizing a monitoring deployment.
+// The autotuner calibrates the sketch layout on a sampled prefix, then the
+// extended queries answer planning questions — top talkers, flow-size
+// quantiles, and how much two links' traffic overlaps (Jaccard).
+
+#include <cstdio>
+
+#include "core/autotune.h"
+#include "core/davinci_sketch.h"
+#include "core/extended_queries.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+int main() {
+  // Two links with correlated traffic (shared backbone flows).
+  davinci::Trace backbone =
+      davinci::BuildSkewedTrace("backbone", 600000, 60000, 1.1, 314);
+  size_t n = backbone.keys.size();
+  davinci::Trace link_a = davinci::Slice(backbone, 0, 2 * n / 3, "linkA");
+  davinci::Trace link_b = davinci::Slice(backbone, n / 3, n, "linkB");
+
+  // Step 1: autotune on the first 10% of link A.
+  std::vector<uint32_t> sample(link_a.keys.begin(),
+                               link_a.keys.begin() + link_a.keys.size() / 10);
+  davinci::AutotuneResult tuned =
+      davinci::AutotuneConfig(sample, 300 * 1024, 1);
+  std::printf("autotuned 300 KB layout: FP %zu buckets, EF %zu KB, "
+              "IFP %zux%zu, T=%lld (sample ARE %.4f)\n",
+              tuned.config.fp_buckets, tuned.config.ef_bytes / 1024,
+              tuned.config.ifp_rows, tuned.config.ifp_buckets_per_row,
+              static_cast<long long>(tuned.config.promotion_threshold),
+              tuned.sample_are);
+
+  // Step 2: deploy one tuned sketch per link.
+  davinci::DaVinciSketch a(tuned.config), b(tuned.config);
+  for (uint32_t key : link_a.keys) a.Insert(key, 1);
+  for (uint32_t key : link_b.keys) b.Insert(key, 1);
+
+  // Step 3: planning queries.
+  std::printf("\nlink A: ~%.0f flows; link B: ~%.0f flows\n",
+              a.EstimateCardinality(), b.EstimateCardinality());
+
+  std::printf("\ntop talkers on link A:\n");
+  for (const auto& [key, est] : davinci::TopK(a, 5)) {
+    std::printf("  flow %08x  ~%lld packets\n", key,
+                static_cast<long long>(est));
+  }
+
+  std::printf("\nflow-size quantiles on link A: p50=%lld p90=%lld p99=%lld\n",
+              static_cast<long long>(davinci::FlowSizeQuantile(a, 0.5)),
+              static_cast<long long>(davinci::FlowSizeQuantile(a, 0.9)),
+              static_cast<long long>(davinci::FlowSizeQuantile(a, 0.99)));
+
+  double shared = davinci::EstimateIntersectionCardinality(a, b);
+  double jaccard = davinci::EstimateJaccard(a, b);
+  std::printf("\nshared flows between links: ~%.0f (Jaccard %.3f)\n", shared,
+              jaccard);
+
+  double truth_jaccard = [&] {
+    davinci::GroundTruth ta(link_a.keys), tb(link_b.keys);
+    double inter = 0;
+    for (const auto& [key, f] : ta.frequencies()) {
+      (void)f;
+      if (tb.frequencies().count(key)) inter += 1;
+    }
+    double uni = static_cast<double>(ta.cardinality()) +
+                 static_cast<double>(tb.cardinality()) - inter;
+    return inter / uni;
+  }();
+  std::printf("(exact Jaccard for reference: %.3f)\n", truth_jaccard);
+  return 0;
+}

@@ -1,0 +1,151 @@
+// davinci_cli: a small command-line front end to the library.
+//
+//   davinci_cli build  <trace.bin> <sketch.bin> [memory_kb]   encode a trace
+//   davinci_cli query  <sketch.bin> <key>                     point query
+//   davinci_cli report <sketch.bin> [threshold]               all single-set tasks
+//   davinci_cli merge  <a.bin> <b.bin> <out.bin>              union
+//   davinci_cli diff   <a.bin> <b.bin> <out.bin>              difference
+//   davinci_cli join   <a.bin> <b.bin>                        inner-join size
+//   davinci_cli gen    <trace.bin> [packets] [flows] [skew]   synthetic trace
+//
+// Trace files are flat little-endian uint32 keys, one per packet.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/davinci_sketch.h"
+#include "workload/trace.h"
+
+namespace {
+
+using davinci::DaVinciSketch;
+
+std::vector<uint32_t> ReadTrace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "cannot open trace %s\n", path.c_str());
+    std::exit(1);
+  }
+  in.seekg(0, std::ios::end);
+  size_t bytes = static_cast<size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<uint32_t> keys(bytes / sizeof(uint32_t));
+  in.read(reinterpret_cast<char*>(keys.data()),
+          static_cast<std::streamsize>(keys.size() * sizeof(uint32_t)));
+  return keys;
+}
+
+DaVinciSketch LoadSketch(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  DaVinciSketch sketch(1024, 0);
+  if (!in || !DaVinciSketch::Load(in, &sketch)) {
+    std::fprintf(stderr, "cannot load sketch %s\n", path.c_str());
+    std::exit(1);
+  }
+  return sketch;
+}
+
+void SaveSketch(const DaVinciSketch& sketch, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  sketch.Save(out);
+  if (!out) {
+    std::fprintf(stderr, "cannot write sketch %s\n", path.c_str());
+    std::exit(1);
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: davinci_cli "
+               "{gen|build|query|report|merge|diff|join} ...\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+
+  if (command == "gen") {
+    if (argc < 3) return Usage();
+    size_t packets = argc > 3 ? std::strtoull(argv[3], nullptr, 10) : 1000000;
+    size_t flows = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 100000;
+    double skew = argc > 5 ? std::atof(argv[5]) : 1.05;
+    davinci::Trace trace =
+        davinci::BuildSkewedTrace("cli", packets, flows, skew, 42);
+    std::ofstream out(argv[2], std::ios::binary);
+    out.write(reinterpret_cast<const char*>(trace.keys.data()),
+              static_cast<std::streamsize>(trace.keys.size() *
+                                           sizeof(uint32_t)));
+    std::printf("wrote %zu packets over %zu flows to %s\n",
+                trace.keys.size(), flows, argv[2]);
+    return 0;
+  }
+
+  if (command == "build") {
+    if (argc < 4) return Usage();
+    size_t memory_kb = argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 400;
+    std::vector<uint32_t> keys = ReadTrace(argv[2]);
+    DaVinciSketch sketch(memory_kb * 1024, /*seed=*/1);
+    for (uint32_t key : keys) sketch.Insert(key, 1);
+    SaveSketch(sketch, argv[3]);
+    std::printf("encoded %zu packets into %zu KB at %s\n", keys.size(),
+                sketch.MemoryBytes() / 1024, argv[3]);
+    return 0;
+  }
+
+  if (command == "query") {
+    if (argc < 4) return Usage();
+    DaVinciSketch sketch = LoadSketch(argv[2]);
+    uint32_t key = static_cast<uint32_t>(std::strtoul(argv[3], nullptr, 0));
+    std::printf("%lld\n", static_cast<long long>(sketch.Query(key)));
+    return 0;
+  }
+
+  if (command == "report") {
+    if (argc < 3) return Usage();
+    DaVinciSketch sketch = LoadSketch(argv[2]);
+    int64_t threshold =
+        argc > 3 ? std::strtoll(argv[3], nullptr, 10) : 1000;
+    std::printf("memory_bytes=%zu\n", sketch.MemoryBytes());
+    std::printf("cardinality=%.0f\n", sketch.EstimateCardinality());
+    std::printf("entropy=%.6f\n", sketch.EstimateEntropy());
+    auto heavy = sketch.HeavyHitters(threshold);
+    std::printf("heavy_hitters(threshold=%lld)=%zu\n",
+                static_cast<long long>(threshold), heavy.size());
+    for (const auto& [key, est] : heavy) {
+      std::printf("  %u %lld\n", key, static_cast<long long>(est));
+    }
+    return 0;
+  }
+
+  if (command == "merge" || command == "diff") {
+    if (argc < 5) return Usage();
+    DaVinciSketch a = LoadSketch(argv[2]);
+    DaVinciSketch b = LoadSketch(argv[3]);
+    if (command == "merge") {
+      a.Merge(b);
+    } else {
+      a.Subtract(b);
+    }
+    SaveSketch(a, argv[4]);
+    std::printf("%s -> %s\n", command.c_str(), argv[4]);
+    return 0;
+  }
+
+  if (command == "join") {
+    if (argc < 4) return Usage();
+    DaVinciSketch a = LoadSketch(argv[2]);
+    DaVinciSketch b = LoadSketch(argv[3]);
+    std::printf("%.6g\n", DaVinciSketch::InnerProduct(a, b));
+    return 0;
+  }
+
+  return Usage();
+}

@@ -1,0 +1,74 @@
+// Network traffic monitoring: the paper's motivating scenario. A monitor
+// watches consecutive measurement windows with one DaVinci Sketch per
+// window and simultaneously reports flow sizes, elephants, surging flows
+// (possible DDoS sources), traffic entropy (anomaly signal) and flow
+// cardinality — all from the same per-window structure.
+
+#include <cstdio>
+#include <vector>
+
+#include "core/davinci_sketch.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace {
+
+constexpr size_t kSketchBytes = 300 * 1024;
+constexpr int kWindows = 4;
+
+davinci::Trace MakeWindow(int window, uint64_t seed) {
+  // Background traffic plus, in window 2, a synthetic SYN-flood-like surge
+  // from one source.
+  davinci::Trace trace =
+      davinci::BuildSkewedTrace("window", 300000, 40000, 1.0, seed + window);
+  if (window == 2) {
+    const uint32_t attacker = 0xbadf00d;
+    trace.keys.insert(trace.keys.end(), 40000, attacker);
+  }
+  return trace;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("window |   packets | cardinality | entropy | elephants | "
+              "surging flows\n");
+
+  davinci::DaVinciSketch previous(kSketchBytes, 7);
+  bool have_previous = false;
+
+  for (int window = 0; window < kWindows; ++window) {
+    davinci::Trace trace = MakeWindow(window, 555);
+    davinci::DaVinciSketch sketch(kSketchBytes, 7);
+    for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+
+    int64_t elephant_threshold =
+        static_cast<int64_t>(trace.keys.size() * 0.0005);
+    auto elephants = sketch.HeavyHitters(elephant_threshold);
+
+    size_t surges = 0;
+    if (have_previous) {
+      // Heavy changers against the previous window: flows that surged or
+      // collapsed by more than 1% of the window volume.
+      int64_t delta = static_cast<int64_t>(trace.keys.size() * 0.01);
+      for (const auto& [key, change] : sketch.HeavyChangers(previous, delta)) {
+        ++surges;
+        std::printf("        -> flow %08x changed by %+lld packets\n", key,
+                    static_cast<long long>(change));
+      }
+    }
+
+    std::printf("%6d | %9zu | %11.0f | %7.4f | %9zu | %zu\n", window,
+                trace.keys.size(), sketch.EstimateCardinality(),
+                sketch.EstimateEntropy(), elephants.size(), surges);
+
+    previous = sketch;
+    have_previous = true;
+  }
+
+  std::printf("\nNote: window 2 contains a synthetic 40k-packet surge; the "
+              "heavy-changer report above should isolate flow 0badf00d in "
+              "windows 2 (surge) and 3 (recovery), and the entropy dip in "
+              "window 2 is the anomaly signal.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Quickstart: one DaVinci Sketch, nine set-measurement tasks.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/davinci_sketch.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+int main() {
+  // A synthetic packet trace: 500k packets over 50k flows, Zipf-skewed
+  // like real network traffic.
+  davinci::Trace trace =
+      davinci::BuildSkewedTrace("quickstart", 500000, 50000, 1.05, 2024);
+  davinci::GroundTruth truth(trace.keys);
+
+  // One sketch, 400 KB. The byte budget is split across the frequent
+  // part / element filter / infrequent part automatically.
+  davinci::DaVinciSketch sketch(400 * 1024, /*seed=*/1);
+  for (uint32_t key : trace.keys) {
+    sketch.Insert(key, 1);
+  }
+
+  std::printf("DaVinci Sketch quickstart (%zu packets, %zu flows, %zu KB)\n\n",
+              trace.keys.size(), truth.cardinality(),
+              sketch.MemoryBytes() / 1024);
+
+  // Task 1: per-flow frequency.
+  uint32_t probe = trace.keys[0];
+  std::printf("frequency of flow %u: estimated %lld, true %lld\n", probe,
+              static_cast<long long>(sketch.Query(probe)),
+              static_cast<long long>(truth.frequencies().at(probe)));
+
+  // Task 2: heavy hitters above 0.02%% of the stream.
+  int64_t threshold = static_cast<int64_t>(trace.keys.size() * 0.0002);
+  auto heavy = sketch.HeavyHitters(threshold);
+  std::printf("heavy hitters (> %lld pkts): %zu found (true: %zu)\n",
+              static_cast<long long>(threshold), heavy.size(),
+              truth.HeavyHitters(threshold).size());
+
+  // Task 3: cardinality.
+  std::printf("cardinality: estimated %.0f, true %zu\n",
+              sketch.EstimateCardinality(), truth.cardinality());
+
+  // Task 4: flow-size distribution (print the head).
+  auto distribution = sketch.Distribution();
+  std::printf("flow-size distribution head:");
+  int shown = 0;
+  for (const auto& [size, count] : distribution) {
+    if (shown++ == 4) break;
+    std::printf("  size %lld: %lld flows;", static_cast<long long>(size),
+                static_cast<long long>(count));
+  }
+  std::printf("\n");
+
+  // Task 5: entropy.
+  std::printf("entropy: estimated %.4f, true %.4f\n", sketch.EstimateEntropy(),
+              truth.Entropy());
+
+  // Tasks 6-9 operate on two sketches. Split the trace into two windows.
+  size_t half = trace.keys.size() / 2;
+  davinci::DaVinciSketch w1(400 * 1024, 1), w2(400 * 1024, 1);
+  for (size_t i = 0; i < half; ++i) w1.Insert(trace.keys[i], 1);
+  for (size_t i = half; i < trace.keys.size(); ++i) {
+    w2.Insert(trace.keys[i], 1);
+  }
+
+  // Task 6: union (sketch-level merge).
+  davinci::DaVinciSketch merged = w1;
+  merged.Merge(w2);
+  std::printf("union: frequency of flow %u in merged sketch: %lld\n", probe,
+              static_cast<long long>(merged.Query(probe)));
+
+  // Task 7: difference (signed).
+  davinci::DaVinciSketch diff = w1;
+  diff.Subtract(w2);
+  std::printf("difference: flow %u changed by %lld between windows\n", probe,
+              static_cast<long long>(diff.Query(probe)));
+
+  // Task 8: heavy changers.
+  auto changers = w1.HeavyChangers(w2, threshold / 2);
+  std::printf("heavy changers (|delta| > %lld): %zu found\n",
+              static_cast<long long>(threshold / 2), changers.size());
+
+  // Task 9: cardinality of the inner join.
+  double join = davinci::DaVinciSketch::InnerProduct(w1, w2);
+  double join_truth = davinci::GroundTruth::InnerJoin(
+      davinci::GroundTruth(std::vector<uint32_t>(trace.keys.begin(),
+                                                 trace.keys.begin() + half)),
+      davinci::GroundTruth(std::vector<uint32_t>(trace.keys.begin() + half,
+                                                 trace.keys.end())));
+  std::printf("inner join: estimated %.3g, true %.3g\n", join, join_truth);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Text analytics: the paper's data-mining motivation ("in text processing,
+// a few words occur very frequently, while the majority appear
+// infrequently"). A StringKeyDaVinci summarizes a synthetic document
+// stream: top terms, vocabulary size, term-frequency entropy, and the
+// vocabulary churn between two corpora via sketch difference.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/key_adapter.h"
+#include "workload/zipf.h"
+
+namespace {
+
+// A Zipf-distributed word stream over a synthetic vocabulary. Rank 1..30
+// are "stopwords"; the tail mimics content words.
+std::vector<std::string> MakeCorpus(size_t words, double skew,
+                                    uint64_t seed) {
+  static const char* kStopwords[] = {
+      "the", "of",  "and", "a",    "to",   "in",  "is",  "you", "that", "it",
+      "he",  "was", "for", "on",   "are",  "as",  "with", "his", "they", "i",
+      "at",  "be",  "this", "have", "from", "or",  "one", "had", "by",  "word"};
+  davinci::ZipfGenerator zipf(20000, skew, seed);
+  std::vector<std::string> corpus;
+  corpus.reserve(words);
+  for (size_t i = 0; i < words; ++i) {
+    uint64_t rank = zipf.Next();
+    if (rank <= 30) {
+      corpus.emplace_back(kStopwords[rank - 1]);
+    } else {
+      corpus.emplace_back("term" + std::to_string(rank));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace
+
+int main() {
+  auto corpus_a = MakeCorpus(400000, 1.1, 11);
+  auto corpus_b = MakeCorpus(400000, 1.1, 22);
+
+  davinci::StringKeyDaVinci a(256 * 1024, 5), b(256 * 1024, 5);
+  for (const std::string& word : corpus_a) a.Insert(word);
+  for (const std::string& word : corpus_b) b.Insert(word);
+
+  std::printf("corpus A: %zu words, vocabulary ~%.0f terms, entropy %.3f\n",
+              corpus_a.size(), a.EstimateCardinality(), a.EstimateEntropy());
+
+  std::printf("\ntop terms in corpus A (> 1%% of tokens):\n");
+  for (const auto& [word, count] :
+       a.HeavyHitters(static_cast<int64_t>(corpus_a.size() / 100))) {
+    std::printf("  %-8s %lld\n", word.c_str(),
+                static_cast<long long>(count));
+  }
+
+  // Vocabulary churn: which terms shifted most between the corpora?
+  davinci::StringKeyDaVinci diff = a;
+  diff.Subtract(b);
+  std::printf("\nterm usage shifts A-B (|delta| > 0.5%%):\n");
+  int shown = 0;
+  for (const auto& [word, change] :
+       diff.HeavyHitters(static_cast<int64_t>(corpus_a.size() / 200))) {
+    if (shown++ == 8) break;
+    std::printf("  %-10s %+lld\n", word.c_str(),
+                static_cast<long long>(change));
+  }
+  if (shown == 0) {
+    std::printf("  (no significant shifts — same distribution, as "
+                "expected for same-skew corpora)\n");
+  }
+  std::printf("\nnote: identical skew means stopword frequencies cancel in "
+              "the difference; shifts appear only in the random tail.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "baselines/agms.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+Agms::Agms(size_t rows, size_t columns, uint64_t seed)
+    : rows_(std::max<size_t>(1, rows)),
+      columns_(std::max<size_t>(1, columns)) {
+  signs_.reserve(rows_ * columns_);
+  for (size_t i = 0; i < rows_ * columns_; ++i) {
+    signs_.emplace_back(seed * 14000153 + i);
+  }
+  counters_.assign(rows_ * columns_, 0);
+}
+
+void Agms::Insert(uint32_t key, int64_t count) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += signs_[i].Sign(key) * count;
+  }
+}
+
+int64_t Agms::Query(uint32_t key) const {
+  // AGMS is a moment estimator, not a point-query structure; the best
+  // available point estimate is the mean of sign-corrected counters.
+  double sum = 0.0;
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    sum += static_cast<double>(signs_[i].Sign(key) * counters_[i]);
+  }
+  return static_cast<int64_t>(sum / static_cast<double>(counters_.size()));
+}
+
+double Agms::InnerProduct(const Agms& a, const Agms& b) {
+  std::vector<double> row_means;
+  row_means.reserve(a.rows_);
+  for (size_t r = 0; r < a.rows_; ++r) {
+    double mean = 0.0;
+    for (size_t c = 0; c < a.columns_; ++c) {
+      size_t i = r * a.columns_ + c;
+      mean += static_cast<double>(a.counters_[i]) *
+              static_cast<double>(b.counters_[i]);
+    }
+    row_means.push_back(mean / static_cast<double>(a.columns_));
+  }
+  std::nth_element(row_means.begin(), row_means.begin() + row_means.size() / 2,
+                   row_means.end());
+  return row_means[row_means.size() / 2];
+}
+
+double Agms::SecondMoment() const { return InnerProduct(*this, *this); }
+
+FAgms::FAgms(size_t memory_bytes, size_t rows, uint64_t seed)
+    : sketch_(memory_bytes, rows, seed * 15000161) {}
+
+}  // namespace davinci

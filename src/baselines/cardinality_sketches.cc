@@ -1,0 +1,68 @@
+#include "baselines/cardinality_sketches.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace davinci {
+
+Pcsa::Pcsa(size_t bitmaps, uint64_t seed)
+    : hash_(seed * 26000711 + 1),
+      bitmaps_(std::max<size_t>(1, bitmaps), 0) {}
+
+void Pcsa::Insert(uint32_t key) {
+  uint64_t h = hash_.Hash(key);
+  size_t index = static_cast<size_t>(h % bitmaps_.size());
+  uint32_t suffix = static_cast<uint32_t>(h / bitmaps_.size()) | 0x80000000u;
+  int rho = std::countr_zero(suffix);
+  bitmaps_[index] |= (1u << rho);
+}
+
+double Pcsa::EstimateCardinality() const {
+  double mean_r = 0.0;
+  for (uint32_t bitmap : bitmaps_) {
+    // R = position of the lowest unset bit.
+    int r = std::countr_one(bitmap);
+    mean_r += static_cast<double>(r);
+  }
+  mean_r /= static_cast<double>(bitmaps_.size());
+  return static_cast<double>(bitmaps_.size()) / kPhi *
+         std::pow(2.0, mean_r);
+}
+
+void Pcsa::Merge(const Pcsa& other) {
+  for (size_t i = 0; i < bitmaps_.size(); ++i) {
+    bitmaps_[i] |= other.bitmaps_[i];
+  }
+}
+
+LogLog::LogLog(int precision, uint64_t seed)
+    : precision_(std::clamp(precision, 4, 16)),
+      hash_(seed * 26000711 + 2),
+      registers_(size_t{1} << precision_, 0) {}
+
+void LogLog::Insert(uint32_t key) {
+  uint64_t h = hash_.Hash(key);
+  size_t index = h >> (64 - precision_);
+  uint64_t suffix = h << precision_ | (uint64_t{1} << (precision_ - 1));
+  uint8_t rank = static_cast<uint8_t>(std::countl_zero(suffix) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double LogLog::EstimateCardinality() const {
+  // Durand-Flajolet α ≈ 0.39701 for large m (the asymptotic constant).
+  constexpr double kAlpha = 0.39701;
+  double mean = 0.0;
+  for (uint8_t r : registers_) mean += static_cast<double>(r);
+  mean /= static_cast<double>(registers_.size());
+  return kAlpha * static_cast<double>(registers_.size()) *
+         std::pow(2.0, mean);
+}
+
+void LogLog::Merge(const LogLog& other) {
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace davinci

@@ -1,0 +1,56 @@
+#ifndef DAVINCI_BASELINES_CARDINALITY_SKETCHES_H_
+#define DAVINCI_BASELINES_CARDINALITY_SKETCHES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+// Classical cardinality estimators from the paper's related work
+// (alongside HyperLogLog in hll.h): PCSA (Flajolet-Martin probabilistic
+// counting with stochastic averaging) and Durand-Flajolet LogLog.
+
+namespace davinci {
+
+// PCSA: m bitmaps; element e sets bit ρ(h(e)) of bitmap h(e) mod m, where
+// ρ is the position of the lowest set bit. n̂ = m/φ · 2^(mean lowest unset).
+class Pcsa {
+ public:
+  Pcsa(size_t bitmaps, uint64_t seed);
+
+  std::string Name() const { return "PCSA"; }
+  size_t MemoryBytes() const { return bitmaps_.size() * 4; }
+
+  void Insert(uint32_t key);
+  double EstimateCardinality() const;
+  void Merge(const Pcsa& other);  // bitwise OR
+
+ private:
+  static constexpr double kPhi = 0.77351;
+
+  HashFamily hash_;
+  std::vector<uint32_t> bitmaps_;
+};
+
+// LogLog: m registers holding the max rank seen; n̂ = α_m · m · 2^(mean).
+class LogLog {
+ public:
+  LogLog(int precision, uint64_t seed);
+
+  std::string Name() const { return "LogLog"; }
+  size_t MemoryBytes() const { return registers_.size(); }
+
+  void Insert(uint32_t key);
+  double EstimateCardinality() const;
+  void Merge(const LogLog& other);  // register-wise max
+
+ private:
+  int precision_;
+  HashFamily hash_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_BASELINES_CARDINALITY_SKETCHES_H_

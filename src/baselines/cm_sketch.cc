@@ -1,0 +1,51 @@
+#include "baselines/cm_sketch.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+CmSketch::CmSketch(size_t memory_bytes, size_t rows, uint64_t seed) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / 4 / rows);
+  hashes_.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    hashes_.emplace_back(seed * 1000003 + i);
+  }
+  counters_.assign(rows * width_, 0);
+}
+
+size_t CmSketch::MemoryBytes() const { return counters_.size() * 4; }
+
+void CmSketch::Insert(uint32_t key, int64_t count) {
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    ++accesses_;
+    counters_[i * width_ + hashes_[i].Bucket(key, width_)] += count;
+  }
+}
+
+int64_t CmSketch::Query(uint32_t key) const {
+  int64_t best = INT64_MAX;
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    best = std::min(best, counters_[i * width_ + hashes_[i].Bucket(key, width_)]);
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+std::vector<int64_t> CmSketch::RowValues(size_t row) const {
+  return std::vector<int64_t>(counters_.begin() + row * width_,
+                              counters_.begin() + (row + 1) * width_);
+}
+
+void CmSketch::Merge(const CmSketch& other) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+void CmSketch::Subtract(const CmSketch& other) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] -= other.counters_[i];
+  }
+}
+
+}  // namespace davinci

@@ -1,0 +1,77 @@
+#include "baselines/coco_sketch.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace davinci {
+namespace {
+
+constexpr size_t kSlotBytes = 8;  // 4B key + 4B count
+
+}  // namespace
+
+CocoSketch::CocoSketch(size_t memory_bytes, size_t rows, uint64_t seed)
+    : rng_(seed * 8000009 + 5) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / kSlotBytes / rows);
+  hashes_.reserve(rows);
+  rows_.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    hashes_.emplace_back(seed * 8000009 + r);
+    rows_[r].assign(width_, Slot{});
+  }
+}
+
+size_t CocoSketch::MemoryBytes() const {
+  return rows_.size() * width_ * kSlotBytes;
+}
+
+void CocoSketch::Insert(uint32_t key, int64_t count) {
+  // If any mapped bucket already holds the key, increment it; otherwise
+  // update the smallest mapped bucket and replace its key with probability
+  // count/updated_count (Coco's unbiased replacement rule).
+  Slot* smallest = nullptr;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    ++accesses_;
+    Slot& slot = rows_[r][hashes_[r].Bucket(key, width_)];
+    if (slot.count > 0 && slot.key == key) {
+      slot.count += count;
+      return;
+    }
+    if (smallest == nullptr || slot.count < smallest->count) {
+      smallest = &slot;
+    }
+  }
+  smallest->count += count;
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  if (uniform(rng_) < static_cast<double>(count) /
+                          static_cast<double>(smallest->count)) {
+    smallest->key = key;
+  }
+}
+
+int64_t CocoSketch::Query(uint32_t key) const {
+  int64_t total = 0;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Slot& slot = rows_[r][hashes_[r].Bucket(key, width_)];
+    if (slot.count > 0 && slot.key == key) total += slot.count;
+  }
+  return total;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> CocoSketch::HeavyHitters(
+    int64_t threshold) const {
+  std::unordered_map<uint32_t, int64_t> aggregate;
+  for (const auto& row : rows_) {
+    for (const Slot& slot : row) {
+      if (slot.count > 0) aggregate[slot.key] += slot.count;
+    }
+  }
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const auto& [key, est] : aggregate) {
+    if (est > threshold) out.emplace_back(key, est);
+  }
+  return out;
+}
+
+}  // namespace davinci

@@ -1,0 +1,33 @@
+#include "baselines/cold_filter.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+ColdFilterCm::ColdFilterCm(size_t memory_bytes, int64_t threshold,
+                           uint64_t seed)
+    : threshold_(threshold),
+      filter_(memory_bytes / 2, seed * 34001231 + 1,
+              TowerSketch::Options{{4, 8}}),
+      backing_(memory_bytes - memory_bytes / 2, 3, seed * 34001231 + 2) {}
+
+size_t ColdFilterCm::MemoryBytes() const {
+  return filter_.MemoryBytes() + backing_.MemoryBytes();
+}
+
+void ColdFilterCm::Insert(uint32_t key, int64_t count) {
+  int64_t overflow = filter_.InsertCapped(key, count, threshold_);
+  if (overflow > 0) backing_.Insert(key, overflow);
+}
+
+int64_t ColdFilterCm::Query(uint32_t key) const {
+  int64_t filtered = filter_.Query(key);
+  if (filtered < threshold_) return filtered;
+  return filtered + backing_.Query(key);
+}
+
+uint64_t ColdFilterCm::MemoryAccesses() const {
+  return filter_.MemoryAccesses() + backing_.MemoryAccesses();
+}
+
+}  // namespace davinci

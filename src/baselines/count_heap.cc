@@ -1,0 +1,89 @@
+#include "baselines/count_heap.h"
+
+#include <algorithm>
+
+namespace davinci {
+namespace {
+
+constexpr size_t kTrackerShareDenominator = 4;  // tracker gets 1/4 of memory
+constexpr size_t kBytesPerTrackedKey = 8;       // 4B key + 4B counter
+
+}  // namespace
+
+CountHeap::CountHeap(size_t memory_bytes, size_t rows, uint64_t seed)
+    : capacity_(std::max<size_t>(
+          8, memory_bytes / kTrackerShareDenominator / kBytesPerTrackedKey)),
+      sketch_(memory_bytes - memory_bytes / kTrackerShareDenominator, rows,
+              seed) {
+  tracked_.reserve(capacity_ * 2);
+}
+
+size_t CountHeap::MemoryBytes() const {
+  return sketch_.MemoryBytes() + capacity_ * kBytesPerTrackedKey;
+}
+
+void CountHeap::Insert(uint32_t key, int64_t count) {
+  sketch_.Insert(key, count);
+  auto it = tracked_.find(key);
+  if (it != tracked_.end()) {
+    it->second += count;
+    heap_.emplace(it->second, key);
+    return;
+  }
+  MaybeTrack(key, sketch_.Query(key));
+}
+
+void CountHeap::MaybeTrack(uint32_t key, int64_t estimate) {
+  if (tracked_.size() < capacity_) {
+    tracked_[key] = estimate;
+    heap_.emplace(estimate, key);
+    return;
+  }
+  // Find the current minimum, skipping entries whose estimate is stale.
+  while (!heap_.empty()) {
+    auto [est, min_key] = heap_.top();
+    auto it = tracked_.find(min_key);
+    if (it == tracked_.end() || it->second != est) {
+      heap_.pop();
+      continue;
+    }
+    if (estimate > est) {
+      heap_.pop();
+      tracked_.erase(it);
+      tracked_[key] = estimate;
+      heap_.emplace(estimate, key);
+    }
+    return;
+  }
+}
+
+int64_t CountHeap::Query(uint32_t key) const {
+  auto it = tracked_.find(key);
+  if (it != tracked_.end()) return it->second;
+  return sketch_.Query(key);
+}
+
+uint64_t CountHeap::MemoryAccesses() const {
+  return sketch_.MemoryAccesses();
+}
+
+std::vector<std::pair<uint32_t, int64_t>> CountHeap::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const auto& [key, est] : tracked_) {
+    if (est > threshold) out.emplace_back(key, est);
+  }
+  return out;
+}
+
+std::vector<uint32_t> CountHeap::TrackedKeys() const {
+  std::vector<uint32_t> keys;
+  keys.reserve(tracked_.size());
+  for (const auto& [key, est] : tracked_) {
+    (void)est;
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace davinci

@@ -1,0 +1,69 @@
+#include "baselines/count_sketch.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+CountSketch::CountSketch(size_t memory_bytes, size_t rows, uint64_t seed) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / 4 / rows);
+  hashes_.reserve(rows);
+  signs_.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    hashes_.emplace_back(seed * 3000017 + i);
+    signs_.emplace_back(seed * 3000017 + i + 7777);
+  }
+  counters_.assign(rows * width_, 0);
+}
+
+size_t CountSketch::MemoryBytes() const { return counters_.size() * 4; }
+
+void CountSketch::Insert(uint32_t key, int64_t count) {
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    ++accesses_;
+    counters_[i * width_ + hashes_[i].Bucket(key, width_)] +=
+        signs_[i].Sign(key) * count;
+  }
+}
+
+int64_t CountSketch::Query(uint32_t key) const {
+  std::vector<int64_t> estimates;
+  estimates.reserve(hashes_.size());
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    estimates.push_back(signs_[i].Sign(key) *
+                        counters_[i * width_ + hashes_[i].Bucket(key, width_)]);
+  }
+  std::nth_element(estimates.begin(), estimates.begin() + estimates.size() / 2,
+                   estimates.end());
+  return estimates[estimates.size() / 2];
+}
+
+void CountSketch::Merge(const CountSketch& other) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+void CountSketch::Subtract(const CountSketch& other) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] -= other.counters_[i];
+  }
+}
+
+double CountSketch::InnerProduct(const CountSketch& a, const CountSketch& b) {
+  std::vector<double> row_dots;
+  row_dots.reserve(a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double dot = 0.0;
+    for (size_t j = 0; j < a.width_; ++j) {
+      dot += static_cast<double>(a.counters_[i * a.width_ + j]) *
+             static_cast<double>(b.counters_[i * b.width_ + j]);
+    }
+    row_dots.push_back(dot);
+  }
+  std::nth_element(row_dots.begin(), row_dots.begin() + row_dots.size() / 2,
+                   row_dots.end());
+  return row_dots[row_dots.size() / 2];
+}
+
+}  // namespace davinci

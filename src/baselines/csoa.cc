@@ -1,0 +1,36 @@
+#include "baselines/csoa.h"
+
+
+namespace davinci {
+
+Csoa::Csoa(const MemoryPlan& plan, uint64_t seed)
+    : fcm_(plan.fcm_bytes, seed * 19000231 + 1),
+      fermat_(plan.fermat_bytes, 3, seed * 19000231 + 2),
+      join_(plan.join_bytes, seed * 19000231 + 3) {}
+
+size_t Csoa::MemoryBytes() const {
+  return fcm_.MemoryBytes() + fermat_.MemoryBytes() + join_.MemoryBytes();
+}
+
+void Csoa::Insert(uint32_t key, int64_t count) {
+  fcm_.Insert(key, count);
+  fermat_.Insert(key, count);
+  join_.Insert(key, count);
+}
+
+uint64_t Csoa::MemoryAccesses() const {
+  return fcm_.MemoryAccesses() + fermat_.MemoryAccesses() +
+         join_.MemoryAccesses();
+}
+
+double Csoa::EstimateCardinality() const {
+  return fcm_.EstimateCardinality();
+}
+
+std::map<int64_t, int64_t> Csoa::Distribution() const {
+  return fcm_.Distribution();
+}
+
+double Csoa::EstimateEntropy() const { return fcm_.EstimateEntropy(); }
+
+}  // namespace davinci

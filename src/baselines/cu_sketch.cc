@@ -1,0 +1,39 @@
+#include "baselines/cu_sketch.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+CuSketch::CuSketch(size_t memory_bytes, size_t rows, uint64_t seed) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / 4 / rows);
+  hashes_.reserve(rows);
+  for (size_t i = 0; i < rows; ++i) {
+    hashes_.emplace_back(seed * 2000003 + i);
+  }
+  counters_.assign(rows * width_, 0);
+}
+
+size_t CuSketch::MemoryBytes() const { return counters_.size() * 4; }
+
+void CuSketch::Insert(uint32_t key, int64_t count) {
+  // Conservative update: raise every mapped counter to the new estimate,
+  // which only changes counters currently at or below it.
+  int64_t current = Query(key);
+  int64_t target = current + count;
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    ++accesses_;
+    int64_t& c = counters_[i * width_ + hashes_[i].Bucket(key, width_)];
+    c = std::max(c, target);
+  }
+}
+
+int64_t CuSketch::Query(uint32_t key) const {
+  int64_t best = INT64_MAX;
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    best = std::min(best, counters_[i * width_ + hashes_[i].Bucket(key, width_)]);
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+}  // namespace davinci

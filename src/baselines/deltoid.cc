@@ -1,0 +1,84 @@
+#include "baselines/deltoid.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace davinci {
+
+Deltoid::Deltoid(size_t memory_bytes, size_t rows, uint64_t seed) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / kBucketBytes / rows);
+  hashes_.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    hashes_.emplace_back(seed * 28000837 + r);
+  }
+  counters_.assign(rows * width_ * (kBits + 1), 0);
+}
+
+size_t Deltoid::MemoryBytes() const {
+  return hashes_.size() * width_ * kBucketBytes;
+}
+
+void Deltoid::Insert(uint32_t key, int64_t count) {
+  for (size_t r = 0; r < hashes_.size(); ++r) {
+    ++accesses_;
+    size_t base = Base(r, hashes_[r].Bucket(key, width_));
+    counters_[base] += count;
+    for (size_t bit = 0; bit < kBits; ++bit) {
+      if (key & (1u << bit)) counters_[base + 1 + bit] += count;
+    }
+  }
+}
+
+int64_t Deltoid::Query(uint32_t key) const {
+  int64_t best = INT64_MAX;
+  for (size_t r = 0; r < hashes_.size(); ++r) {
+    best = std::min(best, counters_[Base(r, hashes_[r].Bucket(key, width_))]);
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+void Deltoid::Subtract(const Deltoid& other) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] -= other.counters_[i];
+  }
+}
+
+void Deltoid::Merge(const Deltoid& other) {
+  for (size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+}
+
+std::vector<std::pair<uint32_t, int64_t>> Deltoid::HeavyChangers(
+    int64_t threshold) const {
+  std::unordered_set<uint32_t> seen;
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (size_t r = 0; r < hashes_.size(); ++r) {
+    for (size_t b = 0; b < width_; ++b) {
+      size_t base = Base(r, b);
+      int64_t total = counters_[base];
+      if (std::llabs(total) <= threshold) continue;
+      // Majority test per bit: a bit of the dominant changer is 1 iff the
+      // bit counter carries more than half of the bucket's total change.
+      uint32_t key = 0;
+      for (size_t bit = 0; bit < kBits; ++bit) {
+        int64_t with_bit = counters_[base + 1 + bit];
+        int64_t without_bit = total - with_bit;
+        if (std::llabs(with_bit) > std::llabs(without_bit)) {
+          key |= (1u << bit);
+        }
+      }
+      if (key == 0) continue;
+      // Verification: the candidate must hash back to this bucket.
+      if (hashes_[r].Bucket(key, width_) != b) continue;
+      if (seen.insert(key).second) {
+        out.emplace_back(key, total);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci

@@ -1,0 +1,158 @@
+#include "baselines/elastic_sketch.h"
+
+#include <algorithm>
+
+#include "estimators/em_distribution.h"
+#include "estimators/entropy.h"
+#include "estimators/linear_counting.h"
+
+namespace davinci {
+namespace {
+
+constexpr size_t kHeavyBucketBytes = 13;  // 4B key + 4B+4B votes + 1B flag
+
+}  // namespace
+
+ElasticSketch::ElasticSketch(size_t memory_bytes, uint64_t seed)
+    : heavy_hash_(seed * 4000037 + 1), light_hash_(seed * 4000037 + 2) {
+  // The original work recommends roughly a 1:3 heavy:light byte split.
+  size_t heavy_bytes = memory_bytes / 4;
+  heavy_.assign(std::max<size_t>(1, heavy_bytes / kHeavyBucketBytes), Bucket{});
+  light_.assign(std::max<size_t>(1, memory_bytes - heavy_bytes), 0);
+}
+
+size_t ElasticSketch::MemoryBytes() const {
+  return heavy_.size() * kHeavyBucketBytes + light_.size();
+}
+
+void ElasticSketch::InsertLight(uint32_t key, int64_t count) {
+  ++accesses_;
+  int64_t& c = light_[light_hash_.Bucket(key, light_.size())];
+  c = std::min(c + count, kLightCap);
+}
+
+int64_t ElasticSketch::QueryLight(uint32_t key) const {
+  return light_[light_hash_.Bucket(key, light_.size())];
+}
+
+void ElasticSketch::Insert(uint32_t key, int64_t count) {
+  ++accesses_;
+  Bucket& b = heavy_[heavy_hash_.Bucket(key, heavy_.size())];
+  if (b.key == key && b.positive_votes > 0) {
+    b.positive_votes += count;
+    return;
+  }
+  if (b.positive_votes == 0) {
+    b.key = key;
+    b.positive_votes = count;
+    b.negative_votes = 0;
+    b.flag = false;
+    return;
+  }
+  b.negative_votes += count;
+  if (b.negative_votes >= kEvictLambda * b.positive_votes) {
+    // Evict the resident flow into the light part; the newcomer takes over.
+    InsertLight(b.key, b.positive_votes);
+    b.key = key;
+    b.positive_votes = count;
+    b.negative_votes = 1;
+    b.flag = true;  // the newcomer may already have mass in the light part
+  } else {
+    InsertLight(key, count);
+  }
+}
+
+int64_t ElasticSketch::Query(uint32_t key) const {
+  const Bucket& b = heavy_[heavy_hash_.Bucket(key, heavy_.size())];
+  if (b.key == key && b.positive_votes > 0) {
+    return b.flag ? b.positive_votes + QueryLight(key) : b.positive_votes;
+  }
+  return QueryLight(key);
+}
+
+std::vector<std::pair<uint32_t, int64_t>> ElasticSketch::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const Bucket& b : heavy_) {
+    if (b.positive_votes == 0) continue;
+    int64_t est = b.flag ? b.positive_votes + QueryLight(b.key)
+                         : b.positive_votes;
+    if (est > threshold) out.emplace_back(b.key, est);
+  }
+  return out;
+}
+
+void ElasticSketch::Merge(const ElasticSketch& other) {
+  for (size_t i = 0; i < light_.size(); ++i) {
+    light_[i] = std::min(light_[i] + other.light_[i], kLightCap);
+  }
+  for (size_t i = 0; i < heavy_.size(); ++i) {
+    Bucket& dst = heavy_[i];
+    const Bucket& src = other.heavy_[i];
+    if (src.positive_votes == 0) continue;
+    if (dst.positive_votes == 0) {
+      dst = src;
+    } else if (dst.key == src.key) {
+      dst.positive_votes += src.positive_votes;
+      dst.negative_votes += src.negative_votes;
+      dst.flag = dst.flag || src.flag;
+    } else {
+      // Keep the larger flow; flush the loser into the light part.
+      const Bucket& winner =
+          dst.positive_votes >= src.positive_votes ? dst : src;
+      const Bucket& loser =
+          dst.positive_votes >= src.positive_votes ? src : dst;
+      InsertLight(loser.key, loser.positive_votes);
+      Bucket merged = winner;
+      merged.flag = true;
+      merged.negative_votes = dst.negative_votes + src.negative_votes;
+      dst = merged;
+    }
+  }
+}
+
+std::vector<std::pair<uint32_t, int64_t>> ElasticSketch::HeavyEntries() const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const Bucket& b : heavy_) {
+    if (b.positive_votes > 0) out.emplace_back(b.key, b.positive_votes);
+  }
+  return out;
+}
+
+size_t ElasticSketch::LightZeroSlots() const {
+  size_t zeros = 0;
+  for (int64_t c : light_) {
+    if (c == 0) ++zeros;
+  }
+  return zeros;
+}
+
+double ElasticSketch::EstimateCardinality() const {
+  // Linear counting over the light part plus the resident flows that never
+  // spilled into it (flag == false buckets).
+  double card = LinearCountingEstimate(light_.size(), LightZeroSlots());
+  for (const Bucket& b : heavy_) {
+    if (b.positive_votes != 0 && !b.flag) card += 1.0;
+  }
+  return card;
+}
+
+std::map<int64_t, int64_t> ElasticSketch::Distribution() const {
+  // Saturated light counters carry no size information; heavy flows are
+  // added with their full estimates.
+  std::vector<int64_t> light = light_;
+  for (int64_t& v : light) {
+    if (v >= kLightCap) v = 0;
+  }
+  std::map<int64_t, int64_t> histogram = EmDistribution::Estimate(light);
+  for (const Bucket& b : heavy_) {
+    if (b.positive_votes != 0) ++histogram[Query(b.key)];
+  }
+  return histogram;
+}
+
+double ElasticSketch::EstimateEntropy() const {
+  return EntropyFromDistribution(Distribution());
+}
+
+}  // namespace davinci

@@ -1,0 +1,170 @@
+#include "baselines/fcm_sketch.h"
+
+#include <algorithm>
+
+#include "estimators/em_distribution.h"
+#include "estimators/entropy.h"
+#include "estimators/linear_counting.h"
+
+namespace davinci {
+namespace {
+
+constexpr size_t kTrackerShareDenominator = 8;  // tracker gets 1/8 of memory
+constexpr size_t kBytesPerTrackedKey = 8;
+constexpr int kStageBits[] = {8, 16, 32};
+constexpr size_t kNumStages = 3;
+
+}  // namespace
+
+FcmSketch::FcmSketch(size_t memory_bytes, uint64_t seed) {
+  size_t tracker_bytes = memory_bytes / kTrackerShareDenominator;
+  tracker_capacity_ = std::max<size_t>(8, tracker_bytes / kBytesPerTrackedKey);
+  size_t sketch_bytes = memory_bytes - tracker_bytes;
+
+  // Solve for the bottom width w of one tree: bytes(tree) =
+  // w·1 + (w/8)·2 + (w/64)·4 = w·(1 + 1/4 + 1/16) bytes.
+  double per_tree = static_cast<double>(sketch_bytes) / kTrees;
+  size_t bottom = std::max<size_t>(
+      kFanout * kFanout, static_cast<size_t>(per_tree / (1.0 + 0.25 + 0.0625)));
+
+  trees_.resize(kTrees);
+  for (size_t t = 0; t < kTrees; ++t) {
+    Tree& tree = trees_[t];
+    tree.hash = HashFamily(seed * 5000011 + t);
+    tree.stages.resize(kNumStages);
+    size_t width = bottom;
+    for (size_t s = 0; s < kNumStages; ++s) {
+      tree.stages[s].cap = (int64_t{1} << kStageBits[s]) - 1;
+      tree.stages[s].counters.assign(std::max<size_t>(1, width), 0);
+      width /= kFanout;
+    }
+  }
+}
+
+size_t FcmSketch::MemoryBytes() const {
+  size_t bytes = tracker_capacity_ * kBytesPerTrackedKey;
+  for (const Tree& tree : trees_) {
+    for (size_t s = 0; s < tree.stages.size(); ++s) {
+      bytes += tree.stages[s].counters.size() * (kStageBits[s] / 8);
+    }
+  }
+  return bytes;
+}
+
+void FcmSketch::Insert(uint32_t key, int64_t count) {
+  for (Tree& tree : trees_) {
+    size_t index = tree.hash.Bucket(key, tree.stages[0].counters.size());
+    int64_t remaining = count;
+    for (Stage& stage : tree.stages) {
+      ++accesses_;
+      int64_t& c = stage.counters[index % stage.counters.size()];
+      int64_t room = stage.cap - c;
+      if (remaining <= room) {
+        c += remaining;
+        remaining = 0;
+        break;
+      }
+      c = stage.cap;
+      remaining -= room;
+      index /= kFanout;
+    }
+  }
+
+  // Top-k tracker with periodic pruning.
+  auto it = tracked_.find(key);
+  if (it != tracked_.end()) {
+    it->second += count;
+  } else {
+    tracked_[key] = QueryTree(trees_[0], key);
+    if (tracked_.size() >= tracker_capacity_ * 2) {
+      std::vector<std::pair<int64_t, uint32_t>> entries;
+      entries.reserve(tracked_.size());
+      for (const auto& [k, v] : tracked_) entries.emplace_back(v, k);
+      std::nth_element(entries.begin(), entries.begin() + tracker_capacity_,
+                       entries.end(), std::greater<>());
+      entries.resize(tracker_capacity_);
+      tracked_.clear();
+      for (const auto& [v, k] : entries) tracked_[k] = v;
+    }
+  }
+}
+
+int64_t FcmSketch::QueryTree(const Tree& tree, uint32_t key) const {
+  size_t index = tree.hash.Bucket(key, tree.stages[0].counters.size());
+  int64_t total = 0;
+  for (const Stage& stage : tree.stages) {
+    int64_t c = stage.counters[index % stage.counters.size()];
+    total += c;
+    if (c < stage.cap) break;
+    index /= kFanout;
+  }
+  return total;
+}
+
+int64_t FcmSketch::Query(uint32_t key) const {
+  int64_t best = INT64_MAX;
+  for (const Tree& tree : trees_) {
+    best = std::min(best, QueryTree(tree, key));
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> FcmSketch::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const auto& [key, est] : tracked_) {
+    int64_t value = std::max(est, Query(key));
+    if (value > threshold) out.emplace_back(key, value);
+  }
+  return out;
+}
+
+std::vector<int64_t> FcmSketch::BottomStageValues() const {
+  return trees_[0].stages[0].counters;
+}
+
+size_t FcmSketch::BottomStageZeroSlots() const {
+  size_t zeros = 0;
+  for (int64_t c : trees_[0].stages[0].counters) {
+    if (c == 0) ++zeros;
+  }
+  return zeros;
+}
+
+double FcmSketch::EstimateCardinality() const {
+  return LinearCountingEstimate(trees_[0].stages[0].counters.size(),
+                                BottomStageZeroSlots());
+}
+
+std::map<int64_t, int64_t> FcmSketch::Distribution() const {
+  // Saturated bottom counters belong to heavy flows; blank them for EM and
+  // add the tracked heavy flows with their multi-stage estimates.
+  std::vector<int64_t> bottom = BottomStageValues();
+  const int64_t cap = trees_[0].stages[0].cap;
+  for (int64_t& v : bottom) {
+    if (v >= cap) v = 0;
+  }
+  std::map<int64_t, int64_t> histogram = EmDistribution::Estimate(bottom);
+  for (const auto& [key, est] : tracked_) {
+    (void)est;
+    int64_t value = Query(key);
+    if (value >= cap) ++histogram[value];
+  }
+  return histogram;
+}
+
+double FcmSketch::EstimateEntropy() const {
+  return EntropyFromDistribution(Distribution());
+}
+
+std::vector<uint32_t> FcmSketch::TrackedKeys() const {
+  std::vector<uint32_t> keys;
+  keys.reserve(tracked_.size());
+  for (const auto& [k, v] : tracked_) {
+    (void)v;
+    keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace davinci

@@ -1,0 +1,111 @@
+#include "baselines/fermat_sketch.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace davinci {
+
+FermatSketch::FermatSketch(size_t memory_bytes, size_t rows, uint64_t seed) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / kBucketBytes / rows);
+  for (size_t i = 0; i < rows; ++i) {
+    hashes_.emplace_back(seed * 13000133 + i);
+  }
+  buckets_.assign(rows * width_, Bucket{});
+}
+
+size_t FermatSketch::MemoryBytes() const {
+  return buckets_.size() * kBucketBytes;
+}
+
+void FermatSketch::Insert(uint32_t key, int64_t count) {
+  uint64_t delta = MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    ++accesses_;
+    Bucket& bucket = buckets_[BucketIndex(i, key)];
+    bucket.id_sum = AddMod(bucket.id_sum, delta, kFermatPrime);
+    bucket.count += count;
+  }
+}
+
+void FermatSketch::Merge(const FermatSketch& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].id_sum =
+        AddMod(buckets_[i].id_sum, other.buckets_[i].id_sum, kFermatPrime);
+    buckets_[i].count += other.buckets_[i].count;
+  }
+}
+
+void FermatSketch::Subtract(const FermatSketch& other) {
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i].id_sum =
+        SubMod(buckets_[i].id_sum, other.buckets_[i].id_sum, kFermatPrime);
+    buckets_[i].count -= other.buckets_[i].count;
+  }
+}
+
+std::unordered_map<uint32_t, int64_t> FermatSketch::Decode() const {
+  std::vector<Bucket> buckets = buckets_;
+  std::unordered_map<uint32_t, int64_t> flows;
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < buckets.size(); ++i) queue.push_back(i);
+
+  auto try_peel = [&](size_t index) -> bool {
+    Bucket& bucket = buckets[index];
+    if (bucket.count == 0) return false;
+    uint64_t count_mod = SignedMod(bucket.count, kFermatPrime);
+    if (count_mod == 0) return false;
+    uint64_t candidate =
+        MulMod(bucket.id_sum, ModInverse(count_mod, kFermatPrime),
+               kFermatPrime);
+    if (candidate == 0 || candidate > UINT32_MAX) return false;
+    uint32_t key = static_cast<uint32_t>(candidate);
+    size_t row = index / width_;
+    if (BucketIndex(row, key) != index) return false;
+
+    int64_t count = bucket.count;
+    uint64_t delta = MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
+    flows[key] += count;
+    for (size_t r = 0; r < hashes_.size(); ++r) {
+      size_t j = BucketIndex(r, key);
+      buckets[j].id_sum = SubMod(buckets[j].id_sum, delta, kFermatPrime);
+      buckets[j].count -= count;
+      queue.push_back(j);
+    }
+    return true;
+  };
+
+  // Two safety valves bound the peeling: `stale` stops when no progress is
+  // possible, and `peels` stops pathological false-positive cycles (peel /
+  // un-peel oscillations that can arise in overloaded sketches).
+  size_t stale = 0;
+  size_t peels = 0;
+  const size_t max_peels = buckets.size() * 4 + 64;
+  while (!queue.empty() && stale < buckets.size() * 4 &&
+         peels < max_peels) {
+    size_t index = queue.front();
+    queue.pop_front();
+    if (try_peel(index)) {
+      stale = 0;
+      ++peels;
+    } else {
+      ++stale;
+    }
+  }
+  for (auto it = flows.begin(); it != flows.end();) {
+    if (it->second == 0) {
+      it = flows.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return flows;
+}
+
+int64_t FermatSketch::Query(uint32_t key) const {
+  auto flows = Decode();
+  auto it = flows.find(key);
+  return it == flows.end() ? 0 : it->second;
+}
+
+}  // namespace davinci

@@ -1,0 +1,118 @@
+#include "baselines/flow_radar.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace davinci {
+
+FlowRadar::FlowRadar(size_t memory_bytes, uint64_t seed) {
+  // ~1/8 of memory funds the Bloom flow filter, the rest the counting table.
+  size_t bloom_bytes = std::max<size_t>(8, memory_bytes / 8);
+  bloom_bits_ = bloom_bytes * 8;
+  bloom_.assign(bloom_bits_, false);
+  for (size_t i = 0; i < 4; ++i) {
+    bloom_hashes_.emplace_back(seed * 11000027 + 100 + i);
+  }
+  size_t table_bytes = memory_bytes - bloom_bytes;
+  width_ = std::max<size_t>(1, table_bytes / kCellBytes / kHashes);
+  for (size_t i = 0; i < kHashes; ++i) {
+    hashes_.emplace_back(seed * 11000027 + i);
+  }
+  cells_.assign(kHashes * width_, Cell{});
+}
+
+size_t FlowRadar::MemoryBytes() const {
+  return bloom_bits_ / 8 + cells_.size() * kCellBytes;
+}
+
+void FlowRadar::Insert(uint32_t key, int64_t count) {
+  bool known = true;
+  for (const HashFamily& h : bloom_hashes_) {
+    ++accesses_;
+    if (!bloom_[h.Bucket(key, bloom_bits_)]) known = false;
+  }
+  if (!known) {
+    for (const HashFamily& h : bloom_hashes_) {
+      bloom_[h.Bucket(key, bloom_bits_)] = true;
+    }
+  }
+  for (size_t i = 0; i < kHashes; ++i) {
+    ++accesses_;
+    Cell& cell = cells_[CellIndex(i, key)];
+    if (!known) {
+      cell.flow_xor ^= key;
+      cell.flow_count += 1;
+    }
+    cell.packet_count += count;
+  }
+}
+
+void FlowRadar::Subtract(const FlowRadar& other) {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].flow_xor ^= other.cells_[i].flow_xor;
+    cells_[i].flow_count -= other.cells_[i].flow_count;
+    cells_[i].packet_count -= other.cells_[i].packet_count;
+  }
+  // The flow filters are not meaningful after subtraction; keep ours.
+}
+
+std::unordered_map<uint32_t, int64_t> FlowRadar::Decode() const {
+  std::vector<Cell> cells = cells_;
+  std::unordered_map<uint32_t, int64_t> flows;
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < cells.size(); ++i) queue.push_back(i);
+
+  auto try_peel = [&](size_t index) -> bool {
+    Cell& cell = cells[index];
+    if (cell.flow_count != 1 && cell.flow_count != -1) return false;
+    uint32_t key = cell.flow_xor;
+    size_t row = index / width_;
+    if (key == 0 || CellIndex(row, key) != index) return false;
+    int64_t count = cell.packet_count;
+    int64_t flow_sign = cell.flow_count;  // captured before cells mutate
+    flows[key] += count;
+    for (size_t r = 0; r < kHashes; ++r) {
+      size_t j = CellIndex(r, key);
+      cells[j].flow_xor ^= key;
+      cells[j].flow_count -= flow_sign;
+      cells[j].packet_count -= count;
+      queue.push_back(j);
+    }
+    return true;
+  };
+
+  // Two safety valves bound the peeling: `stale` stops when no progress is
+  // possible, and `peels` stops pathological false-positive cycles (peel /
+  // un-peel oscillations that can arise in overloaded sketches).
+  size_t stale = 0;
+  size_t peels = 0;
+  const size_t max_peels = cells.size() * 4 + 64;
+  while (!queue.empty() && stale < cells.size() * 4 &&
+         peels < max_peels) {
+    size_t index = queue.front();
+    queue.pop_front();
+    if (try_peel(index)) {
+      stale = 0;
+      ++peels;
+    } else {
+      ++stale;
+    }
+  }
+  // Peeling may insert then remove a flow's mirror; drop exact zeros.
+  for (auto it = flows.begin(); it != flows.end();) {
+    if (it->second == 0) {
+      it = flows.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return flows;
+}
+
+int64_t FlowRadar::Query(uint32_t key) const {
+  auto flows = Decode();
+  auto it = flows.find(key);
+  return it == flows.end() ? 0 : it->second;
+}
+
+}  // namespace davinci

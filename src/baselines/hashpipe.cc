@@ -1,0 +1,86 @@
+#include "baselines/hashpipe.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace davinci {
+namespace {
+
+constexpr size_t kSlotBytes = 8;  // 4B key + 4B count
+
+}  // namespace
+
+HashPipe::HashPipe(size_t memory_bytes, size_t stages, uint64_t seed) {
+  stages = std::max<size_t>(2, stages);
+  width_ = std::max<size_t>(1, memory_bytes / kSlotBytes / stages);
+  hashes_.reserve(stages);
+  stages_.resize(stages);
+  for (size_t s = 0; s < stages; ++s) {
+    hashes_.emplace_back(seed * 7000003 + s);
+    stages_[s].assign(width_, Slot{});
+  }
+}
+
+size_t HashPipe::MemoryBytes() const {
+  return stages_.size() * width_ * kSlotBytes;
+}
+
+void HashPipe::Insert(uint32_t key, int64_t count) {
+  // Stage 0: always insert; the previous occupant (if different) is
+  // carried into the rest of the pipeline.
+  ++accesses_;
+  Slot& first = stages_[0][hashes_[0].Bucket(key, width_)];
+  Slot carried;
+  if (first.count > 0 && first.key == key) {
+    first.count += count;
+    return;
+  }
+  carried = first;
+  first.key = key;
+  first.count = count;
+  if (carried.count == 0) return;
+
+  for (size_t s = 1; s < stages_.size(); ++s) {
+    ++accesses_;
+    Slot& slot = stages_[s][hashes_[s].Bucket(carried.key, width_)];
+    if (slot.count > 0 && slot.key == carried.key) {
+      slot.count += carried.count;
+      return;
+    }
+    if (slot.count == 0) {
+      slot = carried;
+      return;
+    }
+    if (carried.count > slot.count) {
+      std::swap(slot, carried);
+    }
+  }
+  // The final carried entry is dropped (HashPipe's controlled loss).
+}
+
+int64_t HashPipe::Query(uint32_t key) const {
+  int64_t total = 0;
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const Slot& slot = stages_[s][hashes_[s].Bucket(key, width_)];
+    if (slot.count > 0 && slot.key == key) total += slot.count;
+  }
+  return total;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> HashPipe::HeavyHitters(
+    int64_t threshold) const {
+  // A flow may be split across stages; aggregate before thresholding.
+  std::unordered_map<uint32_t, int64_t> aggregate;
+  for (const auto& stage : stages_) {
+    for (const Slot& slot : stage) {
+      if (slot.count > 0) aggregate[slot.key] += slot.count;
+    }
+  }
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const auto& [key, est] : aggregate) {
+    if (est > threshold) out.emplace_back(key, est);
+  }
+  return out;
+}
+
+}  // namespace davinci

@@ -1,0 +1,78 @@
+#include "baselines/heavy_guardian.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace davinci {
+
+HeavyGuardian::HeavyGuardian(size_t memory_bytes, uint64_t seed)
+    : bucket_hash_(seed * 33001171 + 1),
+      light_hash_(seed * 33001171 + 2),
+      rng_(seed * 33001171 + 3) {
+  size_t num_buckets = std::max<size_t>(1, memory_bytes / kBucketBytes);
+  buckets_.resize(num_buckets);
+  for (Bucket& bucket : buckets_) {
+    bucket.heavy.resize(kHeavyCells);
+    bucket.light.assign(kLightCells, 0);
+  }
+}
+
+size_t HeavyGuardian::MemoryBytes() const {
+  return buckets_.size() * kBucketBytes;
+}
+
+void HeavyGuardian::Insert(uint32_t key, int64_t count) {
+  Bucket& bucket = buckets_[bucket_hash_.Bucket(key, buckets_.size())];
+  Cell* weakest = &bucket.heavy[0];
+  for (Cell& cell : bucket.heavy) {
+    ++accesses_;
+    if (cell.count > 0 && cell.key == key) {
+      cell.count += count;
+      return;
+    }
+    if (cell.count == 0) {
+      cell.key = key;
+      cell.count = count;
+      return;
+    }
+    if (cell.count < weakest->count) weakest = &cell;
+  }
+  // Guard: decay the weakest resident with probability b^-count per unit;
+  // if it hits zero, the newcomer takes the cell.
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (int64_t unit = 0; unit < count && weakest->count > 0; ++unit) {
+    double p = std::pow(kDecayBase, -static_cast<double>(weakest->count));
+    if (uniform(rng_) < p) weakest->count -= 1;
+  }
+  if (weakest->count == 0) {
+    weakest->key = key;
+    weakest->count = count;
+    return;
+  }
+  // Loser: the mouse lands in the bucket's light counters.
+  ++accesses_;
+  int64_t& light = bucket.light[LightIndex(key)];
+  light = std::min(light + count, kLightCap);
+}
+
+int64_t HeavyGuardian::Query(uint32_t key) const {
+  const Bucket& bucket =
+      buckets_[bucket_hash_.Bucket(key, buckets_.size())];
+  for (const Cell& cell : bucket.heavy) {
+    if (cell.count > 0 && cell.key == key) return cell.count;
+  }
+  return bucket.light[LightIndex(key)];
+}
+
+std::vector<std::pair<uint32_t, int64_t>> HeavyGuardian::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const Bucket& bucket : buckets_) {
+    for (const Cell& cell : bucket.heavy) {
+      if (cell.count > threshold) out.emplace_back(cell.key, cell.count);
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci

@@ -1,0 +1,95 @@
+#include "baselines/heavy_keeper.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace davinci {
+
+HeavyKeeper::HeavyKeeper(size_t memory_bytes, size_t rows, uint64_t seed)
+    : fingerprint_hash_(seed * 24000509 + 99), rng_(seed * 24000509 + 5) {
+  rows = std::max<size_t>(1, rows);
+  // As in the original design, a small min-heap of keys (1/4 of memory)
+  // accompanies the fingerprint buckets.
+  size_t heap_bytes = memory_bytes / 4;
+  heap_capacity_ = std::max<size_t>(8, heap_bytes / kSlotBytes);
+  size_t bucket_bytes = memory_bytes - heap_bytes;
+  width_ = std::max<size_t>(1, bucket_bytes / kSlotBytes / rows);
+  hashes_.reserve(rows);
+  rows_.resize(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    hashes_.emplace_back(seed * 24000509 + r);
+    rows_[r].assign(width_, Slot{});
+  }
+}
+
+size_t HeavyKeeper::MemoryBytes() const {
+  return rows_.size() * width_ * kSlotBytes + heap_capacity_ * kSlotBytes;
+}
+
+void HeavyKeeper::Insert(uint32_t key, int64_t count) {
+  uint32_t fp = Fingerprint(key);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    ++accesses_;
+    Slot& slot = rows_[r][hashes_[r].Bucket(key, width_)];
+    if (slot.count == 0) {
+      slot.fingerprint = fp;
+      slot.count = count;
+    } else if (slot.fingerprint == fp) {
+      slot.count += count;
+    } else {
+      // Exponential decay, applied per inserted unit: the resident loses
+      // one with probability b^-count each time.
+      for (int64_t unit = 0; unit < count && slot.count > 0; ++unit) {
+        double p = std::pow(kDecayBase, -static_cast<double>(slot.count));
+        if (uniform(rng_) < p) slot.count -= 1;
+      }
+      if (slot.count == 0) {
+        slot.fingerprint = fp;
+        slot.count = count;
+      }
+    }
+  }
+
+  // Track the top keys (HeavyKeeper's min-heap, realized as a pruned map).
+  int64_t estimate = Query(key);
+  auto it = tracked_.find(key);
+  if (it != tracked_.end()) {
+    it->second = std::max(it->second, estimate);
+  } else {
+    tracked_[key] = estimate;
+    if (tracked_.size() >= heap_capacity_ * 2) {
+      std::vector<std::pair<int64_t, uint32_t>> entries;
+      entries.reserve(tracked_.size());
+      for (const auto& [k, v] : tracked_) entries.emplace_back(v, k);
+      std::nth_element(entries.begin(), entries.begin() + heap_capacity_,
+                       entries.end(), std::greater<>());
+      entries.resize(heap_capacity_);
+      tracked_.clear();
+      for (const auto& [v, k] : entries) tracked_[k] = v;
+    }
+  }
+}
+
+int64_t HeavyKeeper::Query(uint32_t key) const {
+  uint32_t fp = Fingerprint(key);
+  int64_t best = 0;
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    const Slot& slot = rows_[r][hashes_[r].Bucket(key, width_)];
+    if (slot.fingerprint == fp) best = std::max(best, slot.count);
+  }
+  return best;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> HeavyKeeper::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const auto& [key, est] : tracked_) {
+    (void)est;
+    int64_t current = Query(key);
+    if (current > threshold) out.emplace_back(key, current);
+  }
+  return out;
+}
+
+}  // namespace davinci

@@ -1,0 +1,56 @@
+#include "baselines/hll.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "estimators/linear_counting.h"
+
+namespace davinci {
+
+HyperLogLog::HyperLogLog(int precision, uint64_t seed)
+    : precision_(std::clamp(precision, 4, 18)),
+      hash_(seed * 18000211 + 3),
+      registers_(size_t{1} << precision_, 0) {}
+
+void HyperLogLog::Insert(uint32_t key) {
+  uint64_t h = hash_.Hash(key);
+  size_t index = h >> (64 - precision_);
+  uint64_t suffix = h << precision_ | (uint64_t{1} << (precision_ - 1));
+  uint8_t rank = static_cast<uint8_t>(std::countl_zero(suffix) + 1);
+  registers_[index] = std::max(registers_[index], rank);
+}
+
+double HyperLogLog::EstimateCardinality() const {
+  double m = static_cast<double>(registers_.size());
+  double alpha;
+  if (registers_.size() <= 16) {
+    alpha = 0.673;
+  } else if (registers_.size() <= 32) {
+    alpha = 0.697;
+  } else if (registers_.size() <= 64) {
+    alpha = 0.709;
+  } else {
+    alpha = 0.7213 / (1.0 + 1.079 / m);
+  }
+  double sum = 0.0;
+  size_t zeros = 0;
+  for (uint8_t r : registers_) {
+    sum += std::ldexp(1.0, -static_cast<int>(r));
+    if (r == 0) ++zeros;
+  }
+  double estimate = alpha * m * m / sum;
+  if (estimate <= 2.5 * m && zeros > 0) {
+    // Small-range correction: fall back to linear counting.
+    return LinearCountingEstimate(registers_.size(), zeros);
+  }
+  return estimate;
+}
+
+void HyperLogLog::Merge(const HyperLogLog& other) {
+  for (size_t i = 0; i < registers_.size(); ++i) {
+    registers_[i] = std::max(registers_[i], other.registers_[i]);
+  }
+}
+
+}  // namespace davinci

@@ -1,0 +1,38 @@
+#ifndef DAVINCI_BASELINES_HLL_H_
+#define DAVINCI_BASELINES_HLL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+// HyperLogLog (Flajolet et al., with the HLL++ small-range correction):
+// the standard cardinality estimator, provided as an extra comparator for
+// the cardinality task and used by the distributed-union example.
+
+namespace davinci {
+
+class HyperLogLog {
+ public:
+  // 2^precision registers; precision in [4, 18].
+  HyperLogLog(int precision, uint64_t seed);
+
+  std::string Name() const { return "HLL"; }
+  size_t MemoryBytes() const { return registers_.size(); }
+
+  void Insert(uint32_t key);
+  double EstimateCardinality() const;
+
+  // Register-wise max merge (distributed union of observations).
+  void Merge(const HyperLogLog& other);
+
+ private:
+  int precision_;
+  HashFamily hash_;
+  std::vector<uint8_t> registers_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_BASELINES_HLL_H_

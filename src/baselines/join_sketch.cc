@@ -1,0 +1,103 @@
+#include "baselines/join_sketch.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace davinci {
+namespace {
+
+// Frequent part gets 1/4 of the byte budget, per the original guidance.
+size_t FrequentBytes(size_t memory_bytes) { return memory_bytes / 4; }
+
+}  // namespace
+
+JoinSketch::JoinSketch(size_t memory_bytes, uint64_t seed)
+    : bucket_hash_(seed * 16000183 + 1),
+      sketch_(memory_bytes - FrequentBytes(memory_bytes), 4,
+              seed * 16000183 + 2) {
+  size_t bucket_bytes = kSlotsPerBucket * kSlotBytes + 4;  // + vote counter
+  size_t num_buckets =
+      std::max<size_t>(1, FrequentBytes(memory_bytes) / bucket_bytes);
+  buckets_.resize(num_buckets);
+  for (Bucket& bucket : buckets_) {
+    bucket.slots.resize(kSlotsPerBucket);
+  }
+}
+
+size_t JoinSketch::MemoryBytes() const {
+  return buckets_.size() * (kSlotsPerBucket * kSlotBytes + 4) +
+         sketch_.MemoryBytes();
+}
+
+void JoinSketch::Insert(uint32_t key, int64_t count) {
+  Bucket& bucket = buckets_[bucket_hash_.Bucket(key, buckets_.size())];
+  Slot* smallest = &bucket.slots[0];
+  for (Slot& slot : bucket.slots) {
+    ++accesses_;
+    if (slot.count > 0 && slot.key == key) {
+      slot.count += count;
+      return;
+    }
+    if (slot.count == 0) {
+      slot.key = key;
+      slot.count = count;
+      return;
+    }
+    if (slot.count < smallest->count) smallest = &slot;
+  }
+  bucket.evict_votes += count;
+  if (bucket.evict_votes > kEvictLambda * smallest->count) {
+    // The resident minimum is demoted to the infrequent sketch.
+    sketch_.Insert(smallest->key, smallest->count);
+    smallest->key = key;
+    smallest->count = count;
+    bucket.evict_votes = 0;
+  } else {
+    sketch_.Insert(key, count);
+  }
+}
+
+int64_t JoinSketch::Query(uint32_t key) const {
+  const Bucket& bucket =
+      buckets_[bucket_hash_.Bucket(key, buckets_.size())];
+  for (const Slot& slot : bucket.slots) {
+    if (slot.count > 0 && slot.key == key) return slot.count;
+  }
+  return QueryInfrequent(key);
+}
+
+std::vector<std::pair<uint32_t, int64_t>> JoinSketch::FrequentEntries() const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const Bucket& bucket : buckets_) {
+    for (const Slot& slot : bucket.slots) {
+      if (slot.count > 0) out.emplace_back(slot.key, slot.count);
+    }
+  }
+  return out;
+}
+
+double JoinSketch::InnerProduct(const JoinSketch& a, const JoinSketch& b) {
+  std::unordered_map<uint32_t, int64_t> frequent_b;
+  for (const auto& [key, count] : b.FrequentEntries()) {
+    frequent_b[key] = count;
+  }
+
+  double join = 0.0;
+  // Frequent(a) × [Frequent(b) exact | Infrequent(b) sketch query].
+  for (const auto& [key, count] : a.FrequentEntries()) {
+    auto it = frequent_b.find(key);
+    int64_t other = it != frequent_b.end() ? it->second
+                                           : b.QueryInfrequent(key);
+    join += static_cast<double>(count) * static_cast<double>(other);
+  }
+  // Infrequent(a) × Frequent(b).
+  for (const auto& [key, count] : frequent_b) {
+    join += static_cast<double>(a.QueryInfrequent(key)) *
+            static_cast<double>(count);
+  }
+  // Infrequent × Infrequent via the unbiased Count-Sketch inner product.
+  join += CountSketch::InnerProduct(a.sketch_, b.sketch_);
+  return join;
+}
+
+}  // namespace davinci

@@ -1,0 +1,108 @@
+#include "baselines/loss_radar.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace davinci {
+
+LossRadar::LossRadar(size_t memory_bytes, uint64_t seed) {
+  width_ = std::max<size_t>(1, memory_bytes / kCellBytes / kHashes);
+  for (size_t i = 0; i < kHashes; ++i) {
+    hashes_.emplace_back(seed * 12000097 + i);
+  }
+  cells_.assign(kHashes * width_, Cell{});
+}
+
+size_t LossRadar::MemoryBytes() const { return cells_.size() * kCellBytes; }
+
+void LossRadar::Insert(uint32_t key, int64_t count) {
+  for (size_t i = 0; i < kHashes; ++i) {
+    ++accesses_;
+    Cell& cell = cells_[CellIndex(i, key)];
+    cell.count += count;
+    cell.key_sum += static_cast<int64_t>(key) * count;
+    cell.check_sum += Checksum(key) * count;
+  }
+}
+
+void LossRadar::Subtract(const LossRadar& other) {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count -= other.cells_[i].count;
+    cells_[i].key_sum -= other.cells_[i].key_sum;
+    cells_[i].check_sum -= other.cells_[i].check_sum;
+  }
+}
+
+void LossRadar::Merge(const LossRadar& other) {
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].count += other.cells_[i].count;
+    cells_[i].key_sum += other.cells_[i].key_sum;
+    cells_[i].check_sum += other.cells_[i].check_sum;
+  }
+}
+
+std::unordered_map<uint32_t, int64_t> LossRadar::Decode() const {
+  std::vector<Cell> cells = cells_;
+  std::unordered_map<uint32_t, int64_t> flows;
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < cells.size(); ++i) queue.push_back(i);
+
+  auto try_peel = [&](size_t index) -> bool {
+    Cell& cell = cells[index];
+    if (cell.count == 0) return false;
+    if (cell.key_sum % cell.count != 0) return false;
+    int64_t candidate = cell.key_sum / cell.count;
+    if (candidate <= 0 || candidate > static_cast<int64_t>(UINT32_MAX)) {
+      return false;
+    }
+    uint32_t key = static_cast<uint32_t>(candidate);
+    if (cell.check_sum != Checksum(key) * cell.count) return false;
+    size_t row = index / width_;
+    if (CellIndex(row, key) != index) return false;
+
+    int64_t count = cell.count;
+    flows[key] += count;
+    for (size_t r = 0; r < kHashes; ++r) {
+      size_t j = CellIndex(r, key);
+      cells[j].count -= count;
+      cells[j].key_sum -= static_cast<int64_t>(key) * count;
+      cells[j].check_sum -= Checksum(key) * count;
+      queue.push_back(j);
+    }
+    return true;
+  };
+
+  // Two safety valves bound the peeling: `stale` stops when no progress is
+  // possible, and `peels` stops pathological false-positive cycles (peel /
+  // un-peel oscillations that can arise in overloaded sketches).
+  size_t stale = 0;
+  size_t peels = 0;
+  const size_t max_peels = cells.size() * 4 + 64;
+  while (!queue.empty() && stale < cells.size() * 4 &&
+         peels < max_peels) {
+    size_t index = queue.front();
+    queue.pop_front();
+    if (try_peel(index)) {
+      stale = 0;
+      ++peels;
+    } else {
+      ++stale;
+    }
+  }
+  for (auto it = flows.begin(); it != flows.end();) {
+    if (it->second == 0) {
+      it = flows.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return flows;
+}
+
+int64_t LossRadar::Query(uint32_t key) const {
+  auto flows = Decode();
+  auto it = flows.find(key);
+  return it == flows.end() ? 0 : it->second;
+}
+
+}  // namespace davinci

@@ -1,0 +1,40 @@
+#include "baselines/mrac.h"
+
+#include <algorithm>
+
+#include "estimators/em_distribution.h"
+#include "estimators/entropy.h"
+#include "estimators/linear_counting.h"
+
+namespace davinci {
+
+Mrac::Mrac(size_t memory_bytes, uint64_t seed)
+    : hash_(seed * 6000101 + 1),
+      counters_(std::max<size_t>(1, memory_bytes / 4), 0) {}
+
+void Mrac::Insert(uint32_t key, int64_t count) {
+  ++accesses_;
+  counters_[hash_.Bucket(key, counters_.size())] += count;
+}
+
+int64_t Mrac::Query(uint32_t key) const {
+  return counters_[hash_.Bucket(key, counters_.size())];
+}
+
+std::map<int64_t, int64_t> Mrac::Distribution() const {
+  return EmDistribution::Estimate(counters_);
+}
+
+double Mrac::EstimateEntropy() const {
+  return EntropyFromDistribution(Distribution());
+}
+
+double Mrac::EstimateCardinality() const {
+  size_t zeros = 0;
+  for (int64_t c : counters_) {
+    if (c == 0) ++zeros;
+  }
+  return LinearCountingEstimate(counters_.size(), zeros);
+}
+
+}  // namespace davinci

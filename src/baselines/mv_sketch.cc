@@ -1,0 +1,80 @@
+#include "baselines/mv_sketch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace davinci {
+
+MvSketch::MvSketch(size_t memory_bytes, size_t rows, uint64_t seed) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / kBucketBytes / rows);
+  hashes_.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    hashes_.emplace_back(seed * 25000609 + r);
+  }
+  buckets_.assign(rows * width_, Bucket{});
+}
+
+size_t MvSketch::MemoryBytes() const { return buckets_.size() * kBucketBytes; }
+
+void MvSketch::Insert(uint32_t key, int64_t count) {
+  for (size_t r = 0; r < hashes_.size(); ++r) {
+    ++accesses_;
+    Bucket& b = buckets_[r * width_ + hashes_[r].Bucket(key, width_)];
+    b.total += count;
+    if (b.majority == key) {
+      b.indicator += count;
+    } else {
+      b.indicator -= count;
+      if (b.indicator < 0) {
+        b.majority = key;
+        b.indicator = -b.indicator;
+      }
+    }
+  }
+}
+
+int64_t MvSketch::Query(uint32_t key) const {
+  int64_t best = INT64_MAX;
+  for (size_t r = 0; r < hashes_.size(); ++r) {
+    const Bucket& b = buckets_[r * width_ + hashes_[r].Bucket(key, width_)];
+    int64_t estimate = b.majority == key ? (b.total + b.indicator) / 2
+                                         : (b.total - b.indicator) / 2;
+    best = std::min(best, estimate);
+  }
+  return best == INT64_MAX ? 0 : best;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> MvSketch::HeavyHitters(
+    int64_t threshold) const {
+  std::unordered_set<uint32_t> candidates;
+  for (const Bucket& b : buckets_) {
+    if (b.total > threshold && b.majority != 0) candidates.insert(b.majority);
+  }
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (uint32_t key : candidates) {
+    int64_t est = Query(key);
+    if (est > threshold) out.emplace_back(key, est);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> MvSketch::HeavyChangers(
+    const MvSketch& a, const MvSketch& b, int64_t delta) {
+  std::unordered_set<uint32_t> candidates;
+  for (const Bucket& bucket : a.buckets_) {
+    if (bucket.majority != 0) candidates.insert(bucket.majority);
+  }
+  for (const Bucket& bucket : b.buckets_) {
+    if (bucket.majority != 0) candidates.insert(bucket.majority);
+  }
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (uint32_t key : candidates) {
+    int64_t change = a.Query(key) - b.Query(key);
+    if (std::llabs(change) > delta) out.emplace_back(key, change);
+  }
+  return out;
+}
+
+}  // namespace davinci

@@ -1,0 +1,51 @@
+#include "baselines/nitro_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace davinci {
+
+NitroSketch::NitroSketch(size_t memory_bytes, size_t rows,
+                         double update_probability, uint64_t seed)
+    : probability_(std::clamp(update_probability, 0.01, 1.0)),
+      rng_(seed * 37001401 + 3),
+      geometric_(std::clamp(update_probability, 0.01, 1.0)) {
+  rows = std::max<size_t>(1, rows);
+  width_ = std::max<size_t>(1, memory_bytes / 4 / rows);
+  for (size_t i = 0; i < rows; ++i) {
+    hashes_.emplace_back(seed * 37001401 + i);
+    signs_.emplace_back(seed * 37001401 + i + 555);
+  }
+  counters_.assign(rows * width_, 0.0);
+  next_update_.assign(rows, 0);
+  for (size_t i = 0; i < rows; ++i) next_update_[i] = geometric_(rng_);
+}
+
+void NitroSketch::Insert(uint32_t key, int64_t count) {
+  for (int64_t unit = 0; unit < count; ++unit) {
+    for (size_t i = 0; i < hashes_.size(); ++i) {
+      if (next_update_[i] > 0) {
+        --next_update_[i];
+        continue;
+      }
+      ++accesses_;
+      counters_[i * width_ + hashes_[i].Bucket(key, width_)] +=
+          signs_[i].Sign(key) / probability_;
+      next_update_[i] = geometric_(rng_);
+    }
+  }
+}
+
+int64_t NitroSketch::Query(uint32_t key) const {
+  std::vector<double> estimates;
+  estimates.reserve(hashes_.size());
+  for (size_t i = 0; i < hashes_.size(); ++i) {
+    estimates.push_back(signs_[i].Sign(key) *
+                        counters_[i * width_ + hashes_[i].Bucket(key, width_)]);
+  }
+  std::nth_element(estimates.begin(), estimates.begin() + estimates.size() / 2,
+                   estimates.end());
+  return static_cast<int64_t>(std::llround(estimates[estimates.size() / 2]));
+}
+
+}  // namespace davinci

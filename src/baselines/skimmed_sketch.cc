@@ -1,0 +1,65 @@
+#include "baselines/skimmed_sketch.h"
+
+#include <unordered_map>
+
+namespace davinci {
+namespace {
+
+// Keys above this fraction of the stream are skimmed as heavy hitters.
+constexpr double kSkimFraction = 0.0005;
+
+// Removes each hitter's estimated contribution from a sketch copy.
+CountSketch Skim(const CountSketch& sketch,
+                 const std::vector<std::pair<uint32_t, int64_t>>& hitters) {
+  CountSketch skimmed = sketch;
+  for (const auto& [key, count] : hitters) {
+    for (size_t row = 0; row < skimmed.rows(); ++row) {
+      skimmed.MutableCounter(row, skimmed.RowIndex(row, key)) -=
+          skimmed.RowSign(row, key) * count;
+    }
+  }
+  return skimmed;
+}
+
+}  // namespace
+
+SkimmedSketch::SkimmedSketch(size_t memory_bytes, uint64_t seed)
+    : heap_(memory_bytes, 4, seed * 17000209) {}
+
+std::vector<std::pair<uint32_t, int64_t>> SkimmedSketch::SkimmedHitters()
+    const {
+  int64_t threshold =
+      static_cast<int64_t>(kSkimFraction * static_cast<double>(total_));
+  return heap_.HeavyHitters(threshold);
+}
+
+double SkimmedSketch::InnerProduct(const SkimmedSketch& a,
+                                   const SkimmedSketch& b) {
+  auto hitters_a = a.SkimmedHitters();
+  auto hitters_b = b.SkimmedHitters();
+  std::unordered_map<uint32_t, int64_t> map_b;
+  for (const auto& [key, count] : hitters_b) map_b[key] = count;
+
+  CountSketch skim_a = Skim(a.heap_.sketch(), hitters_a);
+  CountSketch skim_b = Skim(b.heap_.sketch(), hitters_b);
+
+  double join = 0.0;
+  for (const auto& [key, count] : hitters_a) {
+    auto it = map_b.find(key);
+    if (it != map_b.end()) {
+      // Heavy × heavy: exact product of the skimmed estimates.
+      join += static_cast<double>(count) * static_cast<double>(it->second);
+    } else {
+      join += static_cast<double>(count) *
+              static_cast<double>(skim_b.Query(key));
+    }
+  }
+  for (const auto& [key, count] : hitters_b) {
+    join += static_cast<double>(skim_a.Query(key)) *
+            static_cast<double>(count);
+  }
+  join += CountSketch::InnerProduct(skim_a, skim_b);
+  return join;
+}
+
+}  // namespace davinci

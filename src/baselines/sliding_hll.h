@@ -1,0 +1,45 @@
+#ifndef DAVINCI_BASELINES_SLIDING_HLL_H_
+#define DAVINCI_BASELINES_SLIDING_HLL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+// Sliding HyperLogLog (Chabchoub & Hébrail — paper reference [54]):
+// cardinality over the last W epochs. Each register keeps, per epoch in
+// the window, the maximum rank observed, so expired epochs can be dropped
+// without rebuilding. This is the epoch-bucketed variant of the LPFM-list
+// original, trading a small constant factor of memory for O(1) updates.
+
+namespace davinci {
+
+class SlidingHll {
+ public:
+  // 2^precision registers, window of `epochs` epochs.
+  SlidingHll(int precision, size_t epochs, uint64_t seed);
+
+  std::string Name() const { return "SlidingHLL"; }
+  size_t MemoryBytes() const;
+
+  void Insert(uint32_t key);
+  // Close the current epoch; the oldest falls out of the window.
+  void Advance();
+  // Distinct elements seen within the current window.
+  double EstimateCardinality() const;
+
+  size_t window_epochs() const { return epochs_; }
+
+ private:
+  int precision_;
+  size_t epochs_;
+  size_t current_ = 0;  // ring index of the active epoch
+  HashFamily hash_;
+  // registers_[epoch][register] = max rank in that epoch.
+  std::vector<std::vector<uint8_t>> registers_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_BASELINES_SLIDING_HLL_H_

@@ -1,0 +1,65 @@
+#include "baselines/space_saving.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+SpaceSaving::SpaceSaving(size_t memory_bytes, uint64_t seed)
+    : capacity_(std::max<size_t>(4, memory_bytes / kEntryBytes)) {
+  (void)seed;  // deterministic structure; kept for interface uniformity
+  entries_.reserve(capacity_ * 2);
+}
+
+size_t SpaceSaving::MemoryBytes() const { return capacity_ * kEntryBytes; }
+
+void SpaceSaving::Insert(uint32_t key, int64_t count) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Entry& entry = it->second;
+    buckets_.erase(entry.bucket);
+    entry.count += count;
+    entry.bucket = buckets_.emplace(entry.count, key);
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    Entry entry;
+    entry.count = count;
+    entry.error = 0;
+    entry.bucket = buckets_.emplace(count, key);
+    entries_.emplace(key, entry);
+    return;
+  }
+  // Replace the minimum: the newcomer inherits min as its error bound.
+  auto min_it = buckets_.begin();
+  int64_t min_count = min_it->first;
+  uint32_t victim = min_it->second;
+  buckets_.erase(min_it);
+  entries_.erase(victim);
+
+  Entry entry;
+  entry.count = min_count + count;
+  entry.error = min_count;
+  entry.bucket = buckets_.emplace(entry.count, key);
+  entries_.emplace(key, entry);
+}
+
+int64_t SpaceSaving::Query(uint32_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.count;
+}
+
+int64_t SpaceSaving::ErrorOf(uint32_t key) const {
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.error;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> SpaceSaving::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.count > threshold) out.emplace_back(key, entry.count);
+  }
+  return out;
+}
+
+}  // namespace davinci

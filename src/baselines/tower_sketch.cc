@@ -1,0 +1,151 @@
+#include "baselines/tower_sketch.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/serialize.h"
+
+namespace davinci {
+
+TowerSketch::TowerSketch(size_t memory_bytes, uint64_t seed, Options options) {
+  size_t num_levels = options.level_bits.empty() ? 1 : options.level_bits.size();
+  size_t bytes_per_level = std::max<size_t>(1, memory_bytes / num_levels);
+  levels_.resize(num_levels);
+  for (size_t i = 0; i < num_levels; ++i) {
+    Level& level = levels_[i];
+    level.bits = options.level_bits.empty() ? 32 : options.level_bits[i];
+    level.cap = (level.bits >= 63) ? INT64_MAX
+                                   : ((int64_t{1} << level.bits) - 1);
+    size_t width = std::max<size_t>(1, bytes_per_level * 8 /
+                                           static_cast<size_t>(level.bits));
+    level.counters.assign(width, 0);
+    level.hash = HashFamily(seed * 131 + i + 1);
+  }
+}
+
+size_t TowerSketch::MemoryBytes() const {
+  size_t bits = 0;
+  for (const Level& level : levels_) {
+    bits += level.counters.size() * static_cast<size_t>(level.bits);
+  }
+  return (bits + 7) / 8;
+}
+
+void TowerSketch::Insert(uint32_t key, int64_t count) {
+  for (Level& level : levels_) {
+    ++accesses_;
+    int64_t& c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    c = std::min(c + count, level.cap);
+  }
+}
+
+int64_t TowerSketch::Query(uint32_t key) const {
+  int64_t best = 0;
+  bool found = false;
+  for (const Level& level : levels_) {
+    int64_t c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    if (c < level.cap) {
+      if (!found || c < best) best = c;
+      found = true;
+    }
+  }
+  if (!found && !levels_.empty()) best = levels_.back().cap;
+  return best;
+}
+
+int64_t TowerSketch::InsertCapped(uint32_t key, int64_t count, int64_t cap) {
+  // Conservative update: raise the element's estimate from its current
+  // value toward min(current + count, cap); the remainder overflows.
+  int64_t current = Query(key);
+  if (current >= cap) {
+    accesses_ += levels_.size();  // the query above touched each level
+    return count;
+  }
+  int64_t absorbed = std::min(count, cap - current);
+  int64_t target = current + absorbed;
+  for (Level& level : levels_) {
+    ++accesses_;
+    int64_t& c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    c = std::min(std::max(c, target), level.cap);
+  }
+  return count - absorbed;
+}
+
+int64_t TowerSketch::InsertCappedDown(uint32_t key, int64_t magnitude,
+                                      int64_t cap) {
+  int64_t current = QuerySigned(key);
+  if (current <= -cap) {
+    accesses_ += levels_.size();
+    return magnitude;
+  }
+  int64_t absorbed = std::min(magnitude, cap + current);
+  int64_t target = current - absorbed;
+  for (Level& level : levels_) {
+    ++accesses_;
+    int64_t& c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    c = std::max(std::min(c, target), -level.cap);
+  }
+  return magnitude - absorbed;
+}
+
+int64_t TowerSketch::QuerySigned(uint32_t key) const {
+  int64_t best = 0;
+  bool found = false;
+  for (const Level& level : levels_) {
+    int64_t c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    if (c < level.cap && c > -level.cap) {
+      if (!found || std::llabs(c) < std::llabs(best)) best = c;
+      found = true;
+    }
+  }
+  return found || levels_.empty() ? best : levels_.back().cap;
+}
+
+void TowerSketch::Merge(const TowerSketch& other) {
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    Level& level = levels_[i];
+    const Level& src = other.levels_[i];
+    for (size_t j = 0; j < level.counters.size(); ++j) {
+      level.counters[j] = std::min(level.counters[j] + src.counters[j],
+                                   level.cap);
+    }
+  }
+}
+
+void TowerSketch::Subtract(const TowerSketch& other) {
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    Level& level = levels_[i];
+    const Level& src = other.levels_[i];
+    for (size_t j = 0; j < level.counters.size(); ++j) {
+      level.counters[j] -= src.counters[j];
+    }
+  }
+}
+
+void TowerSketch::SaveState(std::ostream& out) const {
+  for (const Level& level : levels_) {
+    WriteVec(out, level.counters);
+  }
+}
+
+bool TowerSketch::LoadState(std::istream& in) {
+  for (Level& level : levels_) {
+    std::vector<int64_t> counters;
+    if (!ReadVec(in, &counters) ||
+        counters.size() != level.counters.size()) {
+      return false;
+    }
+    level.counters = std::move(counters);
+  }
+  return true;
+}
+
+size_t TowerSketch::ZeroSlots(size_t level) const {
+  size_t zeros = 0;
+  for (int64_t c : levels_[level].counters) {
+    if (c == 0) ++zeros;
+  }
+  return zeros;
+}
+
+}  // namespace davinci

@@ -1,0 +1,96 @@
+#ifndef DAVINCI_BASELINES_TOWER_SKETCH_H_
+#define DAVINCI_BASELINES_TOWER_SKETCH_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "baselines/sketch_interface.h"
+#include "common/hash.h"
+
+// TowerSketch (Yang et al., SketchINT): a stack of count-min arrays where
+// lower levels have many small counters and higher levels few large ones.
+// Used standalone as a frequency baseline and as the substrate of the
+// DaVinci element filter.
+//
+// Counters are stored physically as int64_t so that sketch subtraction
+// (set difference) can go negative; MemoryBytes() accounts the design
+// widths (level i uses `level_bits[i]`-bit counters), which is what the
+// paper's memory axes measure.
+
+namespace davinci {
+
+class TowerSketch : public FrequencySketch {
+ public:
+  struct Options {
+    // Counter widths per level, bottom first. Every level gets an equal
+    // share of the byte budget, so lower levels get more counters.
+    std::vector<int> level_bits = {8, 16};
+  };
+
+  TowerSketch(size_t memory_bytes, uint64_t seed, Options options);
+  TowerSketch(size_t memory_bytes, uint64_t seed)
+      : TowerSketch(memory_bytes, seed, Options()) {}
+
+  std::string Name() const override { return "Tower"; }
+  size_t MemoryBytes() const override;
+  void Insert(uint32_t key, int64_t count) override;
+  int64_t Query(uint32_t key) const override;
+  uint64_t MemoryAccesses() const override { return accesses_; }
+
+  // Cold-filter-style bounded insert used by the DaVinci element filter:
+  // performs a conservative (CU) update but never grows the element's
+  // estimate beyond `cap`. Returns the part of `count` that did not fit.
+  int64_t InsertCapped(uint32_t key, int64_t count, int64_t cap);
+
+  // Mirror of InsertCapped for negative mass (difference sketches): pushes
+  // the element's estimate down toward −cap by `magnitude` (≥ 0); returns
+  // the magnitude that did not fit.
+  int64_t InsertCappedDown(uint32_t key, int64_t magnitude, int64_t cap);
+
+  // Point query that may return a negative value (for subtracted sketches):
+  // among unsaturated levels, the value of smallest magnitude.
+  int64_t QuerySigned(uint32_t key) const;
+
+  // Counter-wise merge/subtract with a sketch of identical geometry and
+  // seeds. Merge saturates at each level's cap, as the paper prescribes.
+  void Merge(const TowerSketch& other);
+  void Subtract(const TowerSketch& other);
+
+  size_t num_levels() const { return levels_.size(); }
+  size_t LevelWidth(size_t level) const { return levels_[level].counters.size(); }
+  int64_t CounterValue(size_t level, size_t index) const {
+    return levels_[level].counters[index];
+  }
+  const std::vector<int64_t>& LevelValues(size_t level) const {
+    return levels_[level].counters;
+  }
+  size_t LevelIndex(size_t level, uint32_t key) const {
+    return levels_[level].hash.Bucket(key, levels_[level].counters.size());
+  }
+  int64_t LevelCap(size_t level) const { return levels_[level].cap; }
+
+  // Untouched slots in `level` (for linear counting).
+  size_t ZeroSlots(size_t level) const;
+
+  // Raw counter state round-trip (geometry must already match; used by
+  // DaVinciSketch serialization).
+  void SaveState(std::ostream& out) const;
+  bool LoadState(std::istream& in);
+
+ private:
+  struct Level {
+    int bits = 8;
+    int64_t cap = 255;
+    HashFamily hash;
+    std::vector<int64_t> counters;
+  };
+
+  std::vector<Level> levels_;
+  mutable uint64_t accesses_ = 0;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_BASELINES_TOWER_SKETCH_H_

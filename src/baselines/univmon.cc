@@ -1,0 +1,91 @@
+#include "baselines/univmon.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace davinci {
+
+UnivMon::UnivMon(size_t memory_bytes, size_t levels, uint64_t seed)
+    : sample_hash_(seed * 9000007 + 99) {
+  levels = std::max<size_t>(2, levels);
+  size_t per_level = std::max<size_t>(256, memory_bytes / levels);
+  levels_.reserve(levels);
+  for (size_t j = 0; j < levels; ++j) {
+    levels_.push_back(
+        std::make_unique<CountHeap>(per_level, 4, seed * 9000007 + j));
+  }
+}
+
+size_t UnivMon::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& level : levels_) bytes += level->MemoryBytes();
+  return bytes;
+}
+
+bool UnivMon::SampledInto(uint32_t key, size_t level) const {
+  if (level == 0) return true;
+  // Level j requires the bottom j bits of the sampling hash to be ones.
+  uint64_t h = sample_hash_.Hash(key);
+  uint64_t mask = (uint64_t{1} << level) - 1;
+  return (h & mask) == mask;
+}
+
+void UnivMon::Insert(uint32_t key, int64_t count) {
+  total_count_ += count;
+  for (size_t j = 0; j < levels_.size(); ++j) {
+    if (!SampledInto(key, j)) break;  // sampling is nested
+    levels_[j]->Insert(key, count);
+  }
+}
+
+int64_t UnivMon::Query(uint32_t key) const { return levels_[0]->Query(key); }
+
+uint64_t UnivMon::MemoryAccesses() const {
+  uint64_t total = 0;
+  for (const auto& level : levels_) total += level->MemoryAccesses();
+  return total;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> UnivMon::HeavyHitters(
+    int64_t threshold) const {
+  return levels_[0]->HeavyHitters(threshold);
+}
+
+double UnivMon::GSum(const std::function<double(double)>& g) const {
+  double y = 0.0;
+  for (size_t j = levels_.size(); j-- > 0;) {
+    const CountHeap& level = *levels_[j];
+    double correction = 0.0;
+    for (uint32_t key : level.TrackedKeys()) {
+      double w = static_cast<double>(std::max<int64_t>(1, level.Query(key)));
+      double indicator = (j + 1 < levels_.size() && SampledInto(key, j + 1))
+                             ? 1.0
+                             : 0.0;
+      correction += (1.0 - 2.0 * indicator) * g(w);
+    }
+    if (j == levels_.size() - 1) {
+      // Base case: the deepest level's heap is assumed to hold its stream.
+      double base = 0.0;
+      for (uint32_t key : level.TrackedKeys()) {
+        base += g(static_cast<double>(std::max<int64_t>(1, level.Query(key))));
+      }
+      y = base;
+    } else {
+      y = 2.0 * y + correction;
+    }
+  }
+  return std::max(0.0, y);
+}
+
+double UnivMon::EstimateCardinality() const {
+  return GSum([](double) { return 1.0; });
+}
+
+double UnivMon::EstimateEntropy() const {
+  if (total_count_ <= 0) return 0.0;
+  double s = static_cast<double>(total_count_);
+  double g_sum = GSum([](double w) { return w * std::log(w); });
+  return std::max(0.0, std::log(s) - g_sum / s);
+}
+
+}  // namespace davinci

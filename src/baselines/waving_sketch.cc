@@ -1,0 +1,83 @@
+#include "baselines/waving_sketch.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+WavingSketch::WavingSketch(size_t memory_bytes, size_t cells_per_bucket,
+                           uint64_t seed)
+    : cells_per_bucket_(std::max<size_t>(1, cells_per_bucket)),
+      bucket_hash_(seed * 32001103 + 1),
+      sign_(seed * 32001103 + 2) {
+  size_t bucket_bytes = cells_per_bucket_ * kCellBytes + kWaveBytes;
+  size_t num_buckets = std::max<size_t>(1, memory_bytes / bucket_bytes);
+  buckets_.resize(num_buckets);
+  for (Bucket& bucket : buckets_) {
+    bucket.cells.resize(cells_per_bucket_);
+  }
+}
+
+size_t WavingSketch::MemoryBytes() const {
+  return buckets_.size() * (cells_per_bucket_ * kCellBytes + kWaveBytes);
+}
+
+void WavingSketch::Insert(uint32_t key, int64_t count) {
+  Bucket& bucket = buckets_[bucket_hash_.Bucket(key, buckets_.size())];
+  Cell* smallest = &bucket.cells[0];
+  for (Cell& cell : bucket.cells) {
+    ++accesses_;
+    if (cell.frequency > 0 && cell.key == key) {
+      cell.frequency += count;
+      if (!cell.frozen) {
+        // Its mass also lives in the waving counter; keep them in sync.
+        bucket.wave += sign_.Sign(key) * count;
+      }
+      return;
+    }
+    if (cell.frequency == 0) {
+      cell.key = key;
+      cell.frequency = count;
+      cell.frozen = true;
+      return;
+    }
+    if (cell.frequency < smallest->frequency) smallest = &cell;
+  }
+  // Miss on a full bucket: wave, then challenge the smallest resident
+  // with the unbiased estimate.
+  ++accesses_;
+  bucket.wave += sign_.Sign(key) * count;
+  int64_t estimate = sign_.Sign(key) * bucket.wave;
+  if (estimate > smallest->frequency) {
+    if (smallest->frozen) {
+      // The evicted resident's exact mass folds into the counter.
+      bucket.wave += sign_.Sign(smallest->key) * smallest->frequency;
+    }
+    smallest->key = key;
+    smallest->frequency = estimate;
+    smallest->frozen = false;
+  }
+}
+
+int64_t WavingSketch::Query(uint32_t key) const {
+  const Bucket& bucket =
+      buckets_[bucket_hash_.Bucket(key, buckets_.size())];
+  for (const Cell& cell : bucket.cells) {
+    if (cell.frequency > 0 && cell.key == key) return cell.frequency;
+  }
+  return std::max<int64_t>(0, sign_.Sign(key) * bucket.wave);
+}
+
+std::vector<std::pair<uint32_t, int64_t>> WavingSketch::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const Bucket& bucket : buckets_) {
+    for (const Cell& cell : bucket.cells) {
+      if (cell.frequency > threshold) {
+        out.emplace_back(cell.key, cell.frequency);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace davinci

@@ -1,0 +1,60 @@
+#include "common/hash.h"
+
+#include <cstring>
+
+namespace davinci {
+namespace {
+
+inline uint32_t Rot(uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+// lookup3 mixing steps (public domain, Bob Jenkins, May 2006).
+inline void Mix(uint32_t& a, uint32_t& b, uint32_t& c) {
+  a -= c; a ^= Rot(c, 4);  c += b;
+  b -= a; b ^= Rot(a, 6);  a += c;
+  c -= b; c ^= Rot(b, 8);  b += a;
+  a -= c; a ^= Rot(c, 16); c += b;
+  b -= a; b ^= Rot(a, 19); a += c;
+  c -= b; c ^= Rot(b, 4);  b += a;
+}
+
+inline void Final(uint32_t& a, uint32_t& b, uint32_t& c) {
+  c ^= b; c -= Rot(b, 14);
+  a ^= c; a -= Rot(c, 11);
+  b ^= a; b -= Rot(a, 25);
+  c ^= b; c -= Rot(b, 16);
+  a ^= c; a -= Rot(c, 4);
+  b ^= a; b -= Rot(a, 14);
+  c ^= b; c -= Rot(b, 24);
+}
+
+}  // namespace
+
+uint32_t BobHash(const void* data, size_t len, uint32_t seed) {
+  const uint8_t* k = static_cast<const uint8_t*>(data);
+  uint32_t a = 0xdeadbeef + static_cast<uint32_t>(len) + seed;
+  uint32_t b = a;
+  uint32_t c = a;
+
+  while (len > 12) {
+    uint32_t w[3];
+    std::memcpy(w, k, 12);
+    a += w[0];
+    b += w[1];
+    c += w[2];
+    Mix(a, b, c);
+    len -= 12;
+    k += 12;
+  }
+
+  if (len > 0) {
+    uint32_t w[3] = {0, 0, 0};
+    std::memcpy(w, k, len);
+    a += w[0];
+    b += w[1];
+    c += w[2];
+    Final(a, b, c);
+  }
+  return c;
+}
+
+}  // namespace davinci

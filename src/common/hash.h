@@ -1,0 +1,68 @@
+#ifndef DAVINCI_COMMON_HASH_H_
+#define DAVINCI_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Hash functions used throughout the library.
+//
+// The paper evaluates with "Bob Hash" (Bob Jenkins' lookup3). We provide a
+// faithful lookup3 implementation for arbitrary byte strings plus a fast
+// seeded 64-bit mixer for fixed-width integer keys, which is what every
+// sketch in this repository hashes. Each sketch row draws an independent
+// hash by picking a distinct seed.
+
+namespace davinci {
+
+// Bob Jenkins' lookup3 hashword-style hash over a byte string.
+// `seed` selects an independent function from the family.
+uint32_t BobHash(const void* data, size_t len, uint32_t seed);
+
+// SplitMix64 finalizer: a high-quality 64-bit mixer. Used to derive
+// per-row seeds and as the integer-key hash.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// A seeded 64-bit hash family over integer keys. Instances are cheap value
+// types; two instances with the same seed are the same function.
+class HashFamily {
+ public:
+  HashFamily() : seed_(0) {}
+  explicit HashFamily(uint64_t seed) : seed_(Mix64(seed + 0x5851f42d4c957f2dULL)) {}
+
+  // Full 64-bit hash of `key`.
+  uint64_t Hash(uint64_t key) const { return Mix64(key ^ seed_); }
+
+  // Hash reduced to a bucket index in [0, buckets).
+  size_t Bucket(uint64_t key, size_t buckets) const {
+    return static_cast<size_t>(Hash(key) % buckets);
+  }
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+};
+
+// ±1 hash (the paper's ζ_i). Derived from an independent bit of the family.
+class SignHash {
+ public:
+  SignHash() : family_(1) {}
+  explicit SignHash(uint64_t seed) : family_(seed ^ 0xa076bc9d3f2e11ULL) {}
+
+  // Returns +1 or -1 with equal probability over keys.
+  int Sign(uint64_t key) const {
+    return (family_.Hash(key) & 1) ? 1 : -1;
+  }
+
+ private:
+  HashFamily family_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_HASH_H_

@@ -1,0 +1,24 @@
+#include "common/modular.h"
+
+namespace davinci {
+
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  return static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) % m);
+}
+
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
+  uint64_t result = 1 % m;
+  base %= m;
+  while (exp > 0) {
+    if (exp & 1) result = MulMod(result, base, m);
+    base = MulMod(base, base, m);
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t ModInverse(uint64_t a, uint64_t p) {
+  return PowMod(a % p, p - 2, p);
+}
+
+}  // namespace davinci

@@ -1,0 +1,49 @@
+#ifndef DAVINCI_COMMON_MODULAR_H_
+#define DAVINCI_COMMON_MODULAR_H_
+
+#include <cstdint>
+
+// Modular arithmetic over a 64-bit prime, used by the counting Fermat
+// sketch (the DaVinci infrequent part) and by FlowRadar/LossRadar-style
+// invertible structures.
+//
+// The paper's decode relies on Fermat's little theorem: for prime p and
+// a ≢ 0 (mod p), a^(p-1) ≡ 1, hence a^(p-2) is the multiplicative inverse.
+
+namespace davinci {
+
+// Smallest prime larger than 2^32, so any non-zero 32-bit key is a unit
+// mod p and decodes uniquely.
+inline constexpr uint64_t kFermatPrime = 4294967311ULL;  // 2^32 + 15
+
+// (a * b) mod m without overflow (128-bit intermediate).
+uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m);
+
+// (base ^ exp) mod m by square-and-multiply.
+uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m);
+
+// Multiplicative inverse of a mod prime p via Fermat's little theorem.
+// Precondition: a % p != 0.
+uint64_t ModInverse(uint64_t a, uint64_t p);
+
+// Reduce a signed 64-bit value into [0, p).
+inline uint64_t SignedMod(int64_t v, uint64_t p) {
+  int64_t r = v % static_cast<int64_t>(p);
+  if (r < 0) r += static_cast<int64_t>(p);
+  return static_cast<uint64_t>(r);
+}
+
+// Modular addition/subtraction for values already in [0, p).
+inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t p) {
+  uint64_t s = a + b;
+  if (s >= p) s -= p;
+  return s;
+}
+
+inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t p) {
+  return a >= b ? a - b : a + p - b;
+}
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_MODULAR_H_

@@ -1,0 +1,57 @@
+#ifndef DAVINCI_COMMON_SERIALIZE_H_
+#define DAVINCI_COMMON_SERIALIZE_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+#include <vector>
+
+// Minimal binary (de)serialization helpers for sketch state. The format
+// is a flat little-endian dump of PODs and length-prefixed vectors — the
+// sketches write their configuration first, so a reader can reconstruct
+// geometry before streaming counters.
+
+namespace davinci {
+
+template <typename T>
+void WritePod(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(std::istream& in, T* value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  in.read(reinterpret_cast<char*>(value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+template <typename T>
+void WriteVec(std::ostream& out, const std::vector<T>& values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  WritePod(out, static_cast<uint64_t>(values.size()));
+  out.write(reinterpret_cast<const char*>(values.data()),
+            static_cast<std::streamsize>(values.size() * sizeof(T)));
+}
+
+// Upper bound on any serialized vector (2^28 elements ≈ the largest
+// plausible sketch array). Rejecting larger prefixes keeps a corrupted or
+// hostile stream from forcing a giant allocation.
+inline constexpr uint64_t kMaxSerializedElements = uint64_t{1} << 28;
+
+template <typename T>
+bool ReadVec(std::istream& in, std::vector<T>* values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  uint64_t size = 0;
+  if (!ReadPod(in, &size)) return false;
+  if (size > kMaxSerializedElements) return false;
+  values->resize(size);
+  in.read(reinterpret_cast<char*>(values->data()),
+          static_cast<std::streamsize>(size * sizeof(T)));
+  return static_cast<bool>(in);
+}
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_SERIALIZE_H_

@@ -1,0 +1,15 @@
+#ifndef DAVINCI_COMMON_VERSION_H_
+#define DAVINCI_COMMON_VERSION_H_
+
+// Library version, bumped per release.
+
+namespace davinci {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+inline constexpr const char* kVersionString = "1.0.0";
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_VERSION_H_

@@ -1,0 +1,60 @@
+#include "core/autotune.h"
+
+#include <cstdlib>
+#include <unordered_map>
+
+#include "core/davinci_sketch.h"
+
+namespace davinci {
+namespace {
+
+double SampleAre(const std::vector<uint32_t>& keys,
+                 const DaVinciConfig& config) {
+  DaVinciSketch sketch(config);
+  std::unordered_map<uint32_t, int64_t> truth;
+  truth.reserve(keys.size() / 4 + 16);
+  for (uint32_t key : keys) {
+    sketch.Insert(key, 1);
+    ++truth[key];
+  }
+  double sum = 0.0;
+  for (const auto& [key, f] : truth) {
+    sum += static_cast<double>(std::llabs(sketch.Query(key) - f)) /
+           static_cast<double>(f);
+  }
+  return truth.empty() ? 0.0 : sum / static_cast<double>(truth.size());
+}
+
+}  // namespace
+
+AutotuneResult AutotuneConfig(const std::vector<uint32_t>& sample_keys,
+                              size_t total_bytes, uint64_t seed) {
+  struct Split {
+    double fp, ef;
+  };
+  // The grid spans the regimes the ablation bench identifies: FP-starved,
+  // balanced, FP-heavy, and IFP-heavy.
+  const Split splits[] = {
+      {0.10, 0.60}, {0.25, 0.50}, {0.40, 0.40}, {0.50, 0.25}};
+  const int64_t thresholds[] = {8, 16, 32};
+
+  AutotuneResult best;
+  bool first = true;
+  for (const Split& split : splits) {
+    for (int64_t threshold : thresholds) {
+      DaVinciConfig config =
+          DaVinciConfig::FromMemorySplit(total_bytes, split.fp, split.ef,
+                                         seed);
+      config.promotion_threshold = threshold;
+      double are = SampleAre(sample_keys, config);
+      if (first || are < best.sample_are) {
+        best.config = config;
+        best.sample_are = are;
+        first = false;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace davinci

@@ -1,0 +1,58 @@
+#include "core/concurrent_davinci.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+ConcurrentDaVinci::ConcurrentDaVinci(size_t shards, size_t total_bytes,
+                                     uint64_t seed)
+    : shard_hash_(seed * 31001011 + 13),
+      shards_(std::max<size_t>(1, shards)) {
+  size_t per_shard = std::max<size_t>(8 * 1024, total_bytes / shards_.size());
+  for (Shard& shard : shards_) {
+    shard.sketch = std::make_unique<DaVinciSketch>(per_shard, seed);
+  }
+}
+
+void ConcurrentDaVinci::Insert(uint32_t key, int64_t count) {
+  Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  shard.sketch->Insert(key, count);
+}
+
+int64_t ConcurrentDaVinci::Query(uint32_t key) const {
+  const Shard& shard = shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.sketch->Query(key);
+}
+
+double ConcurrentDaVinci::EstimateCardinality() const {
+  // Shards partition the key space, so cardinalities add.
+  double total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.sketch->EstimateCardinality();
+  }
+  return total;
+}
+
+DaVinciSketch ConcurrentDaVinci::Snapshot() const {
+  std::lock_guard<std::mutex> first_lock(shards_[0].mutex);
+  DaVinciSketch merged = *shards_[0].sketch;
+  for (size_t s = 1; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    merged.Merge(*shards_[s].sketch);
+  }
+  return merged;
+}
+
+size_t ConcurrentDaVinci::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    bytes += shard.sketch->MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace davinci

@@ -1,0 +1,52 @@
+#ifndef DAVINCI_CORE_CONCURRENT_DAVINCI_H_
+#define DAVINCI_CORE_CONCURRENT_DAVINCI_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/davinci_sketch.h"
+
+// A sharded, thread-safe wrapper: keys are partitioned across S
+// independently-locked DaVinci Sketches by a shard hash, so concurrent
+// writers rarely contend. Aggregate queries either sum per-shard answers
+// (cardinality, frequency) or operate on a merged snapshot (the remaining
+// tasks). The shards share seeds, so snapshots of two ConcurrentDaVinci
+// instances remain mergeable.
+
+namespace davinci {
+
+class ConcurrentDaVinci {
+ public:
+  // `total_bytes` is divided evenly across `shards`.
+  ConcurrentDaVinci(size_t shards, size_t total_bytes, uint64_t seed);
+
+  void Insert(uint32_t key, int64_t count = 1);
+  int64_t Query(uint32_t key) const;
+  double EstimateCardinality() const;
+
+  // A single-threaded snapshot merging every shard (shards hash-partition
+  // the key space, so the merge sees each flow exactly once).
+  DaVinciSketch Snapshot() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unique_ptr<DaVinciSketch> sketch;
+  };
+
+  size_t ShardOf(uint32_t key) const {
+    return shard_hash_.Bucket(key, shards_.size());
+  }
+
+  HashFamily shard_hash_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_CONCURRENT_DAVINCI_H_

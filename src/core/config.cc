@@ -1,0 +1,69 @@
+#include "core/config.h"
+
+#include <algorithm>
+
+#include "common/serialize.h"
+
+namespace davinci {
+
+DaVinciConfig DaVinciConfig::FromMemory(size_t total_bytes, uint64_t seed) {
+  return FromMemorySplit(total_bytes, 0.25, 0.50, seed);
+}
+
+DaVinciConfig DaVinciConfig::FromMemorySplit(size_t total_bytes,
+                                             double fp_fraction,
+                                             double ef_fraction,
+                                             uint64_t seed) {
+  DaVinciConfig config;
+  config.seed = seed;
+
+  size_t fp_bytes = static_cast<size_t>(total_bytes * fp_fraction);
+  size_t ef_bytes = static_cast<size_t>(total_bytes * ef_fraction);
+  size_t ifp_bytes = total_bytes - fp_bytes - ef_bytes;
+
+  size_t bucket_bytes =
+      config.fp_slots * kFpSlotBytes + kFpBucketOverheadBytes;
+  config.fp_buckets = std::max<size_t>(1, fp_bytes / bucket_bytes);
+  config.ef_bytes = std::max<size_t>(64, ef_bytes);
+  config.ifp_buckets_per_row = std::max<size_t>(
+      4, ifp_bytes / kIfpBucketBytes / config.ifp_rows);
+  return config;
+}
+
+void DaVinciConfig::Save(std::ostream& out) const {
+  WritePod(out, static_cast<uint64_t>(fp_buckets));
+  WritePod(out, static_cast<uint64_t>(fp_slots));
+  WritePod(out, evict_lambda);
+  WriteVec(out, ef_level_bits);
+  WritePod(out, static_cast<uint64_t>(ef_bytes));
+  WritePod(out, promotion_threshold);
+  WritePod(out, static_cast<uint64_t>(ifp_rows));
+  WritePod(out, static_cast<uint64_t>(ifp_buckets_per_row));
+  WritePod(out, static_cast<uint8_t>(use_sign_hash ? 1 : 0));
+  WritePod(out, static_cast<uint8_t>(decode_cross_validation ? 1 : 0));
+  WritePod(out, seed);
+}
+
+bool DaVinciConfig::Load(std::istream& in, DaVinciConfig* config) {
+  uint64_t fp_buckets = 0, fp_slots = 0, ef_bytes = 0, ifp_rows = 0,
+           ifp_buckets = 0;
+  uint8_t signs = 0, validate = 0;
+  if (!ReadPod(in, &fp_buckets) || !ReadPod(in, &fp_slots) ||
+      !ReadPod(in, &config->evict_lambda) ||
+      !ReadVec(in, &config->ef_level_bits) || !ReadPod(in, &ef_bytes) ||
+      !ReadPod(in, &config->promotion_threshold) || !ReadPod(in, &ifp_rows) ||
+      !ReadPod(in, &ifp_buckets) || !ReadPod(in, &signs) ||
+      !ReadPod(in, &validate) || !ReadPod(in, &config->seed)) {
+    return false;
+  }
+  config->fp_buckets = fp_buckets;
+  config->fp_slots = fp_slots;
+  config->ef_bytes = ef_bytes;
+  config->ifp_rows = ifp_rows;
+  config->ifp_buckets_per_row = ifp_buckets;
+  config->use_sign_hash = signs != 0;
+  config->decode_cross_validation = validate != 0;
+  return true;
+}
+
+}  // namespace davinci

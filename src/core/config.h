@@ -1,0 +1,62 @@
+#ifndef DAVINCI_CORE_CONFIG_H_
+#define DAVINCI_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+// Configuration and sizing of a DaVinci Sketch.
+
+namespace davinci {
+
+struct DaVinciConfig {
+  // --- Frequent part (FP) ---
+  size_t fp_buckets = 1024;  // k
+  size_t fp_slots = 7;       // c entries per bucket (paper's tested value)
+  int64_t evict_lambda = 8;  // λ in Algorithm 1
+
+  // --- Element filter (EF) ---
+  std::vector<int> ef_level_bits = {8, 16};  // m = 2 tower levels
+  size_t ef_bytes = 64 * 1024;
+  int64_t promotion_threshold = 16;  // T: estimate above T promotes to IFP
+
+  // --- Infrequent part (IFP) ---
+  size_t ifp_rows = 3;  // d
+  size_t ifp_buckets_per_row = 1024;  // w
+  bool use_sign_hash = true;           // ζ_i on (unbiased fast queries)
+  bool decode_cross_validation = true;  // EF check inside canDecode
+
+  uint64_t seed = 1;
+
+  // Memory accounting constants (bytes of design state):
+  //   FP bucket: c·(4B key + 4B count + taint bit) + 4B ecnt + 1B flag
+  //   IFP bucket: 5B id (33-bit mod-p value) + 4B signed count
+  static constexpr size_t kFpSlotBytes = 8;
+  static constexpr size_t kFpBucketOverheadBytes = 6;
+  static constexpr size_t kIfpBucketBytes = 9;
+
+  size_t FpBytes() const {
+    return fp_buckets * (fp_slots * kFpSlotBytes + kFpBucketOverheadBytes);
+  }
+  size_t IfpBytes() const {
+    return ifp_rows * ifp_buckets_per_row * kIfpBucketBytes;
+  }
+  size_t TotalBytes() const { return FpBytes() + ef_bytes + IfpBytes(); }
+
+  // Splits a byte budget 25% FP / 50% EF / 25% IFP (the default used by
+  // all benches; the ablation bench sweeps the split).
+  static DaVinciConfig FromMemory(size_t total_bytes, uint64_t seed);
+
+  // Same, with explicit part fractions (must sum to <= 1).
+  static DaVinciConfig FromMemorySplit(size_t total_bytes, double fp_fraction,
+                                       double ef_fraction, uint64_t seed);
+
+  // Binary round-trip (used by DaVinciSketch::Save/Load).
+  void Save(std::ostream& out) const;
+  static bool Load(std::istream& in, DaVinciConfig* config);
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_CONFIG_H_

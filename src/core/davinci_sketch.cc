@@ -1,0 +1,337 @@
+#include "core/davinci_sketch.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/serialize.h"
+
+#include "estimators/em_distribution.h"
+#include "estimators/entropy.h"
+#include "estimators/linear_counting.h"
+
+namespace davinci {
+
+DaVinciSketch::DaVinciSketch(const DaVinciConfig& config)
+    : config_(config),
+      fp_(config.fp_buckets, config.fp_slots, config.evict_lambda,
+          config.seed),
+      ef_(config.ef_bytes, config.ef_level_bits, config.promotion_threshold,
+          config.seed),
+      ifp_(config.ifp_rows, config.ifp_buckets_per_row, config.use_sign_hash,
+           config.seed) {}
+
+DaVinciSketch::DaVinciSketch(size_t bytes, uint64_t seed)
+    : DaVinciSketch(DaVinciConfig::FromMemory(bytes, seed)) {}
+
+size_t DaVinciSketch::MemoryBytes() const {
+  return fp_.MemoryBytes() + ef_.MemoryBytes() + ifp_.MemoryBytes();
+}
+
+uint64_t DaVinciSketch::MemoryAccesses() const {
+  return fp_.memory_accesses() + ef_.memory_accesses() +
+         ifp_.memory_accesses();
+}
+
+void DaVinciSketch::RouteToFilter(uint32_t key, int64_t count) {
+  int64_t overflow = ef_.InsertSigned(key, count);
+  if (overflow != 0) {
+    ifp_.Insert(key, overflow);
+  }
+}
+
+void DaVinciSketch::Insert(uint32_t key, int64_t count) {
+  InvalidateDecodeCache();
+  FrequentPart::InsertResult result = fp_.Insert(key, count);
+  if (result.action != FrequentPart::InsertResult::Action::kAbsorbed) {
+    RouteToFilter(result.overflow_key, result.overflow_count);
+  }
+}
+
+const std::unordered_map<uint32_t, int64_t>& DaVinciSketch::DecodedFlows()
+    const {
+  if (!decode_cache_.has_value()) {
+    decode_cache_ =
+        ifp_.Decode(config_.decode_cross_validation ? &ef_ : nullptr);
+  }
+  return *decode_cache_;
+}
+
+int64_t DaVinciSketch::Query(uint32_t key) const {
+  bool tainted = false;
+  int64_t fp_count = fp_.Query(key, &tainted);
+  if (fp_count != 0 && !tainted) {
+    return fp_count;  // exact: the flow never left the frequent part
+  }
+
+  int64_t ef_estimate = ef_.QuerySigned(key);
+  const auto& decoded = DecodedFlows();
+  auto it = decoded.find(key);
+  if (it != decoded.end()) {
+    // Exact IFP share + the (≈T) share retained by the element filter.
+    return fp_count + it->second + ef_estimate;
+  }
+  if (std::llabs(ef_estimate) >= config_.promotion_threshold) {
+    // The flow crossed the filter but did not decode: fall back to the
+    // unbiased count-sketch-style fast query of the infrequent part.
+    return fp_count + ifp_.FastQuery(key) + ef_estimate;
+  }
+  return fp_count + ef_estimate;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  std::unordered_set<uint32_t> reported;
+  for (const FrequentPart::Entry& entry : fp_.Entries()) {
+    int64_t est = Query(entry.key);
+    if (est > threshold && reported.insert(entry.key).second) {
+      out.emplace_back(entry.key, est);
+    }
+  }
+  // Medium flows that stayed out of the FP can still cross the threshold.
+  for (const auto& [key, count] : DecodedFlows()) {
+    (void)count;
+    if (reported.count(key)) continue;
+    int64_t est = Query(key);
+    if (est > threshold && reported.insert(key).second) {
+      out.emplace_back(key, est);
+    }
+  }
+  return out;
+}
+
+double DaVinciSketch::EstimateCardinality() const {
+  // Everything that ever left the FP passed through the element filter, so
+  // linear counting over the filter's bottom level counts all non-resident
+  // flows. Untainted residents never touched the filter and are added
+  // exactly; tainted residents are assumed already counted by the filter.
+  double card =
+      LinearCountingEstimate(ef_.BottomWidth(), ef_.BottomZeroSlots());
+  for (const FrequentPart::Entry& entry : fp_.Entries()) {
+    if (!entry.tainted) card += 1.0;
+  }
+  return card;
+}
+
+std::map<int64_t, int64_t> DaVinciSketch::Distribution() const {
+  std::map<int64_t, int64_t> histogram;
+
+  // Exact sizes: FP residents and decoded medium flows.
+  std::unordered_set<uint32_t> known;
+  for (const FrequentPart::Entry& entry : fp_.Entries()) {
+    ++histogram[std::llabs(Query(entry.key))];
+    known.insert(entry.key);
+  }
+  for (const auto& [key, count] : DecodedFlows()) {
+    (void)count;
+    if (known.insert(key).second) {
+      ++histogram[std::llabs(Query(key))];
+    }
+  }
+
+  // Small flows: EM over the filter's bottom level, with the ≈T residue of
+  // the known tainted flows removed so they are not double counted
+  // (untainted FP residents never touched the filter).
+  std::vector<int64_t> bottom = ef_.BottomValues();
+  for (const FrequentPart::Entry& entry : fp_.Entries()) {
+    if (!entry.tainted) continue;
+    int64_t& c = bottom[ef_.BottomIndex(entry.key)];
+    c -= std::min<int64_t>(c, config_.promotion_threshold);
+  }
+  for (const auto& [key, count] : DecodedFlows()) {
+    (void)count;
+    if (fp_.Contains(key)) continue;  // already handled above
+    int64_t& c = bottom[ef_.BottomIndex(key)];
+    c -= std::min<int64_t>(c, config_.promotion_threshold);
+  }
+  for (const auto& [size, n] : EmDistribution::Estimate(bottom)) {
+    histogram[size] += n;
+  }
+  return histogram;
+}
+
+double DaVinciSketch::EstimateEntropy() const {
+  return EntropyFromDistribution(Distribution());
+}
+
+void DaVinciSketch::Combine(const DaVinciSketch& other, bool subtract) {
+  InvalidateDecodeCache();
+
+  // Phase 1 — FP merge (Algorithm 3), while both element filters are still
+  // in their pre-merge state so taint can be decided per entry. Evictees
+  // are deferred until the filters are combined.
+  std::vector<FrequentPart::Entry> evictees;
+  for (size_t b = 0; b < fp_.num_buckets(); ++b) {
+    std::vector<FrequentPart::Entry> combined;
+    for (size_t s = 0; s < fp_.num_slots(); ++s) {
+      FrequentPart::Entry entry = fp_.EntryAt(b, s);
+      if (entry.count == 0) continue;
+      // The other sketch may hold part of this flow in its EF/IFP.
+      entry.tainted = entry.tainted || other.ef_.Query(entry.key) != 0;
+      combined.push_back(entry);
+    }
+    for (size_t s = 0; s < other.fp_.num_slots(); ++s) {
+      FrequentPart::Entry entry = other.fp_.EntryAt(b, s);
+      if (entry.count == 0) continue;
+      if (subtract) entry.count = -entry.count;
+      bool matched = false;
+      for (FrequentPart::Entry& mine : combined) {
+        if (mine.key == entry.key) {
+          mine.count += entry.count;
+          mine.tainted = mine.tainted || entry.tainted;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        entry.tainted = entry.tainted || ef_.Query(entry.key) != 0;
+        combined.push_back(entry);
+      }
+    }
+    // Exact zeros vanish (e.g. identical flows cancel in a difference).
+    combined.erase(std::remove_if(combined.begin(), combined.end(),
+                                  [](const FrequentPart::Entry& e) {
+                                    return e.count == 0;
+                                  }),
+                   combined.end());
+    std::sort(combined.begin(), combined.end(),
+              [](const FrequentPart::Entry& a, const FrequentPart::Entry& b) {
+                return std::llabs(a.count) > std::llabs(b.count);
+              });
+    bool evicted_any = combined.size() > fp_.num_slots();
+    for (size_t s = fp_.num_slots(); s < combined.size(); ++s) {
+      evictees.push_back(combined[s]);
+    }
+    if (combined.size() > fp_.num_slots()) combined.resize(fp_.num_slots());
+    bool flag =
+        fp_.BucketFlag(b) || other.fp_.BucketFlag(b) || evicted_any;
+    fp_.OverwriteBucket(b, combined, flag);
+  }
+
+  // Phase 2 — linear combine of the filter and infrequent parts.
+  if (subtract) {
+    ef_.Subtract(other.ef_);
+    ifp_.Subtract(other.ifp_);
+  } else {
+    ef_.Merge(other.ef_);
+    ifp_.Merge(other.ifp_);
+  }
+
+  // Phase 3 — route the FP evictees through the combined filter so the
+  // "everything in the IFP crossed the filter" invariant (which decode
+  // cross-validation relies on) still holds.
+  for (const FrequentPart::Entry& entry : evictees) {
+    RouteToFilter(entry.key, entry.count);
+  }
+}
+
+void DaVinciSketch::Merge(const DaVinciSketch& other) {
+  Combine(other, /*subtract=*/false);
+}
+
+void DaVinciSketch::Subtract(const DaVinciSketch& other) {
+  Combine(other, /*subtract=*/true);
+}
+
+std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyChangers(
+    const DaVinciSketch& other, int64_t delta) const {
+  DaVinciSketch difference = *this;
+  difference.Subtract(other);
+
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  std::unordered_set<uint32_t> seen;
+  auto consider = [&](uint32_t key) {
+    if (!seen.insert(key).second) return;
+    int64_t change = difference.Query(key);
+    if (std::llabs(change) > delta) out.emplace_back(key, change);
+  };
+  for (const FrequentPart::Entry& entry : fp_.Entries()) consider(entry.key);
+  for (const FrequentPart::Entry& entry : other.fp_.Entries()) {
+    consider(entry.key);
+  }
+  for (const auto& [key, count] : difference.DecodedFlows()) {
+    (void)count;
+    consider(key);
+  }
+  return out;
+}
+
+void DaVinciSketch::Save(std::ostream& out) const {
+  config_.Save(out);
+  fp_.SaveState(out);
+  ef_.SaveState(out);
+  ifp_.SaveState(out);
+}
+
+bool DaVinciSketch::Load(std::istream& in, DaVinciSketch* sketch) {
+  DaVinciConfig config;
+  if (!DaVinciConfig::Load(in, &config)) return false;
+  DaVinciSketch loaded(config);
+  if (!loaded.fp_.LoadState(in) || !loaded.ef_.LoadState(in) ||
+      !loaded.ifp_.LoadState(in)) {
+    return false;
+  }
+  *sketch = std::move(loaded);
+  return true;
+}
+
+double DaVinciSketch::InnerProduct(const DaVinciSketch& a,
+                                   const DaVinciSketch& b) {
+  const auto& decoded_a = a.DecodedFlows();
+  const auto& decoded_b = b.DecodedFlows();
+
+  auto ifp_share = [](const std::unordered_map<uint32_t, int64_t>& decoded,
+                      uint32_t key) -> int64_t {
+    auto it = decoded.find(key);
+    return it == decoded.end() ? 0 : it->second;
+  };
+
+  double join = 0.0;
+
+  // J_FF + J_FI + J_FE: frequent part of a against everything in b.
+  for (const FrequentPart::Entry& entry : a.fp_.Entries()) {
+    bool flag = false;
+    double fa = static_cast<double>(entry.count);
+    int64_t fb_fp = b.fp_.Query(entry.key, &flag);
+    join += fa * static_cast<double>(fb_fp);                        // FF
+    join += fa * static_cast<double>(ifp_share(decoded_b, entry.key));  // FI
+    join += fa * static_cast<double>(b.ef_.QuerySigned(entry.key));     // FE
+  }
+  // J_IF + J_EF: frequent part of b against a's filter/infrequent shares.
+  for (const FrequentPart::Entry& entry : b.fp_.Entries()) {
+    double fb = static_cast<double>(entry.count);
+    join += static_cast<double>(ifp_share(decoded_a, entry.key)) * fb;  // IF
+    join += static_cast<double>(a.ef_.QuerySigned(entry.key)) * fb;     // EF
+  }
+  // J_IE + J_EI: decoded infrequent flows against the other filter.
+  for (const auto& [key, count] : decoded_a) {
+    join += static_cast<double>(count) *
+            static_cast<double>(b.ef_.QuerySigned(key));  // IE
+  }
+  for (const auto& [key, count] : decoded_b) {
+    join += static_cast<double>(a.ef_.QuerySigned(key)) *
+            static_cast<double>(count);  // EI
+  }
+  // J_II: unbiased counter dot product of the two Fermat sketches.
+  join += InfrequentPart::InnerProduct(a.ifp_, b.ifp_);
+  // J_EE: bottom-level dot product with the count-min collision correction
+  //   E[dot] = f⊙g + (Σf·Σg − f⊙g)/w  →  unbiased (dot − ΣΣ/w)/(1 − 1/w).
+  const std::vector<int64_t> ea = a.ef_.BottomValues();
+  const std::vector<int64_t> eb = b.ef_.BottomValues();
+  double dot = 0.0, sum_a = 0.0, sum_b = 0.0;
+  for (size_t j = 0; j < ea.size(); ++j) {
+    dot += static_cast<double>(ea[j]) * static_cast<double>(eb[j]);
+    sum_a += static_cast<double>(ea[j]);
+    sum_b += static_cast<double>(eb[j]);
+  }
+  double w = static_cast<double>(ea.size());
+  if (w > 1.0) {
+    join += (dot - sum_a * sum_b / w) / (1.0 - 1.0 / w);
+  } else {
+    join += dot;
+  }
+  return join;
+}
+
+}  // namespace davinci

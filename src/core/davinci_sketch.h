@@ -1,0 +1,101 @@
+#ifndef DAVINCI_CORE_DAVINCI_SKETCH_H_
+#define DAVINCI_CORE_DAVINCI_SKETCH_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "baselines/sketch_interface.h"
+#include "core/config.h"
+#include "core/element_filter.h"
+#include "core/frequent_part.h"
+#include "core/infrequent_part.h"
+
+// DaVinci Sketch: one data structure, nine set-measurement tasks.
+//
+// Layout (paper §III):
+//   frequent part   — exact (key, count) hash table with λ-vote eviction
+//   element filter  — TowerSketch cold filter holding ≤ T units per flow
+//   infrequent part — counting Fermat sketch holding everything beyond T
+//
+// A flow of size f is represented as f = f_FP + f_EF + f_IFP, where the FP
+// share is exact, the EF share is ≈ min(f, T), and the IFP share is
+// recoverable exactly by decode (or approximately by a count-sketch-style
+// fast query). All nine tasks are answered from this decomposition.
+//
+// Two sketches built with the same DaVinciConfig (same seed!) are linear:
+// Merge computes the union and Subtract the (signed) difference, after
+// which every query keeps working on the result.
+
+namespace davinci {
+
+class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
+ public:
+  explicit DaVinciSketch(const DaVinciConfig& config);
+
+  // Convenience: split `bytes` across the three parts with the default
+  // 25/50/25 plan.
+  DaVinciSketch(size_t bytes, uint64_t seed);
+
+  std::string Name() const override { return "DaVinci"; }
+  size_t MemoryBytes() const override;
+  void Insert(uint32_t key, int64_t count) override;
+  int64_t Query(uint32_t key) const override;  // Algorithm 4
+  uint64_t MemoryAccesses() const override;
+
+  // ---- single-set tasks ----
+  std::vector<std::pair<uint32_t, int64_t>> HeavyHitters(
+      int64_t threshold) const override;
+  double EstimateCardinality() const;
+  std::map<int64_t, int64_t> Distribution() const;
+  double EstimateEntropy() const;
+
+  // ---- multi-set tasks ----
+  // Union (Algorithm 3): this += other. Requires identical configs.
+  void Merge(const DaVinciSketch& other);
+  // Signed difference: this -= other; keys only in `other` go negative.
+  void Subtract(const DaVinciSketch& other);
+  // Heavy changers between this window and `other`:
+  // elements with |f_this − f_other| > delta.
+  std::vector<std::pair<uint32_t, int64_t>> HeavyChangers(
+      const DaVinciSketch& other, int64_t delta) const;
+  // Cardinality of the inner join, decomposed into the nine FF..EE terms.
+  static double InnerProduct(const DaVinciSketch& a, const DaVinciSketch& b);
+
+  // ---- persistence ----
+  // Binary serialization: the config is written first, then the raw state
+  // of the three parts. Load reconstructs an identical sketch (same seeds,
+  // so it stays mergeable with its siblings).
+  void Save(std::ostream& out) const;
+  static bool Load(std::istream& in, DaVinciSketch* sketch);
+
+  // ---- introspection ----
+  const DaVinciConfig& config() const { return config_; }
+  const FrequentPart& frequent_part() const { return fp_; }
+  const ElementFilter& element_filter() const { return ef_; }
+  const InfrequentPart& infrequent_part() const { return ifp_; }
+  // Cached full decode of the infrequent part (flow -> signed count).
+  const std::unordered_map<uint32_t, int64_t>& DecodedFlows() const;
+
+ private:
+  // Routes an overflow (evicted or rejected element) through EF then IFP.
+  void RouteToFilter(uint32_t key, int64_t count);
+  // Shared implementation of Merge/Subtract.
+  void Combine(const DaVinciSketch& other, bool subtract);
+  void InvalidateDecodeCache() { decode_cache_.reset(); }
+
+  DaVinciConfig config_;
+  FrequentPart fp_;
+  ElementFilter ef_;
+  InfrequentPart ifp_;
+  mutable std::optional<std::unordered_map<uint32_t, int64_t>> decode_cache_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_DAVINCI_SKETCH_H_

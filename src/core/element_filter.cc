@@ -1,0 +1,25 @@
+#include "core/element_filter.h"
+
+namespace davinci {
+
+ElementFilter::ElementFilter(size_t bytes, const std::vector<int>& level_bits,
+                             int64_t threshold, uint64_t seed)
+    : threshold_(threshold),
+      tower_(bytes, seed * 22000331 + 5, TowerSketch::Options{level_bits}) {}
+
+int64_t ElementFilter::Insert(uint32_t key, int64_t count) {
+  return tower_.InsertCapped(key, count, threshold_);
+}
+
+int64_t ElementFilter::InsertSigned(uint32_t key, int64_t count) {
+  if (count >= 0) return tower_.InsertCapped(key, count, threshold_);
+  return -tower_.InsertCappedDown(key, -count, threshold_);
+}
+
+int64_t ElementFilter::Query(uint32_t key) const { return tower_.Query(key); }
+
+int64_t ElementFilter::QuerySigned(uint32_t key) const {
+  return tower_.QuerySigned(key);
+}
+
+}  // namespace davinci

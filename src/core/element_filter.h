@@ -1,0 +1,66 @@
+#ifndef DAVINCI_CORE_ELEMENT_FILTER_H_
+#define DAVINCI_CORE_ELEMENT_FILTER_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "baselines/tower_sketch.h"
+#include "core/config.h"
+
+// The element filter (EF) of DaVinci Sketch: a TowerSketch acting as a
+// cold filter with threshold T. Each element keeps at most ~T units of its
+// count in the filter; everything beyond T overflows to the infrequent
+// part. The filter also cross-validates decodes and feeds linear counting
+// and the EM distribution estimator.
+
+namespace davinci {
+
+class ElementFilter {
+ public:
+  ElementFilter(size_t bytes, const std::vector<int>& level_bits,
+                int64_t threshold, uint64_t seed);
+
+  // Absorbs up to T units of (key, count); returns the overflow that must
+  // be inserted into the infrequent part.
+  int64_t Insert(uint32_t key, int64_t count);
+
+  // Signed variant for difference sketches: negative counts push the
+  // element's retained estimate toward −T; the returned overflow carries
+  // the sign of `count`.
+  int64_t InsertSigned(uint32_t key, int64_t count);
+
+  // Count-min estimate of the key's retained count (≤ T up to collisions).
+  int64_t Query(uint32_t key) const;
+
+  // Signed estimate for subtracted filters.
+  int64_t QuerySigned(uint32_t key) const;
+
+  int64_t threshold() const { return threshold_; }
+
+  void Merge(const ElementFilter& other) { tower_.Merge(other.tower_); }
+  void Subtract(const ElementFilter& other) { tower_.Subtract(other.tower_); }
+
+  // Bottom-level state for cardinality (linear counting) and the EM
+  // distribution estimator.
+  size_t BottomWidth() const { return tower_.LevelWidth(0); }
+  size_t BottomZeroSlots() const { return tower_.ZeroSlots(0); }
+  std::vector<int64_t> BottomValues() const { return tower_.LevelValues(0); }
+  size_t BottomIndex(uint32_t key) const { return tower_.LevelIndex(0, key); }
+
+  const TowerSketch& tower() const { return tower_; }
+
+  void SaveState(std::ostream& out) const { tower_.SaveState(out); }
+  bool LoadState(std::istream& in) { return tower_.LoadState(in); }
+
+  size_t MemoryBytes() const { return tower_.MemoryBytes(); }
+  uint64_t memory_accesses() const { return tower_.MemoryAccesses(); }
+
+ private:
+  int64_t threshold_;
+  TowerSketch tower_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_ELEMENT_FILTER_H_

@@ -1,0 +1,165 @@
+#include "core/frequent_part.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/serialize.h"
+
+namespace davinci {
+
+FrequentPart::FrequentPart(size_t buckets, size_t slots, int64_t evict_lambda,
+                           uint64_t seed)
+    : buckets_(std::max<size_t>(1, buckets)),
+      slots_(std::max<size_t>(1, slots)),
+      evict_lambda_(evict_lambda),
+      hash_(seed * 21000277 + 17) {
+  keys_.assign(buckets_ * slots_, 0);
+  counts_.assign(buckets_ * slots_, 0);
+  tainted_.assign(buckets_ * slots_, 0);
+  ecnt_.assign(buckets_, 0);
+  flags_.assign(buckets_, 0);
+}
+
+FrequentPart::InsertResult FrequentPart::Insert(uint32_t key, int64_t count) {
+  size_t bucket = BucketOf(key);
+  size_t base = bucket * slots_;
+  size_t min_slot = base;
+
+  // One pass over the bucket: find the key, an empty slot, or the minimum.
+  // Entries use count != 0 as the liveness test so that difference tables
+  // (negative counts) keep working.
+  size_t empty_slot = SIZE_MAX;
+  bool min_seen = false;
+  for (size_t i = base; i < base + slots_; ++i) {
+    ++accesses_;
+    if (counts_[i] != 0 && keys_[i] == key) {
+      counts_[i] += count;  // case 1
+      if (counts_[i] == 0) counts_[i] = 0;  // exact cancellation frees slot
+      if (i != base && std::llabs(counts_[i]) > std::llabs(counts_[i - 1])) {
+        // Move-to-front: hot flows bubble toward the bucket head so their
+        // next hit costs fewer probes.
+        std::swap(keys_[i], keys_[i - 1]);
+        std::swap(counts_[i], counts_[i - 1]);
+        std::swap(tainted_[i], tainted_[i - 1]);
+      }
+      return {};
+    }
+    if (counts_[i] == 0) {
+      if (empty_slot == SIZE_MAX) empty_slot = i;
+    } else if (!min_seen ||
+               std::llabs(counts_[i]) < std::llabs(counts_[min_slot])) {
+      min_slot = i;
+      min_seen = true;
+    }
+  }
+  if (empty_slot != SIZE_MAX) {  // case 2
+    keys_[empty_slot] = key;
+    counts_[empty_slot] = count;
+    tainted_[empty_slot] = 0;
+    return {};
+  }
+
+  accesses_ += 2;  // ecnt + flag
+  ecnt_[bucket] += 1;
+  if (static_cast<int64_t>(ecnt_[bucket]) >
+      evict_lambda_ * std::llabs(counts_[min_slot])) {
+    // Case 3: evict the resident minimum toward the element filter. The
+    // newcomer had earlier rejections routed to the filter, so it is
+    // tainted.
+    InsertResult result;
+    result.action = InsertResult::Action::kEvicted;
+    result.overflow_key = keys_[min_slot];
+    result.overflow_count = counts_[min_slot];
+    keys_[min_slot] = key;
+    counts_[min_slot] = count;
+    tainted_[min_slot] = 1;
+    flags_[bucket] = 1;
+    ecnt_[bucket] = 0;
+    return result;
+  }
+  // Case 4: the incoming element is deemed infrequent.
+  InsertResult result;
+  result.action = InsertResult::Action::kRejected;
+  result.overflow_key = key;
+  result.overflow_count = count;
+  return result;
+}
+
+int64_t FrequentPart::Query(uint32_t key, bool* tainted) const {
+  size_t bucket = BucketOf(key);
+  size_t base = bucket * slots_;
+  for (size_t i = base; i < base + slots_; ++i) {
+    if (counts_[i] != 0 && keys_[i] == key) {
+      if (tainted != nullptr) *tainted = tainted_[i] != 0;
+      return counts_[i];
+    }
+  }
+  return 0;
+}
+
+bool FrequentPart::Contains(uint32_t key) const {
+  bool tainted;
+  return Query(key, &tainted) != 0;
+}
+
+std::vector<FrequentPart::Entry> FrequentPart::Entries() const {
+  std::vector<Entry> entries;
+  for (size_t i = 0; i < keys_.size(); ++i) {
+    if (counts_[i] != 0) {
+      entries.push_back({keys_[i], counts_[i], tainted_[i] != 0});
+    }
+  }
+  return entries;
+}
+
+void FrequentPart::SaveState(std::ostream& out) const {
+  WriteVec(out, keys_);
+  WriteVec(out, counts_);
+  WriteVec(out, tainted_);
+  WriteVec(out, ecnt_);
+  WriteVec(out, flags_);
+}
+
+bool FrequentPart::LoadState(std::istream& in) {
+  std::vector<uint32_t> keys;
+  std::vector<int64_t> counts;
+  std::vector<uint8_t> tainted;
+  std::vector<uint32_t> ecnt;
+  std::vector<uint8_t> flags;
+  if (!ReadVec(in, &keys) || !ReadVec(in, &counts) || !ReadVec(in, &tainted) ||
+      !ReadVec(in, &ecnt) || !ReadVec(in, &flags)) {
+    return false;
+  }
+  if (keys.size() != keys_.size() || counts.size() != counts_.size() ||
+      tainted.size() != tainted_.size() || ecnt.size() != ecnt_.size() ||
+      flags.size() != flags_.size()) {
+    return false;
+  }
+  keys_ = std::move(keys);
+  counts_ = std::move(counts);
+  tainted_ = std::move(tainted);
+  ecnt_ = std::move(ecnt);
+  flags_ = std::move(flags);
+  return true;
+}
+
+void FrequentPart::OverwriteBucket(size_t bucket,
+                                   const std::vector<Entry>& entries,
+                                   bool flag) {
+  size_t base = bucket * slots_;
+  for (size_t s = 0; s < slots_; ++s) {
+    if (s < entries.size()) {
+      keys_[base + s] = entries[s].key;
+      counts_[base + s] = entries[s].count;
+      tainted_[base + s] = entries[s].tainted ? 1 : 0;
+    } else {
+      keys_[base + s] = 0;
+      counts_[base + s] = 0;
+      tainted_[base + s] = 0;
+    }
+  }
+  flags_[bucket] = flag ? 1 : 0;
+  ecnt_[bucket] = 0;
+}
+
+}  // namespace davinci

@@ -1,0 +1,100 @@
+#ifndef DAVINCI_CORE_FREQUENT_PART_H_
+#define DAVINCI_CORE_FREQUENT_PART_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/config.h"
+
+// The frequent part (FP) of DaVinci Sketch: a hash table of k buckets,
+// each with c (key, count) entries, an evict counter and an evict flag,
+// implementing Algorithm 1 of the paper. Frequent elements are stored
+// exactly; losers are evicted toward the element filter.
+
+namespace davinci {
+
+class FrequentPart {
+ public:
+  // What Insert decided, and what (if anything) must continue to the
+  // element filter.
+  struct InsertResult {
+    enum class Action {
+      kAbsorbed,      // case 1/2: fully handled inside the FP
+      kEvicted,       // case 3: the bucket's minimum was evicted
+      kRejected,      // case 4: the incoming element goes to the EF
+    };
+    Action action = Action::kAbsorbed;
+    uint32_t overflow_key = 0;    // key leaving the FP (evicted or rejected)
+    int64_t overflow_count = 0;   // its count
+  };
+
+  struct Entry {
+    uint32_t key = 0;
+    int64_t count = 0;
+    // True if the flow may have additional mass in the element filter /
+    // infrequent part (it entered by case-3 takeover, or survived a merge
+    // in which entries were evicted). Case-2 entries are untainted: their
+    // FP count is the flow's exact total.
+    bool tainted = false;
+  };
+
+  FrequentPart(size_t buckets, size_t slots, int64_t evict_lambda,
+               uint64_t seed);
+
+  InsertResult Insert(uint32_t key, int64_t count);
+
+  // Count of `key` if resident, 0 otherwise. `tainted` is set to the
+  // entry's taint bit (true = the key may have residue in the element
+  // filter / infrequent part); it is left untouched on a miss.
+  int64_t Query(uint32_t key, bool* tainted) const;
+
+  bool Contains(uint32_t key) const;
+
+  // Direct structural access (merge, heavy hitters, cardinality).
+  size_t num_buckets() const { return buckets_; }
+  size_t num_slots() const { return slots_; }
+  bool BucketFlag(size_t bucket) const { return flags_[bucket]; }
+  void SetBucketFlag(size_t bucket, bool flag) { flags_[bucket] = flag; }
+  Entry EntryAt(size_t bucket, size_t slot) const {
+    size_t i = bucket * slots_ + slot;
+    return {keys_[i], counts_[i], tainted_[i] != 0};
+  }
+  size_t BucketOf(uint32_t key) const { return hash_.Bucket(key, buckets_); }
+
+  // All live entries (key, count).
+  std::vector<Entry> Entries() const;
+
+  // Replaces the contents of `bucket` with up to c entries; extra
+  // responsibility for evicted entries lies with the caller (Algorithm 3).
+  void OverwriteBucket(size_t bucket, const std::vector<Entry>& entries,
+                       bool flag);
+
+  // Raw state round-trip (geometry must already match).
+  void SaveState(std::ostream& out) const;
+  bool LoadState(std::istream& in);
+
+  uint64_t memory_accesses() const { return accesses_; }
+  size_t MemoryBytes() const {
+    return buckets_ * (slots_ * DaVinciConfig::kFpSlotBytes +
+                       DaVinciConfig::kFpBucketOverheadBytes);
+  }
+
+ private:
+  size_t buckets_;
+  size_t slots_;
+  int64_t evict_lambda_;
+  HashFamily hash_;
+  std::vector<uint32_t> keys_;     // buckets_ × slots_
+  std::vector<int64_t> counts_;    // buckets_ × slots_ (0 = empty slot)
+  std::vector<uint8_t> tainted_;   // buckets_ × slots_
+  std::vector<uint32_t> ecnt_;     // per-bucket evict counters
+  std::vector<uint8_t> flags_;     // per-bucket evict flags
+  mutable uint64_t accesses_ = 0;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_FREQUENT_PART_H_

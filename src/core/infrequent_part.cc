@@ -1,0 +1,184 @@
+#include "core/infrequent_part.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <deque>
+
+#include "common/serialize.h"
+
+namespace davinci {
+
+InfrequentPart::InfrequentPart(size_t rows, size_t buckets_per_row,
+                               bool use_signs, uint64_t seed)
+    : rows_(std::max<size_t>(1, rows)),
+      width_(std::max<size_t>(1, buckets_per_row)),
+      use_signs_(use_signs) {
+  hashes_.reserve(rows_);
+  signs_.reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    hashes_.emplace_back(seed * 23000407 + i);
+    signs_.emplace_back(seed * 23000407 + i + 424242);
+  }
+  ids_.assign(rows_ * width_, 0);
+  counts_.assign(rows_ * width_, 0);
+}
+
+void InfrequentPart::Insert(uint32_t key, int64_t count) {
+  uint64_t delta = MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
+  for (size_t i = 0; i < rows_; ++i) {
+    ++accesses_;
+    size_t j = BucketIndex(i, key);
+    ids_[j] = AddMod(ids_[j], delta, kFermatPrime);
+    counts_[j] += Sign(i, key) * count;
+  }
+}
+
+int64_t InfrequentPart::FastQuery(uint32_t key) const {
+  std::vector<int64_t> estimates;
+  estimates.reserve(rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    estimates.push_back(Sign(i, key) * counts_[BucketIndex(i, key)]);
+  }
+  std::nth_element(estimates.begin(), estimates.begin() + estimates.size() / 2,
+                   estimates.end());
+  return estimates[estimates.size() / 2];
+}
+
+std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
+    const ElementFilter* cross_filter) const {
+  std::vector<uint64_t> ids = ids_;
+  std::vector<int64_t> counts = counts_;
+  std::unordered_map<uint32_t, int64_t> flows;
+  std::deque<size_t> queue;
+  for (size_t i = 0; i < ids.size(); ++i) queue.push_back(i);
+
+  auto validate = [&](uint32_t key) {
+    if (cross_filter == nullptr) return true;
+    // The element reached the IFP only by crossing the filter threshold,
+    // so its (signed, for differences) filter estimate must sit at ±T.
+    return std::llabs(cross_filter->QuerySigned(key)) >=
+           cross_filter->threshold();
+  };
+
+  // Tries to peel bucket `index` as the single element `candidate`.
+  auto try_candidate = [&](size_t index, uint64_t candidate) -> bool {
+    if (candidate == 0 || candidate > UINT32_MAX) return false;
+    uint32_t key = static_cast<uint32_t>(candidate);
+    size_t row = index / width_;
+    if (BucketIndex(row, key) != index) return false;
+    // Sign-consistency: with icnt = ζ_row(key)·count, the id field must
+    // equal count·key mod p.
+    int64_t count = Sign(row, key) * counts[index];
+    uint64_t expected =
+        MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
+    if (expected != ids[index]) return false;
+    if (!validate(key)) return false;
+
+    flows[key] += count;
+    uint64_t delta =
+        MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
+    for (size_t r = 0; r < rows_; ++r) {
+      size_t j = BucketIndex(r, key);
+      ids[j] = SubMod(ids[j], delta, kFermatPrime);
+      counts[j] -= Sign(r, key) * count;
+      queue.push_back(j);
+    }
+    return true;
+  };
+
+  auto try_peel = [&](size_t index) -> bool {
+    if (ids[index] == 0 && counts[index] == 0) return false;
+    uint64_t count_mod = SignedMod(counts[index], kFermatPrime);
+    if (count_mod == 0) return false;
+    uint64_t e = MulMod(ids[index], ModInverse(count_mod, kFermatPrime),
+                        kFermatPrime);
+    // Validate both e and p − e (Algorithm 5's two-sided check, needed for
+    // ζ = −1 rows and for negative counts after set difference).
+    if (try_candidate(index, e)) return true;
+    return try_candidate(index, kFermatPrime - e);
+  };
+
+  // Two safety valves bound the peeling: `stale` stops when no progress is
+  // possible, and `peels` stops pathological false-positive cycles (peel /
+  // un-peel oscillations that can arise in overloaded sketches).
+  size_t stale = 0;
+  size_t peels = 0;
+  const size_t max_peels = ids.size() * 4 + 64;
+  while (!queue.empty() && stale < ids.size() * 4 &&
+         peels < max_peels) {
+    size_t index = queue.front();
+    queue.pop_front();
+    if (try_peel(index)) {
+      stale = 0;
+      ++peels;
+    } else {
+      ++stale;
+    }
+  }
+  for (auto it = flows.begin(); it != flows.end();) {
+    if (it->second == 0) {
+      it = flows.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return flows;
+}
+
+void InfrequentPart::Merge(const InfrequentPart& other) {
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    ids_[i] = AddMod(ids_[i], other.ids_[i], kFermatPrime);
+    counts_[i] += other.counts_[i];
+  }
+}
+
+void InfrequentPart::Subtract(const InfrequentPart& other) {
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    ids_[i] = SubMod(ids_[i], other.ids_[i], kFermatPrime);
+    counts_[i] -= other.counts_[i];
+  }
+}
+
+double InfrequentPart::InnerProduct(const InfrequentPart& a,
+                                    const InfrequentPart& b) {
+  std::vector<double> row_dots;
+  row_dots.reserve(a.rows_);
+  for (size_t i = 0; i < a.rows_; ++i) {
+    double dot = 0.0;
+    for (size_t j = 0; j < a.width_; ++j) {
+      dot += static_cast<double>(a.counts_[i * a.width_ + j]) *
+             static_cast<double>(b.counts_[i * b.width_ + j]);
+    }
+    row_dots.push_back(dot);
+  }
+  std::nth_element(row_dots.begin(), row_dots.begin() + row_dots.size() / 2,
+                   row_dots.end());
+  return row_dots[row_dots.size() / 2];
+}
+
+void InfrequentPart::SaveState(std::ostream& out) const {
+  WriteVec(out, ids_);
+  WriteVec(out, counts_);
+}
+
+bool InfrequentPart::LoadState(std::istream& in) {
+  std::vector<uint64_t> ids;
+  std::vector<int64_t> counts;
+  if (!ReadVec(in, &ids) || !ReadVec(in, &counts)) return false;
+  if (ids.size() != ids_.size() || counts.size() != counts_.size()) {
+    return false;
+  }
+  ids_ = std::move(ids);
+  counts_ = std::move(counts);
+  return true;
+}
+
+size_t InfrequentPart::EmptyBuckets() const {
+  size_t empty = 0;
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    if (ids_[i] == 0 && counts_[i] == 0) ++empty;
+  }
+  return empty;
+}
+
+}  // namespace davinci

@@ -1,0 +1,85 @@
+#ifndef DAVINCI_CORE_INFREQUENT_PART_H_
+#define DAVINCI_CORE_INFREQUENT_PART_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/modular.h"
+#include "core/config.h"
+#include "core/element_filter.h"
+
+// The infrequent part (IFP) of DaVinci Sketch: a counting Fermat sketch of
+// d rows × w buckets {iID, icnt} with per-row ±1 functions ζ_i
+// (Algorithm 2). Supports
+//  - fast point queries: median of sign-corrected counters (count-sketch
+//    style, unbiased),
+//  - full decode (Algorithm 5): peel single-element buckets via Fermat's
+//    little theorem, validating both e and p−e and cross-validating with
+//    the element filter,
+//  - linear merge/subtract for union and difference, and
+//  - an unbiased inner-product estimate between identically-seeded parts.
+
+namespace davinci {
+
+class InfrequentPart {
+ public:
+  InfrequentPart(size_t rows, size_t buckets_per_row, bool use_signs,
+                 uint64_t seed);
+
+  void Insert(uint32_t key, int64_t count);
+
+  // Median of sign-corrected mapped counters (no decode).
+  int64_t FastQuery(uint32_t key) const;
+
+  // Peels the sketch into flow -> signed count. If `cross_filter` is
+  // non-null, candidates must have |filter estimate| ≥ its threshold
+  // (the paper's double verification).
+  std::unordered_map<uint32_t, int64_t> Decode(
+      const ElementFilter* cross_filter) const;
+
+  void Merge(const InfrequentPart& other);
+  void Subtract(const InfrequentPart& other);
+
+  // Median over rows of the bucket-wise counter dot product; unbiased for
+  // identically-seeded parts thanks to the ζ signs.
+  static double InnerProduct(const InfrequentPart& a,
+                             const InfrequentPart& b);
+
+  size_t rows() const { return rows_; }
+  size_t width() const { return width_; }
+  size_t EmptyBuckets() const;
+  size_t TotalBuckets() const { return ids_.size(); }
+
+  size_t MemoryBytes() const {
+    return ids_.size() * DaVinciConfig::kIfpBucketBytes;
+  }
+  // Raw state round-trip (geometry must already match).
+  void SaveState(std::ostream& out) const;
+  bool LoadState(std::istream& in);
+
+  uint64_t memory_accesses() const { return accesses_; }
+
+ private:
+  size_t BucketIndex(size_t row, uint32_t key) const {
+    return row * width_ + hashes_[row].Bucket(key, width_);
+  }
+  int Sign(size_t row, uint64_t key) const {
+    return use_signs_ ? signs_[row].Sign(key) : 1;
+  }
+
+  size_t rows_;
+  size_t width_;
+  bool use_signs_;
+  std::vector<HashFamily> hashes_;
+  std::vector<SignHash> signs_;
+  std::vector<uint64_t> ids_;    // Σ count·key mod p, rows_ × width_
+  std::vector<int64_t> counts_;  // Σ ζ(key)·count (signed)
+  mutable uint64_t accesses_ = 0;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_INFREQUENT_PART_H_

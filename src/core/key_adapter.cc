@@ -1,0 +1,62 @@
+#include "core/key_adapter.h"
+
+#include <cstdio>
+
+#include "common/hash.h"
+
+namespace davinci {
+
+StringKeyDaVinci::StringKeyDaVinci(const DaVinciConfig& config)
+    : sketch_(config),
+      fingerprint_seed_(static_cast<uint32_t>(config.seed * 27000817 + 3)) {}
+
+StringKeyDaVinci::StringKeyDaVinci(size_t bytes, uint64_t seed)
+    : StringKeyDaVinci(DaVinciConfig::FromMemory(bytes, seed)) {}
+
+uint32_t StringKeyDaVinci::Fingerprint(std::string_view key) const {
+  uint32_t fp = BobHash(key.data(), key.size(), fingerprint_seed_);
+  // 0 is the sketch's empty-slot sentinel; remap it.
+  return fp == 0 ? 1u : fp;
+}
+
+void StringKeyDaVinci::Learn(uint32_t fingerprint, std::string_view key) {
+  reverse_.emplace(fingerprint, std::string(key));
+}
+
+void StringKeyDaVinci::Insert(std::string_view key, int64_t count) {
+  uint32_t fp = Fingerprint(key);
+  Learn(fp, key);
+  sketch_.Insert(fp, count);
+}
+
+int64_t StringKeyDaVinci::Query(std::string_view key) const {
+  return sketch_.Query(Fingerprint(key));
+}
+
+std::vector<std::pair<std::string, int64_t>> StringKeyDaVinci::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<std::string, int64_t>> out;
+  for (const auto& [fp, count] : sketch_.HeavyHitters(threshold)) {
+    auto it = reverse_.find(fp);
+    if (it != reverse_.end()) {
+      out.emplace_back(it->second, count);
+    } else {
+      char placeholder[16];
+      std::snprintf(placeholder, sizeof(placeholder), "<%08x>", fp);
+      out.emplace_back(placeholder, count);
+    }
+  }
+  return out;
+}
+
+void StringKeyDaVinci::Merge(const StringKeyDaVinci& other) {
+  sketch_.Merge(other.sketch_);
+  reverse_.insert(other.reverse_.begin(), other.reverse_.end());
+}
+
+void StringKeyDaVinci::Subtract(const StringKeyDaVinci& other) {
+  sketch_.Subtract(other.sketch_);
+  reverse_.insert(other.reverse_.begin(), other.reverse_.end());
+}
+
+}  // namespace davinci

@@ -1,0 +1,68 @@
+#ifndef DAVINCI_CORE_KEY_ADAPTER_H_
+#define DAVINCI_CORE_KEY_ADAPTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/davinci_sketch.h"
+
+// Variable-length (string) key support, as described in the paper
+// (§III-B2): long keys are hashed to a fixed-length fingerprint which is
+// what the numerical sketch machinery operates on, and a separate
+// fingerprint → original-key mapping is maintained for reverse lookup of
+// reported elements (heavy hitters, decoded flows).
+//
+// Fingerprints are 32-bit, so two distinct keys collide with probability
+// ≈ n²/2³³ over n distinct keys — negligible at sketch scale and strictly
+// an approximation error, never a crash.
+
+namespace davinci {
+
+class StringKeyDaVinci {
+ public:
+  explicit StringKeyDaVinci(const DaVinciConfig& config);
+  StringKeyDaVinci(size_t bytes, uint64_t seed);
+
+  void Insert(std::string_view key, int64_t count = 1);
+  int64_t Query(std::string_view key) const;
+
+  // Heavy hitters with the original keys restored. Fingerprints whose key
+  // was never learned (possible after merging foreign sketches) are
+  // reported with a hex placeholder.
+  std::vector<std::pair<std::string, int64_t>> HeavyHitters(
+      int64_t threshold) const;
+
+  double EstimateCardinality() const { return sketch_.EstimateCardinality(); }
+  std::map<int64_t, int64_t> Distribution() const {
+    return sketch_.Distribution();
+  }
+  double EstimateEntropy() const { return sketch_.EstimateEntropy(); }
+
+  void Merge(const StringKeyDaVinci& other);
+  void Subtract(const StringKeyDaVinci& other);
+
+  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+  const DaVinciSketch& sketch() const { return sketch_; }
+
+  // The fingerprint this adapter uses for `key` (exposed for tests).
+  uint32_t Fingerprint(std::string_view key) const;
+
+ private:
+  void Learn(uint32_t fingerprint, std::string_view key);
+
+  DaVinciSketch sketch_;
+  uint32_t fingerprint_seed_;
+  // Reverse mapping, bounded in practice by the number of distinct keys a
+  // site observes; spill-free because it lives beside (not inside) the
+  // fixed-size sketch, mirroring the paper's "separate mapping" design.
+  std::unordered_map<uint32_t, std::string> reverse_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_KEY_ADAPTER_H_

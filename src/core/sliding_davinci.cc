@@ -1,0 +1,59 @@
+#include "core/sliding_davinci.h"
+
+#include <algorithm>
+
+namespace davinci {
+
+SlidingDaVinci::SlidingDaVinci(size_t epochs, size_t bytes_per_epoch,
+                               uint64_t seed)
+    : max_epochs_(std::max<size_t>(1, epochs)),
+      bytes_per_epoch_(bytes_per_epoch),
+      seed_(seed) {
+  window_.emplace_back(bytes_per_epoch_, seed_);
+}
+
+void SlidingDaVinci::Insert(uint32_t key, int64_t count) {
+  window_.back().Insert(key, count);
+}
+
+void SlidingDaVinci::Advance() {
+  window_.emplace_back(bytes_per_epoch_, seed_);
+  if (window_.size() > max_epochs_) {
+    window_.pop_front();
+  }
+}
+
+int64_t SlidingDaVinci::Query(uint32_t key) const {
+  int64_t total = 0;
+  for (const DaVinciSketch& epoch : window_) {
+    total += epoch.Query(key);
+  }
+  return total;
+}
+
+int64_t SlidingDaVinci::QueryCurrentEpoch(uint32_t key) const {
+  return window_.back().Query(key);
+}
+
+DaVinciSketch SlidingDaVinci::MergedWindow() const {
+  DaVinciSketch merged = window_.front();
+  for (size_t i = 1; i < window_.size(); ++i) {
+    merged.Merge(window_[i]);
+  }
+  return merged;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> SlidingDaVinci::HeavyChangers(
+    int64_t delta) const {
+  return window_.back().HeavyChangers(window_.front(), delta);
+}
+
+size_t SlidingDaVinci::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const DaVinciSketch& epoch : window_) {
+    bytes += epoch.MemoryBytes();
+  }
+  return bytes;
+}
+
+}  // namespace davinci

@@ -1,0 +1,58 @@
+#ifndef DAVINCI_CORE_SLIDING_DAVINCI_H_
+#define DAVINCI_CORE_SLIDING_DAVINCI_H_
+
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "core/davinci_sketch.h"
+
+// Sliding-window extension: the paper's related work notes that heavy-
+// hitter systems manage temporal locality with sliding windows; DaVinci's
+// linearity makes this a natural extension. The window of the last W
+// epochs is maintained as W identically-seeded sub-sketches; Advance()
+// retires the oldest. Queries either sum per-epoch answers (cheap) or
+// merge the epochs into one sketch (full task support).
+
+namespace davinci {
+
+class SlidingDaVinci {
+ public:
+  // `epochs` sub-sketches of `bytes_per_epoch` each cover the window.
+  SlidingDaVinci(size_t epochs, size_t bytes_per_epoch, uint64_t seed);
+
+  // Insert into the current (newest) epoch.
+  void Insert(uint32_t key, int64_t count = 1);
+
+  // Close the current epoch and open a new one; the oldest epoch falls
+  // out of the window once more than `epochs` have been opened.
+  void Advance();
+
+  // Frequency over the whole window (sum of per-epoch estimates).
+  int64_t Query(uint32_t key) const;
+
+  // Frequency in the most recent epoch only.
+  int64_t QueryCurrentEpoch(uint32_t key) const;
+
+  // One merged sketch covering the window, for the remaining tasks
+  // (heavy hitters, cardinality, distribution, entropy, joins).
+  DaVinciSketch MergedWindow() const;
+
+  // Heavy changers between the newest and oldest epoch in the window.
+  std::vector<std::pair<uint32_t, int64_t>> HeavyChangers(
+      int64_t delta) const;
+
+  size_t epochs_in_window() const { return window_.size(); }
+  size_t MemoryBytes() const;
+
+ private:
+  size_t max_epochs_;
+  size_t bytes_per_epoch_;
+  uint64_t seed_;
+  std::deque<DaVinciSketch> window_;  // front = oldest, back = current
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_SLIDING_DAVINCI_H_

@@ -1,0 +1,41 @@
+#include "estimators/ams_entropy.h"
+
+#include <cmath>
+
+namespace davinci {
+
+AmsEntropyEstimator::AmsEntropyEstimator(size_t samples, uint64_t seed)
+    : samples_(samples < 1 ? 1 : samples), rng_(seed * 36001391 + 21) {}
+
+void AmsEntropyEstimator::Insert(uint32_t key) {
+  ++length_;
+  for (Sample& sample : samples_) {
+    // Reservoir sampling of positions: replace with probability 1/length.
+    if (rng_() % static_cast<uint64_t>(length_) == 0) {
+      sample.key = key;
+      sample.tail_count = 1;
+    } else if (sample.tail_count > 0 && sample.key == key) {
+      ++sample.tail_count;
+    }
+  }
+}
+
+double AmsEntropyEstimator::EstimateEntropy() const {
+  if (length_ <= 0) return 0.0;
+  double m = static_cast<double>(length_);
+  double sum = 0.0;
+  size_t counted = 0;
+  for (const Sample& sample : samples_) {
+    if (sample.tail_count <= 0) continue;
+    double r = static_cast<double>(sample.tail_count);
+    double x = r * std::log(m / r);
+    if (sample.tail_count > 1) {
+      x -= (r - 1.0) * std::log(m / (r - 1.0));
+    }
+    sum += x;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+}  // namespace davinci

@@ -1,0 +1,43 @@
+#ifndef DAVINCI_ESTIMATORS_AMS_ENTROPY_H_
+#define DAVINCI_ESTIMATORS_AMS_ENTROPY_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+// AMS-style streaming entropy estimator (Chakrabarti, Cormode, McGregor —
+// paper reference [48]): reservoir-sample positions of the stream; for a
+// sample at position J with element a, track r = #occurrences of a from J
+// to the end. Then X = r·ln(m/r) − (r−1)·ln(m/(r−1)) is an unbiased
+// estimate of the empirical entropy, averaged over samples.
+
+namespace davinci {
+
+class AmsEntropyEstimator {
+ public:
+  // `samples` concurrent estimators (memory ≈ 16 bytes each).
+  AmsEntropyEstimator(size_t samples, uint64_t seed);
+
+  std::string Name() const { return "AMS-Entropy"; }
+  size_t MemoryBytes() const { return samples_.size() * 16; }
+
+  void Insert(uint32_t key);
+  double EstimateEntropy() const;
+
+  int64_t stream_length() const { return length_; }
+
+ private:
+  struct Sample {
+    uint32_t key = 0;
+    int64_t tail_count = 0;  // occurrences of key since it was sampled
+  };
+
+  std::vector<Sample> samples_;
+  int64_t length_ = 0;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_ESTIMATORS_AMS_ENTROPY_H_

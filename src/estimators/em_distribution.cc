@@ -1,0 +1,89 @@
+#include "estimators/em_distribution.h"
+
+#include <cmath>
+
+#include "estimators/linear_counting.h"
+
+namespace davinci {
+
+std::map<int64_t, int64_t> EmDistribution::Estimate(
+    const std::vector<int64_t>& counter_values, const Options& options) {
+  size_t m = counter_values.size();
+  std::map<int64_t, int64_t> counter_histogram;
+  size_t zero_slots = 0;
+  for (int64_t v : counter_values) {
+    if (v <= 0) {
+      ++zero_slots;
+    } else {
+      ++counter_histogram[v];
+    }
+  }
+  if (m == 0 || counter_histogram.empty()) return {};
+
+  double n_hat = LinearCountingEstimate(m, zero_slots);
+  double lambda = n_hat / static_cast<double>(m);
+  // Relative weight of a 2-flow composition vs a 1-flow composition under
+  // Poisson(λ) occupancy: π_2/π_1 = λ/2.
+  double pair_prior = lambda / 2.0;
+
+  // Initial size distribution: counter values taken at face value.
+  std::map<int64_t, double> phi;
+  double phi_total = 0.0;
+  for (const auto& [v, c] : counter_histogram) {
+    phi[v] = static_cast<double>(c);
+    phi_total += static_cast<double>(c);
+  }
+  for (auto& [s, p] : phi) p /= phi_total;
+
+  std::map<int64_t, double> expected;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    expected.clear();
+    for (const auto& [v, c] : counter_histogram) {
+      double count = static_cast<double>(c);
+      if (v > options.single_flow_cutoff) {
+        expected[v] += count;
+        continue;
+      }
+      // Enumerate compositions: {v} or {a, v-a}.
+      auto phi_at = [&](int64_t s) {
+        auto it = phi.find(s);
+        return it == phi.end() ? 0.0 : it->second;
+      };
+      double w_single = phi_at(v);
+      double z = w_single;
+      std::vector<std::pair<int64_t, double>> pair_weights;
+      for (int64_t a = 1; a * 2 <= v; ++a) {
+        double w = phi_at(a) * phi_at(v - a);
+        if (w <= 0.0) continue;
+        w *= pair_prior * (a * 2 == v ? 1.0 : 2.0);
+        pair_weights.emplace_back(a, w);
+        z += w;
+      }
+      if (z <= 0.0) {
+        expected[v] += count;
+        continue;
+      }
+      expected[v] += count * w_single / z;
+      for (const auto& [a, w] : pair_weights) {
+        double responsibility = count * w / z;
+        expected[a] += responsibility;
+        expected[v - a] += responsibility;
+      }
+    }
+    // M-step: new distribution is the normalized expectation.
+    double total = 0.0;
+    for (const auto& [s, e] : expected) total += e;
+    if (total <= 0.0) break;
+    phi.clear();
+    for (const auto& [s, e] : expected) phi[s] = e / total;
+  }
+
+  std::map<int64_t, int64_t> histogram;
+  for (const auto& [s, e] : expected) {
+    int64_t n = static_cast<int64_t>(std::llround(e));
+    if (n > 0) histogram[s] = n;
+  }
+  return histogram;
+}
+
+}  // namespace davinci

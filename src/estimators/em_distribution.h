@@ -1,0 +1,45 @@
+#ifndef DAVINCI_ESTIMATORS_EM_DISTRIBUTION_H_
+#define DAVINCI_ESTIMATORS_EM_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+// Flow-size-distribution estimation from a hashed counter array, following
+// the Expectation-Maximization scheme of Kumar et al. (MRAC, SIGMETRICS'04),
+// which the paper uses for its distribution task (reference [47]).
+//
+// Model: each flow lands in a uniformly random counter; the number of flows
+// per counter is ≈ Poisson(λ = n/m). The observable is the histogram of
+// counter values. EM alternates between (E) splitting each counter value
+// into its most likely flow compositions under the current size
+// distribution and (M) re-normalizing the resulting expected flow counts.
+//
+// As in production implementations, compositions are truncated to at most
+// two flows per counter (three-way collisions are rare at the load factors
+// sketches run at), and counters above `single_flow_cutoff` are attributed
+// to a single flow.
+
+namespace davinci {
+
+class EmDistribution {
+ public:
+  struct Options {
+    int max_iterations = 15;
+    int64_t single_flow_cutoff = 4096;
+  };
+
+  // `counter_values` are the raw values of one counter array (e.g. the
+  // bottom level of a TowerSketch or the MRAC array). Returns the estimated
+  // histogram: flow size -> estimated number of flows of that size.
+  static std::map<int64_t, int64_t> Estimate(
+      const std::vector<int64_t>& counter_values, const Options& options);
+  static std::map<int64_t, int64_t> Estimate(
+      const std::vector<int64_t>& counter_values) {
+    return Estimate(counter_values, Options());
+  }
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_ESTIMATORS_EM_DISTRIBUTION_H_

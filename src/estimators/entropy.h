@@ -1,0 +1,19 @@
+#ifndef DAVINCI_ESTIMATORS_ENTROPY_H_
+#define DAVINCI_ESTIMATORS_ENTROPY_H_
+
+#include <cstdint>
+#include <map>
+
+// Empirical entropy of a multiset from its flow-size histogram:
+//   H = -Σ_i n_i · (i/S) · ln(i/S),   S = Σ_i n_i · i.
+// This is the formula the paper applies to the estimated distribution
+// (Table I, entropy task).
+
+namespace davinci {
+
+// `histogram` maps flow size -> number of flows of that size.
+double EntropyFromDistribution(const std::map<int64_t, int64_t>& histogram);
+
+}  // namespace davinci
+
+#endif  // DAVINCI_ESTIMATORS_ENTROPY_H_

@@ -1,0 +1,14 @@
+#include "estimators/linear_counting.h"
+
+#include <cmath>
+
+namespace davinci {
+
+double LinearCountingEstimate(size_t total_slots, size_t zero_slots) {
+  if (total_slots == 0) return 0.0;
+  double m = static_cast<double>(total_slots);
+  double z = zero_slots == 0 ? 0.5 : static_cast<double>(zero_slots);
+  return m * std::log(m / z);
+}
+
+}  // namespace davinci

@@ -1,0 +1,21 @@
+#ifndef DAVINCI_ESTIMATORS_LINEAR_COUNTING_H_
+#define DAVINCI_ESTIMATORS_LINEAR_COUNTING_H_
+
+#include <cstddef>
+
+// Whang et al.'s linear-time probabilistic counting. The paper applies it
+// to the element filter and infrequent part to estimate the cardinality of
+// elements that never reached the frequent part.
+
+namespace davinci {
+
+// Estimated number of distinct elements hashed into `total_slots` slots of
+// which `zero_slots` remained untouched:  n̂ = m · ln(m / z).
+// If every slot is occupied the estimate saturates (returns a value derived
+// from z = 0.5 to avoid infinity); callers should size structures so this
+// does not happen in practice.
+double LinearCountingEstimate(size_t total_slots, size_t zero_slots);
+
+}  // namespace davinci
+
+#endif  // DAVINCI_ESTIMATORS_LINEAR_COUNTING_H_

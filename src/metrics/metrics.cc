@@ -1,0 +1,63 @@
+#include "metrics/metrics.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace davinci {
+
+double AverageRelativeError(const std::vector<Estimate>& observations) {
+  double sum = 0.0;
+  size_t counted = 0;
+  for (const Estimate& o : observations) {
+    if (o.truth == 0) continue;
+    sum += static_cast<double>(std::llabs(o.truth - o.estimate)) /
+           static_cast<double>(std::llabs(o.truth));
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : sum / static_cast<double>(counted);
+}
+
+double AverageAbsoluteError(const std::vector<Estimate>& observations) {
+  if (observations.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Estimate& o : observations) {
+    sum += static_cast<double>(std::llabs(o.truth - o.estimate));
+  }
+  return sum / static_cast<double>(observations.size());
+}
+
+double F1Score(size_t correct_reported, size_t total_reported,
+               size_t total_actual) {
+  if (total_reported == 0 || total_actual == 0) return 0.0;
+  double precision = static_cast<double>(correct_reported) /
+                     static_cast<double>(total_reported);
+  double recall = static_cast<double>(correct_reported) /
+                  static_cast<double>(total_actual);
+  if (precision + recall == 0.0) return 0.0;
+  return 2.0 * precision * recall / (precision + recall);
+}
+
+double RelativeError(double truth, double estimate) {
+  if (truth == 0.0) return estimate == 0.0 ? 0.0 : 1.0;
+  return std::fabs(truth - estimate) / std::fabs(truth);
+}
+
+double WeightedMeanRelativeError(const std::map<int64_t, int64_t>& truth,
+                                 const std::map<int64_t, int64_t>& estimate) {
+  double numerator = 0.0;
+  double denominator = 0.0;
+  auto account = [&](int64_t t, int64_t e) {
+    numerator += std::fabs(static_cast<double>(t - e));
+    denominator += (static_cast<double>(t) + static_cast<double>(e)) / 2.0;
+  };
+  for (const auto& [size, n] : truth) {
+    auto it = estimate.find(size);
+    account(n, it == estimate.end() ? 0 : it->second);
+  }
+  for (const auto& [size, n] : estimate) {
+    if (truth.find(size) == truth.end()) account(0, n);
+  }
+  return denominator == 0.0 ? 0.0 : numerator / denominator;
+}
+
+}  // namespace davinci

@@ -1,0 +1,60 @@
+#ifndef DAVINCI_METRICS_METRICS_H_
+#define DAVINCI_METRICS_METRICS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+// Evaluation metrics exactly as defined in the paper (§V, "Metrics").
+
+namespace davinci {
+
+// One (true value, estimated value) observation.
+struct Estimate {
+  int64_t truth = 0;
+  int64_t estimate = 0;
+};
+
+// ARE = (1/|Ω|) Σ |v - v̂| / |v|. Observations with truth == 0 are skipped.
+double AverageRelativeError(const std::vector<Estimate>& observations);
+
+// AAE = (1/|Ω|) Σ |v - v̂|.
+double AverageAbsoluteError(const std::vector<Estimate>& observations);
+
+// F1 = 2·PR·RR / (PR + RR), from counts of correctly reported, total
+// reported, and total actual positives.
+double F1Score(size_t correct_reported, size_t total_reported,
+               size_t total_actual);
+
+// RE = |Tru − Est| / Tru.
+double RelativeError(double truth, double estimate);
+
+// WMRE = Σ|n_i − n̂_i| / Σ (n_i + n̂_i)/2 over the flow-size histogram.
+double WeightedMeanRelativeError(const std::map<int64_t, int64_t>& truth,
+                                 const std::map<int64_t, int64_t>& estimate);
+
+// Wall-clock timer for throughput measurements.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void Restart() { start_ = Clock::now(); }
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+// Million packets per second.
+inline double ThroughputMpps(size_t packets, double seconds) {
+  if (seconds <= 0) return 0.0;
+  return static_cast<double>(packets) / seconds / 1e6;
+}
+
+}  // namespace davinci
+
+#endif  // DAVINCI_METRICS_METRICS_H_

@@ -1,0 +1,70 @@
+#include "workload/five_tuple.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <random>
+
+namespace davinci {
+
+uint32_t FiveTuple::Fingerprint() const {
+  uint8_t bytes[13];
+  std::memcpy(bytes, &src_ip, 4);
+  std::memcpy(bytes + 4, &dst_ip, 4);
+  std::memcpy(bytes + 8, &src_port, 2);
+  std::memcpy(bytes + 10, &dst_port, 2);
+  bytes[12] = protocol;
+  uint32_t fp = BobHash(bytes, sizeof(bytes), 0x5eed);
+  return fp == 0 ? 1u : fp;
+}
+
+std::string FiveTuple::ToString() const {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%u.%u.%u.%u:%u->%u.%u.%u.%u:%u/%u",
+                src_ip >> 24, (src_ip >> 16) & 0xff, (src_ip >> 8) & 0xff,
+                src_ip & 0xff, src_port, dst_ip >> 24, (dst_ip >> 16) & 0xff,
+                (dst_ip >> 8) & 0xff, dst_ip & 0xff, dst_port, protocol);
+  return buffer;
+}
+
+FiveTupleTrace BuildFiveTupleTrace(size_t num_packets, size_t num_flows,
+                                   double skew, uint64_t seed) {
+  std::mt19937_64 rng(seed * 29000989 + 7);
+
+  // Distinct tuples: random endpoints, web-like port mix.
+  std::vector<FiveTuple> flows(num_flows);
+  for (FiveTuple& flow : flows) {
+    flow.src_ip = static_cast<uint32_t>(rng());
+    flow.dst_ip = static_cast<uint32_t>(rng());
+    flow.src_port = static_cast<uint16_t>(1024 + rng() % 64000);
+    flow.dst_port = (rng() % 4 == 0) ? 53 : 443;
+    flow.protocol = (flow.dst_port == 53) ? 17 : 6;
+  }
+
+  // Rank^-skew packet counts summing to num_packets (min 1 per flow).
+  std::vector<double> weights(num_flows);
+  double total_weight = 0;
+  for (size_t i = 0; i < num_flows; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    total_weight += weights[i];
+  }
+  FiveTupleTrace trace;
+  trace.packets.reserve(num_packets);
+  size_t assigned = 0;
+  for (size_t i = 0; i < num_flows && assigned < num_packets; ++i) {
+    size_t count = std::max<size_t>(
+        1, static_cast<size_t>(weights[i] / total_weight * num_packets));
+    count = std::min(count, num_packets - assigned);
+    trace.packets.insert(trace.packets.end(), count, flows[i]);
+    assigned += count;
+  }
+  while (assigned < num_packets) {
+    trace.packets.push_back(flows[0]);
+    ++assigned;
+  }
+  std::shuffle(trace.packets.begin(), trace.packets.end(), rng);
+  return trace;
+}
+
+}  // namespace davinci

@@ -1,0 +1,46 @@
+#ifndef DAVINCI_WORKLOAD_FIVE_TUPLE_H_
+#define DAVINCI_WORKLOAD_FIVE_TUPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+// Network five-tuples — the flow key real traces use. Sketches operate on
+// 32-bit fingerprints (as the paper does for long keys); this header
+// provides the tuple type, its fingerprint, and a five-tuple trace
+// generator so the examples/benches can exercise the realistic key shape.
+
+namespace davinci {
+
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+  uint8_t protocol = 6;  // TCP
+
+  bool operator==(const FiveTuple& other) const = default;
+
+  // 32-bit non-zero fingerprint over the 13 key bytes (lookup3, like the
+  // paper's Bob Hash usage).
+  uint32_t Fingerprint() const;
+
+  // Dotted-quad rendering for logs/reports.
+  std::string ToString() const;
+};
+
+struct FiveTupleTrace {
+  std::vector<FiveTuple> packets;
+};
+
+// A skewed five-tuple trace: `num_flows` distinct tuples whose packet
+// counts follow rank^-skew, shuffled (same construction as BuildSkewedTrace
+// but producing real tuples).
+FiveTupleTrace BuildFiveTupleTrace(size_t num_packets, size_t num_flows,
+                                   double skew, uint64_t seed);
+
+}  // namespace davinci
+
+#endif  // DAVINCI_WORKLOAD_FIVE_TUPLE_H_

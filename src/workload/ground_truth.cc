@@ -1,0 +1,88 @@
+#include "workload/ground_truth.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace davinci {
+
+GroundTruth::GroundTruth(const std::vector<uint32_t>& keys) {
+  freq_.reserve(keys.size() / 4 + 16);
+  for (uint32_t k : keys) {
+    ++freq_[k];
+  }
+  total_ = static_cast<int64_t>(keys.size());
+}
+
+std::vector<std::pair<uint32_t, int64_t>> GroundTruth::HeavyHitters(
+    int64_t threshold) const {
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const auto& [key, f] : freq_) {
+    if (f > threshold) out.emplace_back(key, f);
+  }
+  return out;
+}
+
+std::map<int64_t, int64_t> GroundTruth::Distribution() const {
+  std::map<int64_t, int64_t> histogram;
+  for (const auto& [key, f] : freq_) {
+    (void)key;
+    if (f != 0) ++histogram[std::llabs(f)];
+  }
+  return histogram;
+}
+
+double GroundTruth::Entropy() const {
+  double entropy = 0.0;
+  double total = 0.0;
+  for (const auto& [key, f] : freq_) {
+    (void)key;
+    if (f > 0) total += static_cast<double>(f);
+  }
+  if (total <= 0) return 0.0;
+  for (const auto& [key, f] : freq_) {
+    (void)key;
+    if (f > 0) {
+      double p = static_cast<double>(f) / total;
+      entropy -= p * std::log(p);
+    }
+  }
+  return entropy;
+}
+
+double GroundTruth::InnerJoin(const GroundTruth& a, const GroundTruth& b) {
+  const GroundTruth* small = &a;
+  const GroundTruth* large = &b;
+  if (small->freq_.size() > large->freq_.size()) std::swap(small, large);
+  double join = 0.0;
+  for (const auto& [key, f] : small->freq_) {
+    auto it = large->freq_.find(key);
+    if (it != large->freq_.end()) {
+      join += static_cast<double>(f) * static_cast<double>(it->second);
+    }
+  }
+  return join;
+}
+
+GroundTruth GroundTruth::Difference(const GroundTruth& a,
+                                    const GroundTruth& b) {
+  GroundTruth out;
+  out.freq_ = a.freq_;
+  for (const auto& [key, f] : b.freq_) {
+    out.freq_[key] -= f;
+    if (out.freq_[key] == 0) out.freq_.erase(key);
+  }
+  out.total_ = a.total_ - b.total_;
+  return out;
+}
+
+GroundTruth GroundTruth::Union(const GroundTruth& a, const GroundTruth& b) {
+  GroundTruth out;
+  out.freq_ = a.freq_;
+  for (const auto& [key, f] : b.freq_) {
+    out.freq_[key] += f;
+  }
+  out.total_ = a.total_ + b.total_;
+  return out;
+}
+
+}  // namespace davinci

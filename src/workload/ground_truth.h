@@ -1,0 +1,56 @@
+#ifndef DAVINCI_WORKLOAD_GROUND_TRUTH_H_
+#define DAVINCI_WORKLOAD_GROUND_TRUTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+// Exact answers for every measurement task, computed from the raw stream.
+// Benches and tests compare sketch estimates against these.
+
+namespace davinci {
+
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(const std::vector<uint32_t>& keys);
+
+  // Signed per-key frequencies (signed so set differences fit the type).
+  const std::unordered_map<uint32_t, int64_t>& frequencies() const {
+    return freq_;
+  }
+
+  int64_t total() const { return total_; }
+  size_t cardinality() const { return freq_.size(); }
+
+  // Elements with frequency strictly above `threshold`.
+  std::vector<std::pair<uint32_t, int64_t>> HeavyHitters(
+      int64_t threshold) const;
+
+  // |frequency| histogram: size -> number of flows of that size.
+  std::map<int64_t, int64_t> Distribution() const;
+
+  // Empirical entropy  -Σ (f_i/S) ln(f_i/S)  over positive frequencies.
+  double Entropy() const;
+
+  // Inner product Σ_e f_a(e)·f_b(e).
+  static double InnerJoin(const GroundTruth& a, const GroundTruth& b);
+
+  // Signed multiset difference a − b (the paper's extended difference:
+  // keys only in b appear with negative frequency).
+  static GroundTruth Difference(const GroundTruth& a, const GroundTruth& b);
+
+  // Multiset union a + b (frequencies add).
+  static GroundTruth Union(const GroundTruth& a, const GroundTruth& b);
+
+ private:
+  std::unordered_map<uint32_t, int64_t> freq_;
+  int64_t total_ = 0;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_WORKLOAD_GROUND_TRUTH_H_

@@ -1,0 +1,152 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace davinci {
+namespace {
+
+// Deterministically draws `count` distinct non-zero 32-bit keys.
+std::vector<uint32_t> DrawDistinctKeys(size_t count, uint64_t seed) {
+  std::vector<uint32_t> keys;
+  keys.reserve(count);
+  std::unordered_set<uint32_t> seen;
+  seen.reserve(count * 2);
+  uint64_t i = 0;
+  while (keys.size() < count) {
+    uint32_t k = static_cast<uint32_t>(Mix64(seed * 0x9e3779b9ULL + i++));
+    if (k != 0 && seen.insert(k).second) keys.push_back(k);
+  }
+  return keys;
+}
+
+}  // namespace
+
+Trace BuildSkewedTrace(const std::string& name, size_t num_packets,
+                       size_t num_flows, double skew, uint64_t seed) {
+  // Flow sizes proportional to rank^-skew, each at least 1 packet,
+  // adjusted so they sum to exactly num_packets.
+  std::vector<double> weights(num_flows);
+  double total_weight = 0.0;
+  for (size_t i = 0; i < num_flows; ++i) {
+    weights[i] = 1.0 / std::pow(static_cast<double>(i + 1), skew);
+    total_weight += weights[i];
+  }
+
+  std::vector<size_t> sizes(num_flows);
+  size_t assigned = 0;
+  for (size_t i = 0; i < num_flows; ++i) {
+    size_t s = static_cast<size_t>(
+        weights[i] / total_weight * static_cast<double>(num_packets));
+    sizes[i] = std::max<size_t>(1, s);
+    assigned += sizes[i];
+  }
+  // Fix rounding drift on the largest flow (rank 0); if we overshot by more
+  // than rank 0 can absorb, trim the next-largest flows too.
+  size_t rank = 0;
+  while (assigned != num_packets && rank < num_flows) {
+    if (assigned < num_packets) {
+      sizes[0] += num_packets - assigned;
+      assigned = num_packets;
+    } else {
+      size_t excess = assigned - num_packets;
+      size_t take = std::min(excess, sizes[rank] - 1);
+      sizes[rank] -= take;
+      assigned -= take;
+      ++rank;
+    }
+  }
+
+  std::vector<uint32_t> ids = DrawDistinctKeys(num_flows, seed);
+  Trace trace;
+  trace.name = name;
+  trace.keys.reserve(num_packets);
+  for (size_t i = 0; i < num_flows; ++i) {
+    trace.keys.insert(trace.keys.end(), sizes[i], ids[i]);
+  }
+  std::mt19937_64 rng(seed ^ 0xc0ffee);
+  std::shuffle(trace.keys.begin(), trace.keys.end(), rng);
+  return trace;
+}
+
+Trace BuildCaidaLike(double scale, uint64_t seed) {
+  return BuildSkewedTrace("CAIDA", static_cast<size_t>(2472727 * scale),
+                          static_cast<size_t>(109642 * scale), 1.05, seed);
+}
+
+Trace BuildMawiLike(double scale, uint64_t seed) {
+  return BuildSkewedTrace("MAWI", static_cast<size_t>(2000000 * scale),
+                          static_cast<size_t>(200471 * scale), 0.9, seed);
+}
+
+Trace BuildTpcdsLike(double scale, uint64_t seed) {
+  // TPC-DS join keys: tiny domain, enormous multiplicities.
+  return BuildSkewedTrace("TPC-DS", static_cast<size_t>(4903874 * scale),
+                          std::max<size_t>(64, static_cast<size_t>(1834 * scale)),
+                          1.2, seed);
+}
+
+Trace BuildUniformTrace(const std::string& name, size_t num_packets,
+                        size_t num_flows, uint64_t seed) {
+  return BuildSkewedTrace(name, num_packets, num_flows, 0.0, seed);
+}
+
+Trace BuildBurstyTrace(const std::string& name, size_t num_packets,
+                       size_t num_flows, double skew, size_t burst_length,
+                       uint64_t seed) {
+  Trace shuffled = BuildSkewedTrace(name, num_packets, num_flows, skew, seed);
+  // Recover per-flow sizes, then re-emit as interleaved bursts: repeatedly
+  // pick a random live flow and emit up to `burst_length` of its packets.
+  std::unordered_map<uint32_t, size_t> remaining;
+  for (uint32_t key : shuffled.keys) ++remaining[key];
+  std::vector<uint32_t> live;
+  live.reserve(remaining.size());
+  for (const auto& [key, count] : remaining) {
+    (void)count;
+    live.push_back(key);
+  }
+  std::mt19937_64 rng(seed ^ 0xb0757);
+  Trace trace;
+  trace.name = name;
+  trace.keys.reserve(num_packets);
+  burst_length = std::max<size_t>(1, burst_length);
+  while (!live.empty()) {
+    size_t pick = rng() % live.size();
+    uint32_t key = live[pick];
+    size_t& left = remaining[key];
+    size_t burst = std::min(burst_length, left);
+    trace.keys.insert(trace.keys.end(), burst, key);
+    left -= burst;
+    if (left == 0) {
+      live[pick] = live.back();
+      live.pop_back();
+    }
+  }
+  return trace;
+}
+
+TraceStats ComputeStats(const Trace& trace) {
+  TraceStats stats;
+  stats.packets = trace.keys.size();
+  std::unordered_set<uint32_t> distinct(trace.keys.begin(), trace.keys.end());
+  stats.flows = distinct.size();
+  stats.cardinality = distinct.size();
+  return stats;
+}
+
+Trace Slice(const Trace& trace, size_t begin, size_t end,
+            const std::string& name) {
+  Trace out;
+  out.name = name;
+  end = std::min(end, trace.keys.size());
+  begin = std::min(begin, end);
+  out.keys.assign(trace.keys.begin() + begin, trace.keys.begin() + end);
+  return out;
+}
+
+}  // namespace davinci

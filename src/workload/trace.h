@@ -1,0 +1,61 @@
+#ifndef DAVINCI_WORKLOAD_TRACE_H_
+#define DAVINCI_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+// Synthetic packet traces calibrated to the paper's datasets (Table II).
+//
+// A trace is a stream of flow keys (one entry per packet). We synthesize a
+// trace with an exact packet count, an exact flow count and a Zipf-like
+// flow-size profile, then shuffle packet order. See DESIGN.md §4 for why
+// this substitution preserves the evaluated behaviour.
+
+namespace davinci {
+
+struct Trace {
+  std::string name;
+  std::vector<uint32_t> keys;  // non-zero flow IDs, one per packet
+};
+
+struct TraceStats {
+  size_t packets = 0;
+  size_t flows = 0;        // distinct keys
+  size_t cardinality = 0;  // == flows for these traces, kept for Table II
+};
+
+// Builds a trace with exactly `num_packets` packets over exactly
+// `num_flows` distinct non-zero keys whose sizes follow rank^-skew.
+Trace BuildSkewedTrace(const std::string& name, size_t num_packets,
+                       size_t num_flows, double skew, uint64_t seed);
+
+// Table II calibrations. `scale` in (0,1] shrinks packet/flow counts
+// proportionally for quick runs (1.0 reproduces the paper's sizes).
+Trace BuildCaidaLike(double scale = 1.0, uint64_t seed = 1);
+Trace BuildMawiLike(double scale = 1.0, uint64_t seed = 2);
+Trace BuildTpcdsLike(double scale = 1.0, uint64_t seed = 3);
+
+// Uniform (skew-free) trace: the adversarial case for elephant-oriented
+// sketches — every flow has the same expected size.
+Trace BuildUniformTrace(const std::string& name, size_t num_packets,
+                        size_t num_flows, uint64_t seed);
+
+// Bursty trace: same flow-size profile as BuildSkewedTrace, but packets of
+// a flow arrive in contiguous bursts of ~`burst_length` instead of being
+// globally shuffled. Exercises the temporal locality the FP eviction
+// policy (and HashPipe-style pipelines) are sensitive to.
+Trace BuildBurstyTrace(const std::string& name, size_t num_packets,
+                       size_t num_flows, double skew, size_t burst_length,
+                       uint64_t seed);
+
+TraceStats ComputeStats(const Trace& trace);
+
+// Slice helper: keys[begin, end) as a new trace (used to build the
+// union/difference/join operand sets exactly as the paper does).
+Trace Slice(const Trace& trace, size_t begin, size_t end,
+            const std::string& name);
+
+}  // namespace davinci
+
+#endif  // DAVINCI_WORKLOAD_TRACE_H_

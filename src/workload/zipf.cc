@@ -1,0 +1,26 @@
+#include "workload/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace davinci {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double alpha, uint64_t seed)
+    : n_(n), alpha_(alpha), rng_(seed), uniform_(0.0, 1.0) {
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (uint64_t k = 1; k <= n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k), alpha);
+    cdf_[k - 1] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  double u = uniform_(rng_);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace davinci

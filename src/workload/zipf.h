@@ -1,0 +1,39 @@
+#ifndef DAVINCI_WORKLOAD_ZIPF_H_
+#define DAVINCI_WORKLOAD_ZIPF_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+// Seeded Zipf(α) generator over the domain {1, ..., n}.
+//
+// The evaluation traces (CAIDA/MAWI-like) are synthesized from Zipf
+// distributions because real traces depend only on the key-frequency skew
+// for every algorithm in this repository (see DESIGN.md §4). We use the
+// classic cumulative-probability inversion with a precomputed CDF, which is
+// exact and fast enough for tens of millions of samples.
+
+namespace davinci {
+
+class ZipfGenerator {
+ public:
+  // Domain {1..n}; P(k) ∝ 1 / k^alpha. alpha == 0 is uniform.
+  ZipfGenerator(uint64_t n, double alpha, uint64_t seed);
+
+  // Next sample in [1, n].
+  uint64_t Next();
+
+  uint64_t domain_size() const { return n_; }
+  double alpha() const { return alpha_; }
+
+ private:
+  uint64_t n_;
+  double alpha_;
+  std::mt19937_64 rng_;
+  std::uniform_real_distribution<double> uniform_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(X <= k)
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_WORKLOAD_ZIPF_H_

@@ -1,0 +1,153 @@
+// Multi-set operations of DaVinci Sketch: union, difference (inclusion and
+// overlap), heavy changers, and the nine-component inner product.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/davinci_sketch.h"
+#include "metrics/metrics.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+DaVinciSketch BuildOn(const std::vector<uint32_t>& keys, size_t bytes,
+                      uint64_t seed) {
+  DaVinciSketch sketch(bytes, seed);
+  for (uint32_t key : keys) sketch.Insert(key, 1);
+  return sketch;
+}
+
+TEST(DaVinciOpsTest, UnionOfDisjointStreams) {
+  DaVinciSketch a(128 * 1024, 1), b(128 * 1024, 1);
+  for (int i = 0; i < 5000; ++i) a.Insert(11, 1);
+  for (int i = 0; i < 3000; ++i) b.Insert(22, 1);
+  a.Merge(b);
+  EXPECT_EQ(a.Query(11), 5000);
+  EXPECT_EQ(a.Query(22), 3000);
+}
+
+TEST(DaVinciOpsTest, UnionAccumulatesSharedHeavyFlows) {
+  DaVinciSketch a(128 * 1024, 2), b(128 * 1024, 2);
+  for (int i = 0; i < 4000; ++i) {
+    a.Insert(33, 1);
+    b.Insert(33, 1);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Query(33), 8000);
+}
+
+TEST(DaVinciOpsTest, UnionAreSmallOnTraceHalves) {
+  Trace trace = BuildSkewedTrace("t", 200000, 20000, 1.05, 3);
+  Trace first = Slice(trace, 0, trace.keys.size() / 2, "a");
+  Trace second = Slice(trace, trace.keys.size() / 2, trace.keys.size(), "b");
+  DaVinciSketch a = BuildOn(first.keys, 200 * 1024, 3);
+  DaVinciSketch b = BuildOn(second.keys, 200 * 1024, 3);
+  a.Merge(b);
+  GroundTruth truth(trace.keys);
+  std::vector<Estimate> observations;
+  for (const auto& [key, f] : truth.frequencies()) {
+    observations.push_back({f, a.Query(key)});
+  }
+  EXPECT_LT(AverageRelativeError(observations), 0.8);
+}
+
+TEST(DaVinciOpsTest, InclusionDifferenceRecoversRemainder) {
+  // A ⊃ B: subtract half the stream from the whole stream.
+  Trace trace = BuildSkewedTrace("t", 100000, 10000, 1.05, 4);
+  Trace half = Slice(trace, 0, trace.keys.size() / 2, "half");
+  DaVinciSketch whole = BuildOn(trace.keys, 200 * 1024, 4);
+  DaVinciSketch part = BuildOn(half.keys, 200 * 1024, 4);
+  whole.Subtract(part);
+
+  GroundTruth truth_whole(trace.keys);
+  GroundTruth truth_half(half.keys);
+  GroundTruth diff = GroundTruth::Difference(truth_whole, truth_half);
+  std::vector<Estimate> observations;
+  for (const auto& [key, f] : diff.frequencies()) {
+    observations.push_back({f, whole.Query(key)});
+  }
+  EXPECT_LT(AverageRelativeError(observations), 1.0);
+}
+
+TEST(DaVinciOpsTest, DifferenceWithNegativeSide) {
+  DaVinciSketch a(128 * 1024, 5), b(128 * 1024, 5);
+  for (int i = 0; i < 2000; ++i) a.Insert(50, 1);
+  for (int i = 0; i < 3000; ++i) b.Insert(60, 1);
+  a.Subtract(b);
+  EXPECT_NEAR(static_cast<double>(a.Query(50)), 2000.0, 100.0);
+  EXPECT_NEAR(static_cast<double>(a.Query(60)), -3000.0, 150.0);
+}
+
+TEST(DaVinciOpsTest, ExactCancellation) {
+  std::vector<uint32_t> keys;
+  for (uint32_t key = 1; key <= 500; ++key) {
+    for (int i = 0; i < 30; ++i) keys.push_back(key);
+  }
+  DaVinciSketch a = BuildOn(keys, 128 * 1024, 6);
+  DaVinciSketch b = BuildOn(keys, 128 * 1024, 6);
+  a.Subtract(b);
+  for (uint32_t key = 1; key <= 500; key += 17) {
+    EXPECT_EQ(a.Query(key), 0) << key;
+  }
+}
+
+TEST(DaVinciOpsTest, HeavyChangersDetected) {
+  Trace window1 = BuildSkewedTrace("w1", 100000, 10000, 1.05, 7);
+  DaVinciSketch a = BuildOn(window1.keys, 200 * 1024, 7);
+  DaVinciSketch b = BuildOn(window1.keys, 200 * 1024, 7);
+  // Window 2 = window 1 plus one flow that surges by 5000 packets.
+  uint32_t surging = window1.keys[0];
+  for (int i = 0; i < 5000; ++i) b.Insert(surging, 1);
+
+  auto changers = b.HeavyChangers(a, 2500);
+  bool found = false;
+  for (const auto& [key, change] : changers) {
+    if (key == surging) {
+      found = true;
+      EXPECT_NEAR(static_cast<double>(change), 5000.0, 500.0);
+    }
+  }
+  EXPECT_TRUE(found);
+  // No false positives above the threshold.
+  EXPECT_LE(changers.size(), 3u);
+}
+
+TEST(DaVinciOpsTest, InnerProductSmallExactCase) {
+  DaVinciSketch a(128 * 1024, 8), b(128 * 1024, 8);
+  a.Insert(1, 100);
+  a.Insert(2, 50);
+  b.Insert(1, 200);
+  b.Insert(3, 70);
+  // f⊙g = 100·200 = 20000, both flows resident in the FPs.
+  EXPECT_NEAR(DaVinciSketch::InnerProduct(a, b), 20000.0, 2000.0);
+}
+
+TEST(DaVinciOpsTest, InnerProductAreSmallOnOverlappingWindows) {
+  Trace trace = BuildSkewedTrace("t", 200000, 10000, 1.1, 9);
+  Trace wa = Slice(trace, 0, trace.keys.size() * 2 / 3, "a");
+  Trace wb = Slice(trace, trace.keys.size() / 3, trace.keys.size(), "b");
+  DaVinciSketch a = BuildOn(wa.keys, 300 * 1024, 9);
+  DaVinciSketch b = BuildOn(wb.keys, 300 * 1024, 9);
+  double truth =
+      GroundTruth::InnerJoin(GroundTruth(wa.keys), GroundTruth(wb.keys));
+  double est = DaVinciSketch::InnerProduct(a, b);
+  EXPECT_LT(RelativeError(truth, est), 0.1);
+}
+
+TEST(DaVinciOpsTest, QueriesStillWorkAfterUnionThenDifference) {
+  DaVinciSketch a(128 * 1024, 10), b(128 * 1024, 10), c(128 * 1024, 10);
+  for (int i = 0; i < 1000; ++i) {
+    a.Insert(5, 1);
+    b.Insert(5, 1);
+    c.Insert(5, 1);
+  }
+  a.Merge(b);     // 2000 of key 5
+  a.Subtract(c);  // back to 1000
+  EXPECT_NEAR(static_cast<double>(a.Query(5)), 1000.0, 100.0);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,157 @@
+// Parameterized property sweeps of DaVinci Sketch invariants over memory
+// budgets and workload skews (TEST_P / INSTANTIATE_TEST_SUITE_P).
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/davinci_sketch.h"
+#include "metrics/metrics.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+// (memory_kb, skew)
+using Param = std::tuple<size_t, double>;
+
+class DaVinciPropertyTest : public ::testing::TestWithParam<Param> {
+ protected:
+  size_t memory_bytes() const { return std::get<0>(GetParam()) * 1024; }
+  double skew() const { return std::get<1>(GetParam()); }
+
+  Trace MakeTrace(uint64_t seed) const {
+    return BuildSkewedTrace("p", 120000, 12000, skew(), seed);
+  }
+
+  DaVinciSketch Build(const std::vector<uint32_t>& keys, uint64_t seed) const {
+    DaVinciSketch sketch(memory_bytes(), seed);
+    for (uint32_t key : keys) sketch.Insert(key, 1);
+    return sketch;
+  }
+};
+
+TEST_P(DaVinciPropertyTest, EstimatesAreNonNegativeOnStreams) {
+  Trace trace = MakeTrace(1);
+  DaVinciSketch sketch = Build(trace.keys, 1);
+  GroundTruth truth(trace.keys);
+  for (const auto& [key, f] : truth.frequencies()) {
+    (void)f;
+    EXPECT_GE(sketch.Query(key), 0) << key;
+  }
+}
+
+TEST_P(DaVinciPropertyTest, TotalMassRoughlyConserved) {
+  Trace trace = MakeTrace(2);
+  DaVinciSketch sketch = Build(trace.keys, 2);
+  GroundTruth truth(trace.keys);
+  double estimated_mass = 0;
+  for (const auto& [key, f] : truth.frequencies()) {
+    (void)f;
+    estimated_mass += static_cast<double>(sketch.Query(key));
+  }
+  double true_mass = static_cast<double>(trace.keys.size());
+  EXPECT_NEAR(estimated_mass, true_mass, true_mass * 0.25);
+}
+
+TEST_P(DaVinciPropertyTest, MergeIsLinearOnFrequencies) {
+  Trace trace = MakeTrace(3);
+  size_t half = trace.keys.size() / 2;
+  std::vector<uint32_t> first(trace.keys.begin(), trace.keys.begin() + half);
+  std::vector<uint32_t> second(trace.keys.begin() + half, trace.keys.end());
+
+  DaVinciSketch merged = Build(first, 3);
+  DaVinciSketch other = Build(second, 3);
+  merged.Merge(other);
+  DaVinciSketch direct = Build(trace.keys, 3);
+
+  // The union estimate must track the direct single-sketch estimate for
+  // the top flows (both are near-exact there).
+  GroundTruth truth(trace.keys);
+  for (const auto& [key, f] :
+       truth.HeavyHitters(static_cast<int64_t>(trace.keys.size()) / 500)) {
+    double m = static_cast<double>(merged.Query(key));
+    EXPECT_NEAR(m, static_cast<double>(f), f * 0.15) << key;
+    EXPECT_NEAR(m, static_cast<double>(direct.Query(key)), f * 0.15) << key;
+  }
+}
+
+TEST_P(DaVinciPropertyTest, SubtractIsInverseOfMerge) {
+  Trace trace = MakeTrace(4);
+  size_t half = trace.keys.size() / 2;
+  std::vector<uint32_t> first(trace.keys.begin(), trace.keys.begin() + half);
+  std::vector<uint32_t> second(trace.keys.begin() + half, trace.keys.end());
+
+  DaVinciSketch a = Build(first, 4);
+  DaVinciSketch b = Build(second, 4);
+  DaVinciSketch roundtrip = a;
+  roundtrip.Merge(b);
+  roundtrip.Subtract(b);
+
+  GroundTruth truth_a(first);
+  for (const auto& [key, f] :
+       truth_a.HeavyHitters(static_cast<int64_t>(first.size()) / 500)) {
+    EXPECT_NEAR(static_cast<double>(roundtrip.Query(key)),
+                static_cast<double>(f), f * 0.15)
+        << key;
+  }
+}
+
+TEST_P(DaVinciPropertyTest, SelfDifferenceIsZeroEverywhere) {
+  Trace trace = MakeTrace(5);
+  DaVinciSketch a = Build(trace.keys, 5);
+  DaVinciSketch b = Build(trace.keys, 5);
+  a.Subtract(b);
+  GroundTruth truth(trace.keys);
+  size_t nonzero = 0;
+  for (const auto& [key, f] : truth.frequencies()) {
+    (void)f;
+    if (a.Query(key) != 0) ++nonzero;
+  }
+  EXPECT_EQ(nonzero, 0u);
+}
+
+TEST_P(DaVinciPropertyTest, SelfJoinMatchesSecondMoment) {
+  Trace trace = MakeTrace(6);
+  DaVinciSketch a = Build(trace.keys, 6);
+  DaVinciSketch b = Build(trace.keys, 6);
+  GroundTruth truth(trace.keys);
+  double f2 = GroundTruth::InnerJoin(truth, truth);
+  EXPECT_NEAR(DaVinciSketch::InnerProduct(a, b), f2, f2 * 0.05);
+}
+
+TEST_P(DaVinciPropertyTest, CardinalityWithinTenPercent) {
+  Trace trace = MakeTrace(7);
+  DaVinciSketch sketch = Build(trace.keys, 7);
+  GroundTruth truth(trace.keys);
+  EXPECT_NEAR(sketch.EstimateCardinality(),
+              static_cast<double>(truth.cardinality()),
+              truth.cardinality() * 0.10);
+}
+
+TEST_P(DaVinciPropertyTest, HeavyHittersNoLargeMisses) {
+  Trace trace = MakeTrace(8);
+  DaVinciSketch sketch = Build(trace.keys, 8);
+  GroundTruth truth(trace.keys);
+  int64_t threshold = static_cast<int64_t>(trace.keys.size()) / 1000;
+  auto reported = sketch.HeavyHitters(threshold);
+  std::unordered_map<uint32_t, int64_t> reported_map(reported.begin(),
+                                                     reported.end());
+  // Every flow at 2× the threshold must be reported.
+  for (const auto& [key, f] : truth.HeavyHitters(threshold * 2)) {
+    EXPECT_TRUE(reported_map.count(key)) << "missed flow of size " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MemoryAndSkew, DaVinciPropertyTest,
+    ::testing::Combine(::testing::Values<size_t>(150, 300, 600),
+                       ::testing::Values(0.8, 1.05, 1.3)),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      return "kb" + std::to_string(std::get<0>(info.param)) + "_skew" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 100));
+    });
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,155 @@
+// End-to-end behaviour of the DaVinci Sketch facade on all nine tasks.
+
+#include "core/davinci_sketch.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "metrics/metrics.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+DaVinciSketch BuildOn(const Trace& trace, size_t bytes = 200 * 1024,
+                      uint64_t seed = 1) {
+  DaVinciSketch sketch(bytes, seed);
+  for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+  return sketch;
+}
+
+TEST(DaVinciSketchTest, ExactForSingleFlow) {
+  DaVinciSketch sketch(64 * 1024, 1);
+  for (int i = 0; i < 12345; ++i) sketch.Insert(42, 1);
+  EXPECT_EQ(sketch.Query(42), 12345);
+}
+
+TEST(DaVinciSketchTest, SmallFlowStaysInFilter) {
+  DaVinciSketch sketch(64 * 1024, 2);
+  // Fill the FP bucket space with heavy flows first is unnecessary: a lone
+  // small flow sits in the FP. Instead check the decomposition on a flow
+  // that was rejected from a full bucket — emulated by many distinct keys.
+  for (uint32_t key = 1; key <= 20000; ++key) sketch.Insert(key, 1);
+  // All flows have size 1; every estimate must be small.
+  for (uint32_t key = 1; key <= 100; ++key) {
+    EXPECT_LE(sketch.Query(key), 4);
+    EXPECT_GE(sketch.Query(key), 0);
+  }
+}
+
+TEST(DaVinciSketchTest, FrequencyAreSmallOnSkewedTrace) {
+  Trace trace = BuildSkewedTrace("t", 300000, 30000, 1.05, 3);
+  DaVinciSketch sketch = BuildOn(trace, 200 * 1024, 3);
+  GroundTruth truth(trace.keys);
+  std::vector<Estimate> observations;
+  for (const auto& [key, f] : truth.frequencies()) {
+    observations.push_back({f, sketch.Query(key)});
+  }
+  EXPECT_LT(AverageRelativeError(observations), 0.2);
+}
+
+TEST(DaVinciSketchTest, HeavyFlowsNearExact) {
+  Trace trace = BuildSkewedTrace("t", 300000, 30000, 1.05, 4);
+  DaVinciSketch sketch = BuildOn(trace, 200 * 1024, 4);
+  GroundTruth truth(trace.keys);
+  for (const auto& [key, f] :
+       truth.HeavyHitters(static_cast<int64_t>(trace.keys.size()) / 1000)) {
+    EXPECT_NEAR(static_cast<double>(sketch.Query(key)),
+                static_cast<double>(f), f * 0.05)
+        << "heavy flow " << key;
+  }
+}
+
+TEST(DaVinciSketchTest, HeavyHitterF1High) {
+  Trace trace = BuildSkewedTrace("t", 300000, 30000, 1.05, 5);
+  DaVinciSketch sketch = BuildOn(trace, 200 * 1024, 5);
+  GroundTruth truth(trace.keys);
+  int64_t threshold = static_cast<int64_t>(trace.keys.size() * 0.0002);
+  auto reported = sketch.HeavyHitters(threshold);
+  auto actual = truth.HeavyHitters(threshold);
+  std::unordered_set<uint32_t> actual_keys;
+  for (const auto& [key, f] : actual) actual_keys.insert(key);
+  size_t correct = 0;
+  for (const auto& [key, est] : reported) {
+    if (actual_keys.count(key)) ++correct;
+  }
+  EXPECT_GT(F1Score(correct, reported.size(), actual.size()), 0.95);
+}
+
+TEST(DaVinciSketchTest, CardinalityWithinFivePercent) {
+  Trace trace = BuildSkewedTrace("t", 300000, 30000, 1.05, 6);
+  DaVinciSketch sketch = BuildOn(trace, 200 * 1024, 6);
+  GroundTruth truth(trace.keys);
+  EXPECT_NEAR(sketch.EstimateCardinality(),
+              static_cast<double>(truth.cardinality()),
+              truth.cardinality() * 0.05);
+}
+
+TEST(DaVinciSketchTest, DistributionWmreSmall) {
+  Trace trace = BuildSkewedTrace("t", 300000, 30000, 1.05, 7);
+  DaVinciSketch sketch = BuildOn(trace, 600 * 1024, 7);
+  GroundTruth truth(trace.keys);
+  double wmre =
+      WeightedMeanRelativeError(truth.Distribution(), sketch.Distribution());
+  EXPECT_LT(wmre, 0.4);
+}
+
+TEST(DaVinciSketchTest, EntropyWithinTolerance) {
+  Trace trace = BuildSkewedTrace("t", 300000, 30000, 1.05, 8);
+  DaVinciSketch sketch = BuildOn(trace, 600 * 1024, 8);
+  GroundTruth truth(trace.keys);
+  EXPECT_NEAR(sketch.EstimateEntropy(), truth.Entropy(),
+              truth.Entropy() * 0.1);
+}
+
+TEST(DaVinciSketchTest, DecodedFlowsMatchTruthExactly) {
+  // Medium flows (above T, outside FP) decode to their exact IFP share;
+  // with query composition the full count is recovered.
+  DaVinciSketch sketch(256 * 1024, 9);
+  for (uint32_t key = 1; key <= 1000; ++key) {
+    for (int i = 0; i < 60; ++i) sketch.Insert(key, 1);
+  }
+  for (uint32_t key = 1; key <= 1000; ++key) {
+    EXPECT_EQ(sketch.Query(key), 60) << key;
+  }
+}
+
+TEST(DaVinciSketchTest, QueryCachesDecodeAcrossCalls) {
+  Trace trace = BuildSkewedTrace("t", 50000, 5000, 1.0, 10);
+  DaVinciSketch sketch = BuildOn(trace, 128 * 1024, 10);
+  const auto& first = sketch.DecodedFlows();
+  const auto& second = sketch.DecodedFlows();
+  EXPECT_EQ(&first, &second);  // same cached object
+  sketch.Insert(424243, 1);
+  const auto& third = sketch.DecodedFlows();
+  (void)third;  // cache was rebuilt without crashing
+}
+
+TEST(DaVinciSketchTest, MemoryBudgetHonored) {
+  for (size_t kb : {100, 200, 400, 600}) {
+    DaVinciSketch sketch(kb * 1024, 11);
+    EXPECT_LE(sketch.MemoryBytes(), kb * 1024 + 2048) << kb;
+    EXPECT_GE(sketch.MemoryBytes(), kb * 1024 * 8 / 10) << kb;
+  }
+}
+
+TEST(DaVinciSketchTest, MemoryAccessesPerInsertIsSmall) {
+  Trace trace = BuildSkewedTrace("t", 100000, 10000, 1.05, 12);
+  DaVinciSketch sketch = BuildOn(trace, 200 * 1024, 12);
+  double ama = static_cast<double>(sketch.MemoryAccesses()) /
+               static_cast<double>(trace.keys.size());
+  // Paper reports ~6.7 accesses/insert with c=7, m=2, d=3.
+  EXPECT_LT(ama, 14.0);
+  EXPECT_GT(ama, 1.0);
+}
+
+TEST(DaVinciSketchTest, CountParameterInsertsBatch) {
+  DaVinciSketch sketch(64 * 1024, 13);
+  sketch.Insert(5, 1000);
+  EXPECT_EQ(sketch.Query(5), 1000);
+}
+
+}  // namespace
+}  // namespace davinci

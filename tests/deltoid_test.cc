@@ -1,0 +1,76 @@
+#include "baselines/deltoid.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+TEST(DeltoidTest, QueryUpperBoundsFrequency) {
+  Deltoid deltoid(64 * 1024, 3, 1);
+  deltoid.Insert(1234, 500);
+  deltoid.Insert(5678, 20);
+  EXPECT_GE(deltoid.Query(1234), 500);
+  EXPECT_GE(deltoid.Query(5678), 20);
+}
+
+TEST(DeltoidTest, FindsSingleHeavyChanger) {
+  Deltoid a(64 * 1024, 3, 2), b(64 * 1024, 3, 2);
+  for (uint32_t key = 1; key <= 200; ++key) {
+    a.Insert(key, 10);
+    b.Insert(key, 10);  // stable background
+  }
+  b.Insert(0xabcdef12, 5000);  // surge in the second window
+  a.Subtract(b);
+  auto changers = a.HeavyChangers(2500);
+  ASSERT_EQ(changers.size(), 1u);
+  EXPECT_EQ(changers[0].first, 0xabcdef12u);
+  EXPECT_NEAR(static_cast<double>(changers[0].second), -5000.0, 2100.0);
+}
+
+TEST(DeltoidTest, FindsMultipleChangers) {
+  Deltoid a(128 * 1024, 4, 3), b(128 * 1024, 4, 3);
+  for (uint32_t key = 1; key <= 500; ++key) {
+    a.Insert(key, 5);
+    b.Insert(key, 5);
+  }
+  a.Insert(111111, 4000);   // dropped flow (positive change)
+  b.Insert(2222222, 4000);  // surged flow (negative change)
+  a.Subtract(b);
+  auto changers = a.HeavyChangers(2000);
+  bool found_drop = false, found_surge = false;
+  for (const auto& [key, change] : changers) {
+    if (key == 111111 && change > 0) found_drop = true;
+    if (key == 2222222 && change < 0) found_surge = true;
+  }
+  EXPECT_TRUE(found_drop);
+  EXPECT_TRUE(found_surge);
+}
+
+TEST(DeltoidTest, StableWindowsReportNothing) {
+  Deltoid a(64 * 1024, 3, 4), b(64 * 1024, 3, 4);
+  for (uint32_t key = 1; key <= 300; ++key) {
+    a.Insert(key, key);
+    b.Insert(key, key);
+  }
+  a.Subtract(b);
+  EXPECT_TRUE(a.HeavyChangers(50).empty());
+}
+
+TEST(DeltoidTest, MergeUndoesSubtract) {
+  Deltoid a(32 * 1024, 3, 5), b(32 * 1024, 3, 5);
+  a.Insert(999, 100);
+  b.Insert(999, 40);
+  a.Subtract(b);
+  a.Merge(b);
+  EXPECT_GE(a.Query(999), 100);
+}
+
+TEST(DeltoidTest, MemoryAccountsBitCounters) {
+  Deltoid deltoid(66 * 1024, 2, 6);
+  // Each bucket is 33 four-byte counters.
+  EXPECT_LE(deltoid.MemoryBytes(), 66u * 1024);
+  EXPECT_GT(deltoid.MemoryBytes(), 60u * 1024);
+}
+
+}  // namespace
+}  // namespace davinci

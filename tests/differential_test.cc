@@ -1,0 +1,108 @@
+// Differential testing: random operation sequences executed in parallel
+// against DaVinci Sketch and an exact dictionary; the sketch's answers must
+// track the dictionary within accuracy tolerances regardless of the
+// sequence of inserts / merges / subtracts.
+
+#include <map>
+#include <random>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/davinci_sketch.h"
+#include "metrics/metrics.h"
+
+namespace davinci {
+namespace {
+
+class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialTest, RandomInsertSequencesTrackDictionary) {
+  std::mt19937_64 rng(GetParam());
+  DaVinciSketch sketch(256 * 1024, GetParam());
+  std::unordered_map<uint32_t, int64_t> exact;
+
+  // A mix of hot keys (Zipf-ish via modulo bias) and one-off keys.
+  for (int i = 0; i < 150000; ++i) {
+    uint32_t key;
+    if (rng() % 100 < 60) {
+      key = static_cast<uint32_t>(rng() % 64 + 1);  // hot set
+    } else if (rng() % 100 < 90) {
+      key = static_cast<uint32_t>(rng() % 4096 + 1000);  // warm set
+    } else {
+      key = static_cast<uint32_t>(rng() | 1);  // cold one-offs
+    }
+    int64_t count = static_cast<int64_t>(rng() % 3 + 1);
+    sketch.Insert(key, count);
+    exact[key] += count;
+  }
+
+  std::vector<Estimate> observations;
+  for (const auto& [key, f] : exact) {
+    observations.push_back({f, sketch.Query(key)});
+  }
+  EXPECT_LT(AverageRelativeError(observations), 0.35);
+
+  // Hot keys individually accurate.
+  for (uint32_t key = 1; key <= 64; ++key) {
+    auto it = exact.find(key);
+    if (it == exact.end()) continue;
+    EXPECT_NEAR(static_cast<double>(sketch.Query(key)),
+                static_cast<double>(it->second), it->second * 0.05)
+        << key;
+  }
+}
+
+TEST_P(DifferentialTest, RandomMergeSubtractProgramsStayConsistent) {
+  std::mt19937_64 rng(GetParam() * 977);
+  const size_t kBytes = 192 * 1024;
+  const uint64_t kSeed = 5;
+
+  // Three streams with overlapping key ranges.
+  std::vector<std::unordered_map<uint32_t, int64_t>> exact(3);
+  std::vector<DaVinciSketch> sketches;
+  for (int s = 0; s < 3; ++s) sketches.emplace_back(kBytes, kSeed);
+  for (int s = 0; s < 3; ++s) {
+    for (int i = 0; i < 30000; ++i) {
+      uint32_t key = static_cast<uint32_t>(rng() % 3000 + s * 1000 + 1);
+      sketches[s].Insert(key, 1);
+      ++exact[s][key];
+    }
+  }
+
+  // Random program: result = s0 ± s1 ± s2.
+  DaVinciSketch result = sketches[0];
+  std::unordered_map<uint32_t, int64_t> expected = exact[0];
+  for (int s = 1; s < 3; ++s) {
+    bool subtract = rng() % 2 == 0;
+    if (subtract) {
+      result.Subtract(sketches[s]);
+      for (const auto& [key, f] : exact[s]) expected[key] -= f;
+    } else {
+      result.Merge(sketches[s]);
+      for (const auto& [key, f] : exact[s]) expected[key] += f;
+    }
+  }
+
+  // The result sketch must track the expected signed frequencies of the
+  // heavy keys (|expected| in the upper decile).
+  std::vector<std::pair<int64_t, uint32_t>> ranked;
+  for (const auto& [key, f] : expected) {
+    ranked.emplace_back(std::llabs(f), key);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  size_t top = std::max<size_t>(1, ranked.size() / 10);
+  for (size_t i = 0; i < top; ++i) {
+    uint32_t key = ranked[i].second;
+    double truth = static_cast<double>(expected[key]);
+    double est = static_cast<double>(result.Query(key));
+    EXPECT_NEAR(est, truth, std::max(10.0, std::abs(truth) * 0.25))
+        << "key " << key << " after random program";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace davinci

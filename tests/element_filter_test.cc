@@ -1,0 +1,80 @@
+#include "core/element_filter.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+ElementFilter MakeFilter(int64_t threshold = 16, size_t bytes = 16 * 1024,
+                         uint64_t seed = 1) {
+  return ElementFilter(bytes, {8, 16}, threshold, seed);
+}
+
+TEST(ElementFilterTest, AbsorbsBelowThreshold) {
+  ElementFilter ef = MakeFilter();
+  EXPECT_EQ(ef.Insert(5, 10), 0);
+  EXPECT_EQ(ef.Query(5), 10);
+}
+
+TEST(ElementFilterTest, OverflowBeyondThreshold) {
+  ElementFilter ef = MakeFilter(16);
+  EXPECT_EQ(ef.Insert(5, 10), 0);
+  EXPECT_EQ(ef.Insert(5, 10), 4);   // only 6 more fit under T=16
+  EXPECT_EQ(ef.Insert(5, 100), 100);  // everything overflows now
+  EXPECT_EQ(ef.Query(5), 16);
+}
+
+TEST(ElementFilterTest, RetainsAtMostTPerFlow) {
+  ElementFilter ef = MakeFilter(16);
+  int64_t overflow_total = 0;
+  for (int i = 0; i < 100; ++i) {
+    overflow_total += ef.Insert(77, 1);
+  }
+  EXPECT_EQ(ef.Query(77), 16);
+  EXPECT_EQ(overflow_total, 100 - 16);
+}
+
+TEST(ElementFilterTest, IndependentFlowsDoNotInterfereAtLowLoad) {
+  ElementFilter ef = MakeFilter(16, 64 * 1024);
+  for (uint32_t key = 1; key <= 50; ++key) {
+    ef.Insert(key, static_cast<int64_t>(key % 10 + 1));
+  }
+  for (uint32_t key = 1; key <= 50; ++key) {
+    EXPECT_GE(ef.Query(key), static_cast<int64_t>(key % 10 + 1));
+  }
+}
+
+TEST(ElementFilterTest, MergeAddsRetainedCounts) {
+  ElementFilter a = MakeFilter(16, 16 * 1024, 3);
+  ElementFilter b = MakeFilter(16, 16 * 1024, 3);
+  a.Insert(9, 6);
+  b.Insert(9, 5);
+  a.Merge(b);
+  EXPECT_EQ(a.Query(9), 11);
+}
+
+TEST(ElementFilterTest, SubtractGoesSigned) {
+  ElementFilter a = MakeFilter(16, 16 * 1024, 4);
+  ElementFilter b = MakeFilter(16, 16 * 1024, 4);
+  a.Insert(9, 3);
+  b.Insert(9, 8);
+  a.Subtract(b);
+  EXPECT_EQ(a.QuerySigned(9), -5);
+}
+
+TEST(ElementFilterTest, BottomLevelSupportsLinearCounting) {
+  ElementFilter ef = MakeFilter(16, 32 * 1024, 5);
+  size_t zeros_before = ef.BottomZeroSlots();
+  for (uint32_t key = 1; key <= 200; ++key) ef.Insert(key, 1);
+  size_t zeros_after = ef.BottomZeroSlots();
+  EXPECT_LE(zeros_before - zeros_after, 200u);
+  EXPECT_GE(zeros_before - zeros_after, 190u);  // few collisions at this load
+}
+
+TEST(ElementFilterTest, MemoryMatchesBudget) {
+  ElementFilter ef = MakeFilter(16, 64 * 1024, 6);
+  EXPECT_NEAR(static_cast<double>(ef.MemoryBytes()), 64.0 * 1024, 1024.0);
+}
+
+}  // namespace
+}  // namespace davinci

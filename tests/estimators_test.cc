@@ -1,0 +1,122 @@
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "estimators/em_distribution.h"
+#include "estimators/entropy.h"
+#include "estimators/linear_counting.h"
+#include "metrics/metrics.h"
+
+namespace davinci {
+namespace {
+
+TEST(LinearCountingTest, EmptyArrayIsZero) {
+  EXPECT_DOUBLE_EQ(LinearCountingEstimate(1000, 1000), 0.0);
+}
+
+TEST(LinearCountingTest, NoSlotsIsZero) {
+  EXPECT_DOUBLE_EQ(LinearCountingEstimate(0, 0), 0.0);
+}
+
+TEST(LinearCountingTest, SaturatedArrayIsFinite) {
+  double estimate = LinearCountingEstimate(1000, 0);
+  EXPECT_TRUE(std::isfinite(estimate));
+  EXPECT_GT(estimate, 1000.0);
+}
+
+TEST(LinearCountingTest, AccurateAtModerateLoad) {
+  // Hash n distinct items into m slots and estimate n back.
+  const size_t m = 10000;
+  const size_t n = 5000;
+  std::mt19937_64 rng(1234);
+  std::vector<bool> slots(m, false);
+  for (size_t i = 0; i < n; ++i) {
+    slots[rng() % m] = true;
+  }
+  size_t zeros = 0;
+  for (bool occupied : slots) {
+    if (!occupied) ++zeros;
+  }
+  double estimate = LinearCountingEstimate(m, zeros);
+  EXPECT_NEAR(estimate, static_cast<double>(n), n * 0.05);
+}
+
+TEST(EntropyTest, EmptyHistogramIsZero) {
+  EXPECT_DOUBLE_EQ(EntropyFromDistribution({}), 0.0);
+}
+
+TEST(EntropyTest, UniformFlowsMatchLogN) {
+  // 8 flows of size 1 → H = ln 8.
+  std::map<int64_t, int64_t> hist = {{1, 8}};
+  EXPECT_NEAR(EntropyFromDistribution(hist), std::log(8.0), 1e-12);
+}
+
+TEST(EntropyTest, SingleFlowIsZero) {
+  std::map<int64_t, int64_t> hist = {{1000, 1}};
+  EXPECT_NEAR(EntropyFromDistribution(hist), 0.0, 1e-12);
+}
+
+TEST(EntropyTest, MatchesDirectComputation) {
+  // Two flows of size 1 and one of size 2: p = {1/4, 1/4, 1/2}.
+  std::map<int64_t, int64_t> hist = {{1, 2}, {2, 1}};
+  double expected = -(0.25 * std::log(0.25) * 2 + 0.5 * std::log(0.5));
+  EXPECT_NEAR(EntropyFromDistribution(hist), expected, 1e-12);
+}
+
+TEST(EmDistributionTest, EmptyCountersGiveEmptyHistogram) {
+  EXPECT_TRUE(EmDistribution::Estimate(std::vector<int64_t>(100, 0)).empty());
+}
+
+TEST(EmDistributionTest, NoCollisionsIsExact) {
+  // Distinct counters: 10 ones and 5 threes, no collisions to disentangle.
+  std::vector<int64_t> counters(1000, 0);
+  for (int i = 0; i < 10; ++i) counters[i] = 1;
+  for (int i = 10; i < 15; ++i) counters[i] = 3;
+  auto hist = EmDistribution::Estimate(counters);
+  EXPECT_NEAR(hist[1], 10, 2);
+  EXPECT_NEAR(hist[3], 5, 1);
+}
+
+TEST(EmDistributionTest, SeparatesPairCollisions) {
+  // 1000 size-1 flows hashed into 2000 counters: ≈ 200 counters show "2"
+  // from collisions, which EM must re-attribute to size-1 flows.
+  const size_t m = 2000;
+  const size_t n = 1000;
+  std::mt19937_64 rng(777);
+  std::vector<int64_t> counters(m, 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++counters[rng() % m];
+  }
+  auto hist = EmDistribution::Estimate(counters);
+  // The raw counter histogram would report ~190 flows of size 2; EM should
+  // push the size-1 estimate back toward 1000.
+  EXPECT_GT(hist[1], 850);
+  EXPECT_LT(hist[2], 120);
+}
+
+TEST(EmDistributionTest, LargeCountersKeptAsSingleFlows) {
+  std::vector<int64_t> counters(500, 0);
+  counters[0] = 100000;  // above the single-flow cutoff
+  counters[1] = 1;
+  auto hist = EmDistribution::Estimate(counters);
+  EXPECT_EQ(hist[100000], 1);
+}
+
+TEST(EmDistributionTest, WmreSmallOnSkewedWorkload) {
+  // A Zipf-ish mix of sizes through a realistic load factor.
+  const size_t m = 4096;
+  std::mt19937_64 rng(4242);
+  std::vector<int64_t> counters(m, 0);
+  std::map<int64_t, int64_t> truth;
+  for (int i = 0; i < 1500; ++i) {
+    int64_t size = 1 + (i % 97 == 0 ? 50 : i % 3);
+    ++truth[size];
+    counters[rng() % m] += size;
+  }
+  auto hist = EmDistribution::Estimate(counters);
+  EXPECT_LT(WeightedMeanRelativeError(truth, hist), 0.35);
+}
+
+}  // namespace
+}  // namespace davinci

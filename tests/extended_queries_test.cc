@@ -1,0 +1,117 @@
+#include "core/extended_queries.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+DaVinciSketch Build(const std::vector<uint32_t>& keys, uint64_t seed,
+                    size_t bytes = 256 * 1024) {
+  DaVinciSketch sketch(bytes, seed);
+  for (uint32_t key : keys) sketch.Insert(key, 1);
+  return sketch;
+}
+
+TEST(ExtendedQueriesTest, IntersectionOfOverlappingSets) {
+  // A = {1..6000}, B = {4001..10000} → |A∩B| = 2000.
+  std::vector<uint32_t> a_keys, b_keys;
+  for (uint32_t key = 1; key <= 6000; ++key) a_keys.push_back(key);
+  for (uint32_t key = 4001; key <= 10000; ++key) b_keys.push_back(key);
+  DaVinciSketch a = Build(a_keys, 1);
+  DaVinciSketch b = Build(b_keys, 1);
+  EXPECT_NEAR(EstimateIntersectionCardinality(a, b), 2000.0, 300.0);
+}
+
+TEST(ExtendedQueriesTest, IntersectionOfDisjointSetsNearZero) {
+  std::vector<uint32_t> a_keys, b_keys;
+  for (uint32_t key = 1; key <= 5000; ++key) a_keys.push_back(key);
+  for (uint32_t key = 100000; key <= 105000; ++key) b_keys.push_back(key);
+  DaVinciSketch a = Build(a_keys, 2);
+  DaVinciSketch b = Build(b_keys, 2);
+  EXPECT_LT(EstimateIntersectionCardinality(a, b), 300.0);
+}
+
+TEST(ExtendedQueriesTest, JaccardIdenticalSetsNearOne) {
+  std::vector<uint32_t> keys;
+  for (uint32_t key = 1; key <= 8000; ++key) keys.push_back(key);
+  DaVinciSketch a = Build(keys, 3);
+  DaVinciSketch b = Build(keys, 3);
+  EXPECT_GT(EstimateJaccard(a, b), 0.9);
+}
+
+TEST(ExtendedQueriesTest, JaccardHalfOverlap) {
+  // |A∩B| = 5000, |A∪B| = 15000 → J = 1/3.
+  std::vector<uint32_t> a_keys, b_keys;
+  for (uint32_t key = 1; key <= 10000; ++key) a_keys.push_back(key);
+  for (uint32_t key = 5001; key <= 15000; ++key) b_keys.push_back(key);
+  DaVinciSketch a = Build(a_keys, 4);
+  DaVinciSketch b = Build(b_keys, 4);
+  EXPECT_NEAR(EstimateJaccard(a, b), 1.0 / 3.0, 0.07);
+}
+
+TEST(ExtendedQueriesTest, TopKOrderAndContents) {
+  DaVinciSketch sketch(256 * 1024, 5);
+  // Sizes 100, 200, ..., 1000 for keys 1..10 plus background noise.
+  for (uint32_t key = 1; key <= 10; ++key) {
+    sketch.Insert(key, key * 100);
+  }
+  for (uint32_t key = 1000; key < 3000; ++key) sketch.Insert(key, 1);
+  auto top3 = TopK(sketch, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0].first, 10u);
+  EXPECT_EQ(top3[1].first, 9u);
+  EXPECT_EQ(top3[2].first, 8u);
+  EXPECT_GE(top3[0].second, top3[1].second);
+  EXPECT_GE(top3[1].second, top3[2].second);
+}
+
+TEST(ExtendedQueriesTest, TopKLargerThanCandidateSet) {
+  DaVinciSketch sketch(128 * 1024, 6);
+  sketch.Insert(1, 50);
+  sketch.Insert(2, 60);
+  auto top = TopK(sketch, 100);
+  EXPECT_LE(top.size(), 100u);
+  EXPECT_GE(top.size(), 2u);
+}
+
+TEST(ExtendedQueriesTest, QuantilesOfSkewedTrace) {
+  Trace trace = BuildSkewedTrace("t", 150000, 15000, 1.05, 7);
+  DaVinciSketch sketch = Build(trace.keys, 7, 400 * 1024);
+  GroundTruth truth(trace.keys);
+  // Exact quantiles from the true histogram.
+  auto hist = truth.Distribution();
+  double total = 0;
+  for (const auto& [size, n] : hist) {
+    (void)size;
+    total += static_cast<double>(n);
+  }
+  auto exact_quantile = [&](double q) {
+    double cum = 0;
+    for (const auto& [size, n] : hist) {
+      cum += static_cast<double>(n);
+      if (cum / total >= q) return size;
+    }
+    return hist.rbegin()->first;
+  };
+  // The median of flow sizes is small (mice dominate) and must match.
+  EXPECT_EQ(FlowSizeQuantile(sketch, 0.5), exact_quantile(0.5));
+  // High quantiles should be within a factor of ~2.
+  double q99_true = static_cast<double>(exact_quantile(0.99));
+  double q99_est = static_cast<double>(FlowSizeQuantile(sketch, 0.99));
+  EXPECT_GT(q99_est, q99_true * 0.5);
+  EXPECT_LT(q99_est, q99_true * 2.0);
+}
+
+TEST(ExtendedQueriesTest, SecondMomentMatchesTruth) {
+  Trace trace = BuildSkewedTrace("t", 100000, 10000, 1.1, 8);
+  DaVinciSketch sketch = Build(trace.keys, 8);
+  GroundTruth truth(trace.keys);
+  double f2 = GroundTruth::InnerJoin(truth, truth);
+  EXPECT_NEAR(EstimateSecondMoment(sketch), f2, f2 * 0.05);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,146 @@
+// Tests for the extension baselines: HeavyKeeper, MV-Sketch, PCSA, LogLog.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cardinality_sketches.h"
+#include "baselines/heavy_keeper.h"
+#include "baselines/mv_sketch.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+Trace SkewedTrace(size_t packets = 100000, uint64_t seed = 61) {
+  return BuildSkewedTrace("t", packets, packets / 10, 1.1, seed);
+}
+
+// ---------- HeavyKeeper ----------
+
+TEST(HeavyKeeperTest, SingleElephantNearExact) {
+  HeavyKeeper hk(64 * 1024, 2, 1);
+  for (int i = 0; i < 5000; ++i) hk.Insert(42, 1);
+  EXPECT_NEAR(static_cast<double>(hk.Query(42)), 5000.0, 250.0);
+}
+
+TEST(HeavyKeeperTest, ElephantsSurviveMousePressure) {
+  HeavyKeeper hk(64 * 1024, 2, 2);
+  // An elephant interleaved with a horde of mice.
+  for (int round = 0; round < 1000; ++round) {
+    hk.Insert(7, 1);
+    for (uint32_t mouse = 0; mouse < 20; ++mouse) {
+      hk.Insert(1000 + round * 20 + mouse, 1);
+    }
+  }
+  // The decay probability b^-1000 is astronomically small: the elephant's
+  // counter cannot be washed away.
+  EXPECT_GT(hk.Query(7), 900);
+}
+
+TEST(HeavyKeeperTest, TopFlowsRecalled) {
+  Trace trace = SkewedTrace();
+  HeavyKeeper hk(128 * 1024, 2, 3);
+  for (uint32_t key : trace.keys) hk.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+  int64_t threshold = trace.keys.size() / 500;
+  auto reported = hk.HeavyHitters(threshold / 2);
+  std::unordered_set<uint32_t> reported_keys;
+  for (const auto& [key, est] : reported) reported_keys.insert(key);
+  auto actual = truth.HeavyHitters(threshold);
+  size_t found = 0;
+  for (const auto& [key, f] : actual) {
+    (void)f;
+    if (reported_keys.count(key)) ++found;
+  }
+  EXPECT_GT(static_cast<double>(found) / actual.size(), 0.9);
+}
+
+// ---------- MV-Sketch ----------
+
+TEST(MvSketchTest, MajorityFlowRecovered) {
+  MvSketch mv(32 * 1024, 2, 4);
+  for (int i = 0; i < 10000; ++i) mv.Insert(99, 1);
+  for (uint32_t key = 1; key <= 100; ++key) mv.Insert(key, 1);
+  EXPECT_NEAR(static_cast<double>(mv.Query(99)), 10000.0, 200.0);
+}
+
+TEST(MvSketchTest, HeavyHittersFound) {
+  Trace trace = SkewedTrace();
+  MvSketch mv(128 * 1024, 4, 5);
+  for (uint32_t key : trace.keys) mv.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+  int64_t threshold = trace.keys.size() / 200;
+  auto reported = mv.HeavyHitters(threshold / 2);
+  std::unordered_set<uint32_t> reported_keys;
+  for (const auto& [key, est] : reported) reported_keys.insert(key);
+  auto actual = truth.HeavyHitters(threshold);
+  size_t found = 0;
+  for (const auto& [key, f] : actual) {
+    (void)f;
+    if (reported_keys.count(key)) ++found;
+  }
+  EXPECT_GT(static_cast<double>(found) / actual.size(), 0.9);
+}
+
+TEST(MvSketchTest, HeavyChangersAcrossWindows) {
+  MvSketch a(64 * 1024, 4, 6), b(64 * 1024, 4, 6);
+  for (int i = 0; i < 1000; ++i) {
+    a.Insert(5, 1);
+    b.Insert(5, 1);  // stable flow
+  }
+  for (int i = 0; i < 3000; ++i) b.Insert(6, 1);  // surge in window b
+  auto changers = MvSketch::HeavyChangers(a, b, 1500);
+  ASSERT_EQ(changers.size(), 1u);
+  EXPECT_EQ(changers[0].first, 6u);
+  EXPECT_NEAR(static_cast<double>(changers[0].second), -3000.0, 300.0);
+}
+
+// ---------- PCSA / LogLog ----------
+
+TEST(PcsaTest, EstimateWithinTwentyPercent) {
+  Pcsa pcsa(256, 7);
+  for (uint32_t key = 1; key <= 100000; ++key) pcsa.Insert(key);
+  EXPECT_NEAR(pcsa.EstimateCardinality(), 100000.0, 20000.0);
+}
+
+TEST(PcsaTest, MergeEqualsUnion) {
+  Pcsa a(256, 8), b(256, 8), u(256, 8);
+  for (uint32_t key = 1; key <= 50000; ++key) {
+    a.Insert(key);
+    u.Insert(key);
+  }
+  for (uint32_t key = 25000; key <= 75000; ++key) {
+    b.Insert(key);
+    u.Insert(key);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateCardinality(), u.EstimateCardinality());
+}
+
+TEST(LogLogTest, EstimateWithinFifteenPercent) {
+  LogLog loglog(12, 9);
+  for (uint32_t key = 1; key <= 200000; ++key) loglog.Insert(key);
+  EXPECT_NEAR(loglog.EstimateCardinality(), 200000.0, 30000.0);
+}
+
+TEST(LogLogTest, DuplicatesDoNotInflate) {
+  LogLog loglog(12, 10);
+  for (int round = 0; round < 5; ++round) {
+    for (uint32_t key = 1; key <= 50000; ++key) loglog.Insert(key);
+  }
+  EXPECT_NEAR(loglog.EstimateCardinality(), 50000.0, 10000.0);
+}
+
+TEST(LogLogTest, MergeMonotone) {
+  LogLog a(10, 11), b(10, 11);
+  for (uint32_t key = 1; key <= 10000; ++key) a.Insert(key);
+  double before = a.EstimateCardinality();
+  for (uint32_t key = 10001; key <= 30000; ++key) b.Insert(key);
+  a.Merge(b);
+  EXPECT_GT(a.EstimateCardinality(), before);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,104 @@
+#include "common/hash.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+TEST(BobHashTest, DeterministicForSameInput) {
+  uint32_t key = 0xdeadbeef;
+  EXPECT_EQ(BobHash(&key, sizeof(key), 1), BobHash(&key, sizeof(key), 1));
+}
+
+TEST(BobHashTest, SeedChangesOutput) {
+  uint32_t key = 0xdeadbeef;
+  EXPECT_NE(BobHash(&key, sizeof(key), 1), BobHash(&key, sizeof(key), 2));
+}
+
+TEST(BobHashTest, HandlesLongInput) {
+  std::vector<uint8_t> data(100, 0xab);
+  uint32_t h1 = BobHash(data.data(), data.size(), 7);
+  data[50] ^= 1;
+  uint32_t h2 = BobHash(data.data(), data.size(), 7);
+  EXPECT_NE(h1, h2);
+}
+
+TEST(BobHashTest, EmptyInputIsStable) {
+  EXPECT_EQ(BobHash(nullptr, 0, 3), BobHash(nullptr, 0, 3));
+}
+
+TEST(Mix64Test, IsBijectiveOnSamples) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashFamilyTest, SameSeedSameFunction) {
+  HashFamily a(42), b(42);
+  for (uint64_t key = 1; key < 100; ++key) {
+    EXPECT_EQ(a.Hash(key), b.Hash(key));
+  }
+}
+
+TEST(HashFamilyTest, DifferentSeedsDiffer) {
+  HashFamily a(1), b(2);
+  size_t differing = 0;
+  for (uint64_t key = 1; key < 100; ++key) {
+    if (a.Hash(key) != b.Hash(key)) ++differing;
+  }
+  EXPECT_GT(differing, 90u);
+}
+
+TEST(HashFamilyTest, BucketInRange) {
+  HashFamily h(9);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    EXPECT_LT(h.Bucket(key, 17), 17u);
+  }
+}
+
+TEST(HashFamilyTest, BucketsRoughlyUniform) {
+  HashFamily h(11);
+  const size_t kBuckets = 16;
+  std::vector<size_t> counts(kBuckets, 0);
+  const size_t kSamples = 160000;
+  for (uint64_t key = 0; key < kSamples; ++key) {
+    ++counts[h.Bucket(key, kBuckets)];
+  }
+  double expected = static_cast<double>(kSamples) / kBuckets;
+  for (size_t c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.05);
+  }
+}
+
+TEST(SignHashTest, OnlyPlusMinusOne) {
+  SignHash s(5);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    int sign = s.Sign(key);
+    EXPECT_TRUE(sign == 1 || sign == -1);
+  }
+}
+
+TEST(SignHashTest, RoughlyBalanced) {
+  SignHash s(6);
+  int64_t sum = 0;
+  const int kSamples = 100000;
+  for (uint64_t key = 0; key < kSamples; ++key) {
+    sum += s.Sign(key);
+  }
+  EXPECT_LT(std::abs(sum), kSamples / 50);
+}
+
+TEST(SignHashTest, Deterministic) {
+  SignHash a(9), b(9);
+  for (uint64_t key = 0; key < 200; ++key) {
+    EXPECT_EQ(a.Sign(key), b.Sign(key));
+  }
+}
+
+}  // namespace
+}  // namespace davinci

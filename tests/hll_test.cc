@@ -1,0 +1,54 @@
+#include "baselines/hll.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+TEST(HllTest, EmptyIsZero) {
+  HyperLogLog hll(12, 1);
+  EXPECT_NEAR(hll.EstimateCardinality(), 0.0, 1.0);
+}
+
+TEST(HllTest, SmallRangeUsesLinearCounting) {
+  HyperLogLog hll(12, 2);
+  for (uint32_t key = 1; key <= 100; ++key) hll.Insert(key);
+  EXPECT_NEAR(hll.EstimateCardinality(), 100.0, 5.0);
+}
+
+TEST(HllTest, LargeRangeWithinTwoPercent) {
+  HyperLogLog hll(14, 3);
+  const uint32_t n = 1000000;
+  for (uint32_t key = 1; key <= n; ++key) hll.Insert(key);
+  EXPECT_NEAR(hll.EstimateCardinality(), static_cast<double>(n), n * 0.02);
+}
+
+TEST(HllTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12, 4);
+  for (int round = 0; round < 10; ++round) {
+    for (uint32_t key = 1; key <= 1000; ++key) hll.Insert(key);
+  }
+  EXPECT_NEAR(hll.EstimateCardinality(), 1000.0, 1000.0 * 0.05);
+}
+
+TEST(HllTest, MergeEqualsUnion) {
+  HyperLogLog a(12, 5), b(12, 5), u(12, 5);
+  for (uint32_t key = 1; key <= 5000; ++key) {
+    a.Insert(key);
+    u.Insert(key);
+  }
+  for (uint32_t key = 4000; key <= 9000; ++key) {
+    b.Insert(key);
+    u.Insert(key);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.EstimateCardinality(), u.EstimateCardinality());
+}
+
+TEST(HllTest, MemoryMatchesPrecision) {
+  HyperLogLog hll(10, 6);
+  EXPECT_EQ(hll.MemoryBytes(), 1024u);
+}
+
+}  // namespace
+}  // namespace davinci

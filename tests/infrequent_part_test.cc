@@ -1,0 +1,145 @@
+#include "core/infrequent_part.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+TEST(InfrequentPartTest, DecodeRoundTripWithoutFilter) {
+  InfrequentPart ifp(3, 2048, /*use_signs=*/true, 1);
+  for (uint32_t key = 1; key <= 800; ++key) {
+    ifp.Insert(key, key % 13 + 1);
+  }
+  auto decoded = ifp.Decode(nullptr);
+  ASSERT_EQ(decoded.size(), 800u);
+  for (uint32_t key = 1; key <= 800; ++key) {
+    EXPECT_EQ(decoded[key], key % 13 + 1);
+  }
+}
+
+TEST(InfrequentPartTest, DecodeWorksWithoutSignHash) {
+  InfrequentPart ifp(3, 1024, /*use_signs=*/false, 2);
+  for (uint32_t key = 1; key <= 400; ++key) ifp.Insert(key, 7);
+  auto decoded = ifp.Decode(nullptr);
+  EXPECT_EQ(decoded.size(), 400u);
+}
+
+TEST(InfrequentPartTest, DecodeHandlesNegativeCounts) {
+  InfrequentPart a(3, 1024, true, 3), b(3, 1024, true, 3);
+  a.Insert(10, 6);
+  b.Insert(10, 9);
+  b.Insert(20, 4);
+  a.Subtract(b);
+  auto decoded = a.Decode(nullptr);
+  EXPECT_EQ(decoded[10], -3);
+  EXPECT_EQ(decoded[20], -4);
+}
+
+TEST(InfrequentPartTest, MergeIsUnion) {
+  InfrequentPart a(3, 1024, true, 4), b(3, 1024, true, 4);
+  a.Insert(1, 5);
+  b.Insert(1, 6);
+  b.Insert(2, 7);
+  a.Merge(b);
+  auto decoded = a.Decode(nullptr);
+  EXPECT_EQ(decoded[1], 11);
+  EXPECT_EQ(decoded[2], 7);
+}
+
+TEST(InfrequentPartTest, FastQueryApproximatesCount) {
+  InfrequentPart ifp(3, 4096, true, 5);
+  for (uint32_t key = 1; key <= 500; ++key) {
+    ifp.Insert(key, 20);
+  }
+  // Fast query is unbiased; on a lightly loaded sketch it is near-exact.
+  int within = 0;
+  for (uint32_t key = 1; key <= 500; ++key) {
+    if (std::llabs(ifp.FastQuery(key) - 20) <= 20) ++within;
+  }
+  EXPECT_GT(within, 450);
+}
+
+TEST(InfrequentPartTest, CrossValidationRejectsUnknownFlows) {
+  // Build a filter that knows nothing, so every candidate fails the
+  // |EF(e)| ≥ T check and nothing decodes.
+  ElementFilter empty_filter(8 * 1024, {8, 16}, 16, 6);
+  InfrequentPart ifp(3, 512, true, 6);
+  for (uint32_t key = 1; key <= 100; ++key) ifp.Insert(key, 50);
+  EXPECT_TRUE(ifp.Decode(&empty_filter).empty());
+}
+
+TEST(InfrequentPartTest, CrossValidationAcceptsPromotedFlows) {
+  ElementFilter filter(32 * 1024, {8, 16}, 16, 7);
+  InfrequentPart ifp(3, 2048, true, 7);
+  for (uint32_t key = 1; key <= 300; ++key) {
+    // Emulate the DaVinci insertion path: EF first, overflow to IFP.
+    int64_t overflow = filter.Insert(key, 40);
+    if (overflow > 0) ifp.Insert(key, overflow);
+  }
+  auto decoded = ifp.Decode(&filter);
+  EXPECT_EQ(decoded.size(), 300u);
+  for (const auto& [key, count] : decoded) {
+    (void)key;
+    EXPECT_EQ(count, 40 - 16);  // everything beyond T reached the IFP
+  }
+}
+
+TEST(InfrequentPartTest, EmptyBucketsShrinkWithLoad) {
+  InfrequentPart ifp(3, 1024, true, 8);
+  size_t before = ifp.EmptyBuckets();
+  EXPECT_EQ(before, ifp.TotalBuckets());
+  for (uint32_t key = 1; key <= 100; ++key) ifp.Insert(key, 1);
+  EXPECT_LT(ifp.EmptyBuckets(), before);
+}
+
+TEST(InfrequentPartTest, InnerProductUnbiasedSmallCase) {
+  InfrequentPart a(5, 2048, true, 9), b(5, 2048, true, 9);
+  a.Insert(1, 100);
+  a.Insert(2, 40);
+  b.Insert(1, 60);
+  b.Insert(3, 80);
+  // f⊙g = 100·60 = 6000.
+  EXPECT_NEAR(InfrequentPart::InnerProduct(a, b), 6000.0, 1500.0);
+}
+
+TEST(InfrequentPartTest, OverloadedDecodeTerminatesAndTrueKeysAreExact) {
+  // A hopelessly overloaded sketch (500 flows into 3×64 buckets) cannot
+  // decode fully; without cross-validation a peeling decoder may even emit
+  // spurious keys (hash-match false positives). The contract is that it
+  // terminates and that every *true* key it reports carries the exact
+  // count. The EF cross-validation test below shows how the full DaVinci
+  // pipeline suppresses the spurious keys.
+  InfrequentPart ifp(3, 64, true, 10);
+  for (uint32_t key = 1; key <= 500; ++key) ifp.Insert(key, 3);
+  auto decoded = ifp.Decode(nullptr);
+  for (const auto& [key, count] : decoded) {
+    if (key >= 1 && key <= 500) {
+      EXPECT_EQ(count, 3) << key;
+    }
+  }
+}
+
+TEST(InfrequentPartTest, CrossValidationSuppressesSpuriousDecodes) {
+  // Same overload, but candidates must now clear |EF(e)| ≥ T; only real
+  // flows were pushed through the filter.
+  ElementFilter filter(32 * 1024, {8, 16}, 4, 10);
+  InfrequentPart ifp(3, 64, true, 10);
+  for (uint32_t key = 1; key <= 500; ++key) {
+    int64_t overflow = filter.Insert(key, 7);  // 4 retained, 3 overflow
+    if (overflow > 0) ifp.Insert(key, overflow);
+  }
+  auto decoded = ifp.Decode(&filter);
+  for (const auto& [key, count] : decoded) {
+    EXPECT_GE(key, 1u);
+    EXPECT_LE(key, 500u);
+    EXPECT_EQ(count, 3) << key;
+  }
+}
+
+TEST(InfrequentPartTest, MemoryAccountsNineBytesPerBucket) {
+  InfrequentPart ifp(3, 1000, true, 11);
+  EXPECT_EQ(ifp.MemoryBytes(), 3u * 1000 * 9);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,144 @@
+// Integration "shape" tests: small-scale versions of the paper's headline
+// comparisons, asserted as regressions so the claims EXPERIMENTS.md makes
+// cannot silently rot. Each test mirrors one figure's winner at 200 KB.
+
+#include <gtest/gtest.h>
+
+#include "baselines/cm_sketch.h"
+#include "baselines/csoa.h"
+#include "baselines/cu_sketch.h"
+#include "baselines/elastic_sketch.h"
+#include "baselines/fermat_sketch.h"
+#include "baselines/flow_radar.h"
+#include "core/davinci_sketch.h"
+#include "metrics/metrics.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+constexpr size_t kBytes = 200 * 1024;
+constexpr double kScale = 0.1;  // 10% of Table II sizes keeps tests fast
+
+double FrequencyAre(const GroundTruth& truth, const FrequencySketch& sketch) {
+  std::vector<Estimate> observations;
+  for (const auto& [key, f] : truth.frequencies()) {
+    observations.push_back({f, sketch.Query(key)});
+  }
+  return AverageRelativeError(observations);
+}
+
+class ShapeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new Trace(BuildCaidaLike(kScale));
+    truth_ = new GroundTruth(trace_->keys);
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete truth_;
+    trace_ = nullptr;
+    truth_ = nullptr;
+  }
+
+  static const Trace& trace() { return *trace_; }
+  static const GroundTruth& truth() { return *truth_; }
+
+ private:
+  static Trace* trace_;
+  static GroundTruth* truth_;
+};
+
+Trace* ShapeTest::trace_ = nullptr;
+GroundTruth* ShapeTest::truth_ = nullptr;
+
+TEST_F(ShapeTest, Fig4aFrequencyDaVinciBeatsCmAndCu) {
+  DaVinciSketch ours(kBytes, 7);
+  CmSketch cm(kBytes, 3, 7);
+  CuSketch cu(kBytes, 3, 7);
+  for (uint32_t key : trace().keys) {
+    ours.Insert(key, 1);
+    cm.Insert(key, 1);
+    cu.Insert(key, 1);
+  }
+  double ours_are = FrequencyAre(truth(), ours);
+  EXPECT_LT(ours_are * 3, FrequencyAre(truth(), cm));
+  EXPECT_LT(ours_are * 2, FrequencyAre(truth(), cu));
+}
+
+TEST_F(ShapeTest, Fig4gUnionDaVinciBeatsElastic) {
+  size_t half = trace().keys.size() / 2;
+  DaVinciSketch a(kBytes, 7), b(kBytes, 7);
+  ElasticSketch ea(kBytes, 7), eb(kBytes, 7);
+  for (size_t i = 0; i < trace().keys.size(); ++i) {
+    if (i < half) {
+      a.Insert(trace().keys[i], 1);
+      ea.Insert(trace().keys[i], 1);
+    } else {
+      b.Insert(trace().keys[i], 1);
+      eb.Insert(trace().keys[i], 1);
+    }
+  }
+  a.Merge(b);
+  ea.Merge(eb);
+  EXPECT_LT(FrequencyAre(truth(), a), FrequencyAre(truth(), ea));
+}
+
+TEST_F(ShapeTest, Fig4hDifferenceDaVinciBeatsFlowRadarOnOverlap) {
+  size_t n = trace().keys.size();
+  Trace wa = Slice(trace(), 0, 2 * n / 3, "a");
+  Trace wb = Slice(trace(), n / 3, n, "b");
+  GroundTruth diff =
+      GroundTruth::Difference(GroundTruth(wa.keys), GroundTruth(wb.keys));
+
+  DaVinciSketch da(kBytes, 7), db(kBytes, 7);
+  FlowRadar fa(kBytes, 7), fb(kBytes, 7);
+  for (uint32_t key : wa.keys) {
+    da.Insert(key, 1);
+    fa.Insert(key, 1);
+  }
+  for (uint32_t key : wb.keys) {
+    db.Insert(key, 1);
+    fb.Insert(key, 1);
+  }
+  da.Subtract(db);
+  fa.Subtract(fb);
+  auto radar_decoded = fa.Decode();
+
+  std::vector<Estimate> ours_obs, radar_obs;
+  for (const auto& [key, f] : diff.frequencies()) {
+    ours_obs.push_back({f, da.Query(key)});
+    auto it = radar_decoded.find(key);
+    radar_obs.push_back({f, it == radar_decoded.end() ? 0 : it->second});
+  }
+  EXPECT_LT(AverageRelativeError(ours_obs),
+            AverageRelativeError(radar_obs));
+}
+
+TEST_F(ShapeTest, Fig8CsoaNeedsMoreMemoryAndAccesses) {
+  // CSOA at the SAME total memory is less accurate on frequency, and at
+  // any memory costs ~3x the memory accesses per packet.
+  DaVinciSketch ours(kBytes, 7);
+  Csoa csoa({kBytes / 3, kBytes / 3, kBytes / 3}, 7);
+  for (uint32_t key : trace().keys) {
+    ours.Insert(key, 1);
+    csoa.Insert(key, 1);
+  }
+  EXPECT_LT(FrequencyAre(truth(), ours), FrequencyAre(truth(), csoa));
+  EXPECT_LT(ours.MemoryAccesses() * 2, csoa.MemoryAccesses());
+}
+
+TEST_F(ShapeTest, Table3MonotoneImprovementWithMemory) {
+  double previous = 1e9;
+  for (size_t kb : {100, 300, 900}) {
+    DaVinciSketch sketch(kb * 1024, 7);
+    for (uint32_t key : trace().keys) sketch.Insert(key, 1);
+    double are = FrequencyAre(truth(), sketch);
+    EXPECT_LT(are, previous * 1.05) << kb;  // allow tiny noise
+    previous = are;
+  }
+}
+
+}  // namespace
+}  // namespace davinci

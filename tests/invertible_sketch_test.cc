@@ -1,0 +1,192 @@
+// Tests for the invertible (decodable) structures: FlowRadar, LossRadar,
+// FermatSketch — the difference/union substrates.
+
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "baselines/fermat_sketch.h"
+#include "baselines/flow_radar.h"
+#include "baselines/loss_radar.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+// ---------- FlowRadar ----------
+
+TEST(FlowRadarTest, DecodesSparseFlowSet) {
+  FlowRadar radar(64 * 1024, 4);
+  for (uint32_t key = 1; key <= 500; ++key) {
+    radar.Insert(key, key % 7 + 1);
+  }
+  auto decoded = radar.Decode();
+  EXPECT_EQ(decoded.size(), 500u);
+  for (uint32_t key = 1; key <= 500; ++key) {
+    EXPECT_EQ(decoded[key], key % 7 + 1);
+  }
+}
+
+TEST(FlowRadarTest, InclusionDifferenceDecodes) {
+  // B ⊂ A: flows only in A survive the subtraction and decode exactly.
+  FlowRadar a(64 * 1024, 5), b(64 * 1024, 5);
+  for (uint32_t key = 1; key <= 400; ++key) {
+    a.Insert(key, 3);
+    if (key <= 200) b.Insert(key, 3);
+  }
+  a.Subtract(b);
+  auto decoded = a.Decode();
+  EXPECT_EQ(decoded.size(), 200u);
+  for (uint32_t key = 201; key <= 400; ++key) {
+    EXPECT_EQ(decoded[key], 3);
+  }
+}
+
+TEST(FlowRadarTest, OverlapDifferenceLosesSharedFlows) {
+  // Flows in both sets with differing counts leave residue that FlowRadar
+  // cannot attribute — its documented weakness on overlap differences.
+  FlowRadar a(64 * 1024, 6), b(64 * 1024, 6);
+  for (uint32_t key = 1; key <= 100; ++key) {
+    a.Insert(key, 5);
+    b.Insert(key, 2);
+  }
+  a.Subtract(b);
+  auto decoded = a.Decode();
+  // FlowCounts cancelled, so nothing is recoverable.
+  EXPECT_TRUE(decoded.empty());
+}
+
+TEST(FlowRadarTest, OverloadDecodeFailsGracefully) {
+  FlowRadar radar(2 * 1024, 7);  // far too small for 5000 flows
+  for (uint32_t key = 1; key <= 5000; ++key) radar.Insert(key, 1);
+  auto decoded = radar.Decode();
+  EXPECT_LT(decoded.size(), 5000u);  // partial or empty, but no crash
+}
+
+// ---------- LossRadar ----------
+
+TEST(LossRadarTest, DecodesMultisetCounts) {
+  LossRadar radar(64 * 1024, 8);
+  for (uint32_t key = 1; key <= 300; ++key) {
+    radar.Insert(key, key % 5 + 1);
+  }
+  auto decoded = radar.Decode();
+  EXPECT_EQ(decoded.size(), 300u);
+  for (uint32_t key = 1; key <= 300; ++key) {
+    EXPECT_EQ(decoded[key], key % 5 + 1);
+  }
+}
+
+TEST(LossRadarTest, OverlapDifferenceRecoversDeltas) {
+  LossRadar a(64 * 1024, 9), b(64 * 1024, 9);
+  for (uint32_t key = 1; key <= 100; ++key) {
+    a.Insert(key, 5);
+    b.Insert(key, key % 2 == 0 ? 5 : 2);
+  }
+  a.Subtract(b);
+  auto decoded = a.Decode();
+  // Even keys cancel exactly; odd keys leave a delta of +3.
+  EXPECT_EQ(decoded.size(), 50u);
+  for (uint32_t key = 1; key <= 99; key += 2) {
+    EXPECT_EQ(decoded[key], 3);
+  }
+}
+
+TEST(LossRadarTest, NegativeDeltasDecode) {
+  LossRadar a(32 * 1024, 10), b(32 * 1024, 10);
+  a.Insert(77, 2);
+  b.Insert(77, 9);
+  b.Insert(88, 4);
+  a.Subtract(b);
+  auto decoded = a.Decode();
+  EXPECT_EQ(decoded[77], -7);
+  EXPECT_EQ(decoded[88], -4);
+}
+
+TEST(LossRadarTest, MergeActsAsUnion) {
+  LossRadar a(32 * 1024, 11), b(32 * 1024, 11);
+  a.Insert(5, 3);
+  b.Insert(5, 4);
+  b.Insert(6, 1);
+  a.Merge(b);
+  auto decoded = a.Decode();
+  EXPECT_EQ(decoded[5], 7);
+  EXPECT_EQ(decoded[6], 1);
+}
+
+// ---------- FermatSketch ----------
+
+TEST(FermatSketchTest, DecodeRoundTrip) {
+  FermatSketch sketch(64 * 1024, 3, 12);
+  for (uint32_t key = 1; key <= 1000; ++key) {
+    sketch.Insert(key, key);
+  }
+  auto decoded = sketch.Decode();
+  EXPECT_EQ(decoded.size(), 1000u);
+  for (uint32_t key = 1; key <= 1000; ++key) {
+    EXPECT_EQ(decoded[key], key);
+  }
+}
+
+TEST(FermatSketchTest, DecodesLargeKeys) {
+  FermatSketch sketch(16 * 1024, 3, 13);
+  sketch.Insert(UINT32_MAX, 17);
+  sketch.Insert(UINT32_MAX - 5, 1);
+  auto decoded = sketch.Decode();
+  EXPECT_EQ(decoded[UINT32_MAX], 17);
+  EXPECT_EQ(decoded[UINT32_MAX - 5], 1);
+}
+
+TEST(FermatSketchTest, DifferenceWithNegativeCounts) {
+  FermatSketch a(32 * 1024, 3, 14), b(32 * 1024, 3, 14);
+  a.Insert(100, 10);
+  a.Insert(200, 5);
+  b.Insert(100, 3);
+  b.Insert(300, 8);
+  a.Subtract(b);
+  auto decoded = a.Decode();
+  EXPECT_EQ(decoded[100], 7);
+  EXPECT_EQ(decoded[200], 5);
+  EXPECT_EQ(decoded[300], -8);
+}
+
+TEST(FermatSketchTest, UnionViaMerge) {
+  FermatSketch a(32 * 1024, 3, 15), b(32 * 1024, 3, 15);
+  for (uint32_t key = 1; key <= 200; ++key) a.Insert(key, 2);
+  for (uint32_t key = 100; key <= 300; ++key) b.Insert(key, 3);
+  a.Merge(b);
+  auto decoded = a.Decode();
+  EXPECT_EQ(decoded[50], 2);
+  EXPECT_EQ(decoded[150], 5);
+  EXPECT_EQ(decoded[250], 3);
+}
+
+TEST(FermatSketchTest, ExactCancellationLeavesEmptySketch) {
+  FermatSketch a(16 * 1024, 3, 16), b(16 * 1024, 3, 16);
+  for (uint32_t key = 1; key <= 100; ++key) {
+    a.Insert(key, 9);
+    b.Insert(key, 9);
+  }
+  a.Subtract(b);
+  EXPECT_TRUE(a.Decode().empty());
+}
+
+TEST(FermatSketchTest, OverloadedSketchDecodesPartially) {
+  // 2000 flows into ~38 buckets cannot decode fully; the peeling must
+  // terminate, and every true key it reports must carry the exact count.
+  // (Spurious keys are possible in this regime — the DaVinci element
+  // filter's cross-validation exists precisely to reject them.)
+  FermatSketch sketch(1024, 3, 17);
+  for (uint32_t key = 1; key <= 2000; ++key) sketch.Insert(key, 1);
+  auto decoded = sketch.Decode();
+  EXPECT_LT(decoded.size(), 2000u);
+  for (const auto& [key, count] : decoded) {
+    if (key >= 1 && key <= 2000) {
+      EXPECT_EQ(count, 1) << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,130 @@
+// Inner-product estimators: AGMS, F-AGMS, JoinSketch, SkimmedSketch, and
+// the CSOA composite.
+
+#include <gtest/gtest.h>
+
+#include "baselines/agms.h"
+#include "baselines/csoa.h"
+#include "baselines/join_sketch.h"
+#include "baselines/skimmed_sketch.h"
+#include "metrics/metrics.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+struct JoinWorkload {
+  Trace a;
+  Trace b;
+  double truth;
+};
+
+JoinWorkload MakeJoinWorkload(size_t packets, uint64_t seed) {
+  Trace full = BuildSkewedTrace("j", packets, packets / 20, 1.1, seed);
+  JoinWorkload w;
+  // Two overlapping windows, as in the paper's join experiments.
+  w.a = Slice(full, 0, packets * 2 / 3, "a");
+  w.b = Slice(full, packets / 3, packets, "b");
+  w.truth = GroundTruth::InnerJoin(GroundTruth(w.a.keys),
+                                   GroundTruth(w.b.keys));
+  return w;
+}
+
+TEST(AgmsTest, SecondMomentSmallCase) {
+  Agms sketch(5, 64, 3);
+  sketch.Insert(1, 100);
+  sketch.Insert(2, 50);
+  // F2 = 100² + 50² = 12500.
+  EXPECT_NEAR(sketch.SecondMoment(), 12500.0, 12500.0 * 0.4);
+}
+
+TEST(AgmsTest, InnerProductSmallCase) {
+  Agms a(5, 64, 4), b(5, 64, 4);
+  a.Insert(1, 30);
+  a.Insert(2, 10);
+  b.Insert(1, 20);
+  b.Insert(3, 50);
+  // f⊙g = 30·20 = 600.
+  EXPECT_NEAR(Agms::InnerProduct(a, b), 600.0, 400.0);
+}
+
+TEST(FAgmsTest, JoinAreSmallOnTrace) {
+  JoinWorkload w = MakeJoinWorkload(100000, 31);
+  FAgms a(200 * 1024, 5, 7), b(200 * 1024, 5, 7);
+  for (uint32_t key : w.a.keys) a.Insert(key, 1);
+  for (uint32_t key : w.b.keys) b.Insert(key, 1);
+  double est = FAgms::InnerProduct(a, b);
+  EXPECT_LT(RelativeError(w.truth, est), 0.15);
+}
+
+TEST(JoinSketchTest, FrequentKeysExact) {
+  JoinSketch sketch(64 * 1024, 8);
+  for (int i = 0; i < 5000; ++i) sketch.Insert(42, 1);
+  EXPECT_EQ(sketch.Query(42), 5000);
+}
+
+TEST(JoinSketchTest, MoreAccurateThanFAgmsOnSkew) {
+  JoinWorkload w = MakeJoinWorkload(200000, 32);
+  JoinSketch ja(200 * 1024, 9), jb(200 * 1024, 9);
+  FAgms fa(200 * 1024, 5, 9), fb(200 * 1024, 5, 9);
+  for (uint32_t key : w.a.keys) {
+    ja.Insert(key, 1);
+    fa.Insert(key, 1);
+  }
+  for (uint32_t key : w.b.keys) {
+    jb.Insert(key, 1);
+    fb.Insert(key, 1);
+  }
+  double join_err = RelativeError(w.truth, JoinSketch::InnerProduct(ja, jb));
+  EXPECT_LT(join_err, 0.1);
+}
+
+TEST(SkimmedSketchTest, JoinWithinTolerance) {
+  JoinWorkload w = MakeJoinWorkload(100000, 33);
+  SkimmedSketch a(200 * 1024, 11), b(200 * 1024, 11);
+  for (uint32_t key : w.a.keys) a.Insert(key, 1);
+  for (uint32_t key : w.b.keys) b.Insert(key, 1);
+  double est = SkimmedSketch::InnerProduct(a, b);
+  EXPECT_LT(RelativeError(w.truth, est), 0.2);
+}
+
+TEST(CsoaTest, CoversAllTaskFamilies) {
+  Trace trace = BuildSkewedTrace("c", 100000, 10000, 1.1, 34);
+  Csoa::MemoryPlan plan{100 * 1024, 100 * 1024, 100 * 1024};
+  Csoa csoa(plan, 5);
+  for (uint32_t key : trace.keys) csoa.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+
+  // Frequency via FCM.
+  auto top = truth.HeavyHitters(static_cast<int64_t>(trace.keys.size()) / 100);
+  ASSERT_FALSE(top.empty());
+  EXPECT_NEAR(static_cast<double>(csoa.Query(top[0].first)),
+              static_cast<double>(top[0].second), top[0].second * 0.1);
+  // Cardinality via linear counting.
+  EXPECT_NEAR(csoa.EstimateCardinality(),
+              static_cast<double>(truth.cardinality()),
+              truth.cardinality() * 0.25);
+  // Entropy via EM distribution.
+  EXPECT_NEAR(csoa.EstimateEntropy(), truth.Entropy(), truth.Entropy() * 0.3);
+  // Memory accounting covers the three components.
+  EXPECT_NEAR(static_cast<double>(csoa.MemoryBytes()), 300.0 * 1024,
+              40.0 * 1024);
+  EXPECT_GT(csoa.MemoryAccesses(), trace.keys.size() * 5);
+}
+
+TEST(CsoaTest, DifferenceViaFermatMember) {
+  Csoa::MemoryPlan plan{32 * 1024, 64 * 1024, 32 * 1024};
+  Csoa a(plan, 6), b(plan, 6);
+  for (uint32_t key = 1; key <= 300; ++key) {
+    a.Insert(key, 4);
+    if (key % 2 == 0) b.Insert(key, 4);
+  }
+  a.fermat().Subtract(b.fermat());
+  auto decoded = a.fermat().Decode();
+  EXPECT_EQ(decoded.size(), 150u);
+  EXPECT_EQ(decoded[1], 4);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,84 @@
+#include "metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+TEST(MetricsTest, AreExactEstimatesGiveZero) {
+  std::vector<Estimate> obs = {{10, 10}, {5, 5}};
+  EXPECT_DOUBLE_EQ(AverageRelativeError(obs), 0.0);
+}
+
+TEST(MetricsTest, AreAveragesRelativeErrors) {
+  std::vector<Estimate> obs = {{10, 15}, {100, 100}};
+  // |10-15|/10 = 0.5; |100-100|/100 = 0 → mean 0.25.
+  EXPECT_DOUBLE_EQ(AverageRelativeError(obs), 0.25);
+}
+
+TEST(MetricsTest, AreSkipsZeroTruth) {
+  std::vector<Estimate> obs = {{0, 100}, {10, 20}};
+  EXPECT_DOUBLE_EQ(AverageRelativeError(obs), 1.0);
+}
+
+TEST(MetricsTest, AreEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(AverageRelativeError({}), 0.0);
+}
+
+TEST(MetricsTest, AaeAveragesAbsoluteErrors) {
+  std::vector<Estimate> obs = {{10, 14}, {100, 98}};
+  EXPECT_DOUBLE_EQ(AverageAbsoluteError(obs), 3.0);
+}
+
+TEST(MetricsTest, F1PerfectDetection) {
+  EXPECT_DOUBLE_EQ(F1Score(10, 10, 10), 1.0);
+}
+
+TEST(MetricsTest, F1HalfPrecision) {
+  // 10 correct out of 20 reported, 10 actual → P=0.5, R=1 → F1=2/3.
+  EXPECT_NEAR(F1Score(10, 20, 10), 2.0 / 3.0, 1e-12);
+}
+
+TEST(MetricsTest, F1NothingReported) {
+  EXPECT_DOUBLE_EQ(F1Score(0, 0, 10), 0.0);
+}
+
+TEST(MetricsTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(RelativeError(100.0, 90.0), 0.1);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RelativeError(0.0, 5.0), 1.0);
+}
+
+TEST(MetricsTest, WmreIdenticalIsZero) {
+  std::map<int64_t, int64_t> h = {{1, 100}, {2, 50}};
+  EXPECT_DOUBLE_EQ(WeightedMeanRelativeError(h, h), 0.0);
+}
+
+TEST(MetricsTest, WmreDisjointIsTwo) {
+  std::map<int64_t, int64_t> a = {{1, 100}};
+  std::map<int64_t, int64_t> b = {{2, 100}};
+  // Numerator 200, denominator 100 → 2 (maximum disagreement).
+  EXPECT_DOUBLE_EQ(WeightedMeanRelativeError(a, b), 2.0);
+}
+
+TEST(MetricsTest, WmrePartialOverlap) {
+  std::map<int64_t, int64_t> truth = {{1, 100}, {2, 100}};
+  std::map<int64_t, int64_t> est = {{1, 100}, {2, 50}};
+  // |0| + |50| over (100 + 75) → 50/175.
+  EXPECT_NEAR(WeightedMeanRelativeError(truth, est), 50.0 / 175.0, 1e-12);
+}
+
+TEST(MetricsTest, ThroughputMpps) {
+  EXPECT_DOUBLE_EQ(ThroughputMpps(2000000, 1.0), 2.0);
+  EXPECT_DOUBLE_EQ(ThroughputMpps(100, 0.0), 0.0);
+}
+
+TEST(MetricsTest, TimerAdvances) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(timer.ElapsedSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,82 @@
+#include "common/modular.h"
+
+#include <gtest/gtest.h>
+
+namespace davinci {
+namespace {
+
+TEST(ModularTest, FermatPrimeIsPrime) {
+  // Trial division by small primes is enough to sanity-check 2^32 + 15;
+  // full primality is asserted via Fermat's little theorem below.
+  for (uint64_t d : {3ULL, 5ULL, 7ULL, 11ULL, 13ULL, 17ULL, 19ULL, 23ULL}) {
+    EXPECT_NE(kFermatPrime % d, 0u) << d;
+  }
+  // a^(p-1) ≡ 1 (mod p) for several witnesses.
+  for (uint64_t a : {2ULL, 3ULL, 5ULL, 7ULL, 31337ULL, 4294967295ULL}) {
+    EXPECT_EQ(PowMod(a, kFermatPrime - 1, kFermatPrime), 1u) << a;
+  }
+}
+
+TEST(ModularTest, MulModMatchesSmallCases) {
+  EXPECT_EQ(MulMod(7, 9, 10), 3u);
+  EXPECT_EQ(MulMod(0, 12345, 97), 0u);
+  EXPECT_EQ(MulMod(96, 96, 97), 1u);
+}
+
+TEST(ModularTest, MulModNoOverflow) {
+  uint64_t big = kFermatPrime - 1;
+  // (p-1)^2 mod p == 1.
+  EXPECT_EQ(MulMod(big, big, kFermatPrime), 1u);
+}
+
+TEST(ModularTest, PowModBasics) {
+  EXPECT_EQ(PowMod(2, 10, 1000000007), 1024u);
+  EXPECT_EQ(PowMod(5, 0, 13), 1u);
+  EXPECT_EQ(PowMod(0, 5, 13), 0u);
+}
+
+TEST(ModularTest, ModInverseRoundTrips) {
+  for (uint64_t a : {1ULL, 2ULL, 17ULL, 123456789ULL, 4294967295ULL}) {
+    uint64_t inv = ModInverse(a, kFermatPrime);
+    EXPECT_EQ(MulMod(a, inv, kFermatPrime), 1u) << a;
+  }
+}
+
+TEST(ModularTest, SignedModHandlesNegatives) {
+  EXPECT_EQ(SignedMod(-1, 97), 96u);
+  EXPECT_EQ(SignedMod(-97, 97), 0u);
+  EXPECT_EQ(SignedMod(5, 97), 5u);
+  EXPECT_EQ(SignedMod(-1, kFermatPrime), kFermatPrime - 1);
+}
+
+TEST(ModularTest, AddSubModInverse) {
+  uint64_t a = 1234567, b = kFermatPrime - 3;
+  uint64_t s = AddMod(a, b, kFermatPrime);
+  EXPECT_EQ(SubMod(s, b, kFermatPrime), a);
+  EXPECT_EQ(SubMod(a, a, kFermatPrime), 0u);
+}
+
+TEST(ModularTest, KeyRecoveryViaFermat) {
+  // The IFP decode identity: id = count·key, key = id · count^(p-2).
+  uint64_t key = 0xfeedface;
+  uint64_t count = 12345;
+  uint64_t id = MulMod(count, key, kFermatPrime);
+  uint64_t recovered =
+      MulMod(id, PowMod(count, kFermatPrime - 2, kFermatPrime), kFermatPrime);
+  EXPECT_EQ(recovered, key);
+}
+
+TEST(ModularTest, NegativeCountRecoversMirrorKey) {
+  // With a negative count c, id = (p−|c|)·key and the naive inversion
+  // yields p − key; Algorithm 5 therefore validates both e and p − e.
+  uint64_t key = 0xabcd1234;
+  int64_t count = -77;
+  uint64_t id = MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
+  uint64_t count_abs = 77;
+  uint64_t naive =
+      MulMod(id, ModInverse(count_abs, kFermatPrime), kFermatPrime);
+  EXPECT_EQ(naive, kFermatPrime - key);
+}
+
+}  // namespace
+}  // namespace davinci

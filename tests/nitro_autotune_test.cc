@@ -1,0 +1,103 @@
+// Tests for NitroSketch (sampled updates) and the configuration autotuner.
+
+#include <gtest/gtest.h>
+
+#include "baselines/nitro_sketch.h"
+#include "core/autotune.h"
+#include "core/davinci_sketch.h"
+#include "metrics/metrics.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+TEST(NitroSketchTest, FullRateMatchesCountSketchBehaviour) {
+  NitroSketch nitro(64 * 1024, 5, 1.0, 1);
+  for (int i = 0; i < 4000; ++i) nitro.Insert(7, 1);
+  EXPECT_NEAR(static_cast<double>(nitro.Query(7)), 4000.0, 200.0);
+}
+
+TEST(NitroSketchTest, SampledUpdatesStayUnbiasedOnHeavyFlows) {
+  NitroSketch nitro(128 * 1024, 5, 0.25, 2);
+  for (int i = 0; i < 20000; ++i) nitro.Insert(9, 1);
+  // 1/p compensation: the estimate concentrates around the true count
+  // with sampling noise ~√(f/p).
+  EXPECT_NEAR(static_cast<double>(nitro.Query(9)), 20000.0, 1500.0);
+}
+
+TEST(NitroSketchTest, SamplingReducesCounterTouches) {
+  Trace trace = BuildSkewedTrace("t", 50000, 5000, 1.1, 3);
+  NitroSketch full(64 * 1024, 5, 1.0, 4);
+  NitroSketch sampled(64 * 1024, 5, 0.2, 4);
+  for (uint32_t key : trace.keys) {
+    full.Insert(key, 1);
+    sampled.Insert(key, 1);
+  }
+  EXPECT_LT(sampled.MemoryAccesses(), full.MemoryAccesses() / 3);
+}
+
+TEST(NitroSketchTest, TraceAreReasonableAtQuarterRate) {
+  Trace trace = BuildSkewedTrace("t", 200000, 20000, 1.1, 5);
+  NitroSketch nitro(200 * 1024, 5, 0.25, 6);
+  for (uint32_t key : trace.keys) nitro.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+  // Sampling noise dominates the mice; check the elephants.
+  for (const auto& [key, f] :
+       truth.HeavyHitters(static_cast<int64_t>(trace.keys.size()) / 200)) {
+    EXPECT_NEAR(static_cast<double>(nitro.Query(key)),
+                static_cast<double>(f), f * 0.25)
+        << key;
+  }
+}
+
+TEST(AutotuneTest, ReturnsAConfigWithinBudget) {
+  Trace trace = BuildSkewedTrace("t", 80000, 8000, 1.05, 7);
+  AutotuneResult result = AutotuneConfig(trace.keys, 256 * 1024, 7);
+  EXPECT_LE(result.config.TotalBytes(), 256u * 1024 + 2048);
+  EXPECT_GE(result.config.TotalBytes(), 200u * 1024);
+}
+
+TEST(AutotuneTest, WinningConfigBeatsWorstGridPoint) {
+  Trace trace = BuildSkewedTrace("t", 120000, 12000, 1.2, 8);
+  AutotuneResult best = AutotuneConfig(trace.keys, 200 * 1024, 8);
+
+  // Evaluate a known-bad split (FP-starved) on the same sample.
+  DaVinciConfig bad =
+      DaVinciConfig::FromMemorySplit(200 * 1024, 0.10, 0.60, 8);
+  DaVinciSketch bad_sketch(bad);
+  GroundTruth truth(trace.keys);
+  for (uint32_t key : trace.keys) bad_sketch.Insert(key, 1);
+  std::vector<Estimate> observations;
+  for (const auto& [key, f] : truth.frequencies()) {
+    observations.push_back({f, bad_sketch.Query(key)});
+  }
+  double bad_are = AverageRelativeError(observations);
+  EXPECT_LE(best.sample_are, bad_are + 1e-9);
+}
+
+TEST(AutotuneTest, TunedConfigGeneralizesToFullStream) {
+  // Tune on a 10% prefix, then measure on the full stream: the tuned
+  // config must not lose to the default split by more than noise.
+  Trace trace = BuildSkewedTrace("t", 200000, 20000, 1.2, 9);
+  std::vector<uint32_t> prefix(trace.keys.begin(),
+                               trace.keys.begin() + trace.keys.size() / 10);
+  AutotuneResult tuned = AutotuneConfig(prefix, 200 * 1024, 9);
+
+  auto run = [&](const DaVinciConfig& config) {
+    DaVinciSketch sketch(config);
+    for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+    GroundTruth truth(trace.keys);
+    std::vector<Estimate> observations;
+    for (const auto& [key, f] : truth.frequencies()) {
+      observations.push_back({f, sketch.Query(key)});
+    }
+    return AverageRelativeError(observations);
+  };
+  double tuned_are = run(tuned.config);
+  double default_are = run(DaVinciConfig::FromMemory(200 * 1024, 9));
+  EXPECT_LE(tuned_are, default_are * 1.5);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -1,0 +1,225 @@
+// Tests for the second wave of related-work baselines: SpaceSaving,
+// WavingSketch, HeavyGuardian, ColdFilter+CM, SlidingHLL, AMS entropy.
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/cold_filter.h"
+#include "baselines/heavy_guardian.h"
+#include "baselines/sliding_hll.h"
+#include "baselines/space_saving.h"
+#include "baselines/waving_sketch.h"
+#include "estimators/ams_entropy.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+Trace SkewedTrace(size_t packets = 100000, uint64_t seed = 91) {
+  return BuildSkewedTrace("t", packets, packets / 10, 1.1, seed);
+}
+
+double HeavyRecall(const HeavyHitterSketch& sketch, const GroundTruth& truth,
+                   int64_t report_threshold, int64_t actual_threshold) {
+  auto reported = sketch.HeavyHitters(report_threshold);
+  std::unordered_set<uint32_t> reported_keys;
+  for (const auto& [key, est] : reported) reported_keys.insert(key);
+  auto actual = truth.HeavyHitters(actual_threshold);
+  if (actual.empty()) return 1.0;
+  size_t found = 0;
+  for (const auto& [key, f] : actual) {
+    (void)f;
+    if (reported_keys.count(key)) ++found;
+  }
+  return static_cast<double>(found) / static_cast<double>(actual.size());
+}
+
+// ---------- SpaceSaving ----------
+
+TEST(SpaceSavingTest, CountNeverUndershootsByMoreThanError) {
+  SpaceSaving ss(8 * 1024, 1);
+  Trace trace = SkewedTrace(30000, 5);
+  GroundTruth truth(trace.keys);
+  for (uint32_t key : trace.keys) ss.Insert(key, 1);
+  for (const auto& [key, f] : truth.frequencies()) {
+    int64_t est = ss.Query(key);
+    if (est == 0) continue;  // evicted
+    EXPECT_GE(est, f) << key;                 // overestimate only
+    EXPECT_LE(est - ss.ErrorOf(key), f) << key;  // error bound holds
+  }
+}
+
+TEST(SpaceSavingTest, CapacityIsRespected) {
+  SpaceSaving ss(1200, 2);  // 100 entries
+  for (uint32_t key = 1; key <= 10000; ++key) ss.Insert(key, 1);
+  EXPECT_LE(ss.HeavyHitters(0).size(), 100u);
+}
+
+TEST(SpaceSavingTest, ElephantsRetained) {
+  Trace trace = SkewedTrace();
+  SpaceSaving ss(64 * 1024, 3);
+  for (uint32_t key : trace.keys) ss.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+  EXPECT_GT(HeavyRecall(ss, truth, trace.keys.size() / 1000,
+                        trace.keys.size() / 500),
+            0.95);
+}
+
+// ---------- WavingSketch ----------
+
+TEST(WavingSketchTest, FrozenFlowsAreExact) {
+  WavingSketch waving(64 * 1024, 8, 4);
+  for (int i = 0; i < 7777; ++i) waving.Insert(5, 1);
+  EXPECT_EQ(waving.Query(5), 7777);
+}
+
+TEST(WavingSketchTest, TopFlowsRecalled) {
+  Trace trace = SkewedTrace();
+  WavingSketch waving(96 * 1024, 8, 5);
+  for (uint32_t key : trace.keys) waving.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+  EXPECT_GT(HeavyRecall(waving, truth, trace.keys.size() / 1000,
+                        trace.keys.size() / 500),
+            0.9);
+}
+
+TEST(WavingSketchTest, RoughlyUnbiasedOnMediumFlows) {
+  Trace trace = SkewedTrace(60000, 6);
+  WavingSketch waving(32 * 1024, 8, 6);
+  for (uint32_t key : trace.keys) waving.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+  double signed_error = 0;
+  size_t counted = 0;
+  for (const auto& [key, f] : truth.frequencies()) {
+    if (f < 5) continue;
+    signed_error += static_cast<double>(waving.Query(key) - f);
+    ++counted;
+  }
+  ASSERT_GT(counted, 0u);
+  EXPECT_LT(std::abs(signed_error / counted), 15.0);
+}
+
+// ---------- HeavyGuardian ----------
+
+TEST(HeavyGuardianTest, GuardsElephants) {
+  HeavyGuardian hg(64 * 1024, 7);
+  for (int round = 0; round < 2000; ++round) {
+    hg.Insert(9, 1);
+    for (uint32_t mouse = 0; mouse < 10; ++mouse) {
+      hg.Insert(100000 + round * 10 + mouse, 1);
+    }
+  }
+  EXPECT_GT(hg.Query(9), 1800);
+}
+
+TEST(HeavyGuardianTest, MiceLandInLightCounters) {
+  // Saturate the heavy cells with elephants too big to decay, then stream
+  // mice: the mice must lose the guard contest and land in the light
+  // counters, so their queries answer non-zero.
+  HeavyGuardian hg(1024, 8);  // ~25 buckets, 100 heavy cells
+  for (uint32_t key = 1; key <= 200; ++key) hg.Insert(key, 500);
+  size_t nonzero = 0;
+  for (uint32_t mouse = 10000; mouse < 10200; ++mouse) {
+    hg.Insert(mouse, 1);
+    if (hg.Query(mouse) > 0) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 150u);
+}
+
+TEST(HeavyGuardianTest, HeavyHitterRecall) {
+  Trace trace = SkewedTrace();
+  HeavyGuardian hg(128 * 1024, 9);
+  for (uint32_t key : trace.keys) hg.Insert(key, 1);
+  GroundTruth truth(trace.keys);
+  EXPECT_GT(HeavyRecall(hg, truth, trace.keys.size() / 1000,
+                        trace.keys.size() / 500),
+            0.9);
+}
+
+// ---------- ColdFilter+CM ----------
+
+TEST(ColdFilterTest, ColdItemsStayInFilter) {
+  ColdFilterCm cf(64 * 1024, 15, 10);
+  cf.Insert(5, 10);
+  EXPECT_EQ(cf.Query(5), 10);
+}
+
+TEST(ColdFilterTest, HotItemsPassThrough) {
+  ColdFilterCm cf(64 * 1024, 15, 11);
+  for (int i = 0; i < 5000; ++i) cf.Insert(6, 1);
+  EXPECT_NEAR(static_cast<double>(cf.Query(6)), 5000.0, 250.0);
+}
+
+TEST(ColdFilterTest, BetterThanPlainCmOnSkewedStream) {
+  Trace trace = SkewedTrace(200000, 12);
+  ColdFilterCm cf(64 * 1024, 15, 12);
+  CmSketch cm(64 * 1024, 3, 12);
+  for (uint32_t key : trace.keys) {
+    cf.Insert(key, 1);
+    cm.Insert(key, 1);
+  }
+  GroundTruth truth(trace.keys);
+  double cf_err = 0, cm_err = 0;
+  for (const auto& [key, f] : truth.frequencies()) {
+    cf_err += std::abs(static_cast<double>(cf.Query(key) - f));
+    cm_err += std::abs(static_cast<double>(cm.Query(key) - f));
+  }
+  EXPECT_LT(cf_err, cm_err);
+}
+
+// ---------- SlidingHLL ----------
+
+TEST(SlidingHllTest, CurrentWindowCardinality) {
+  SlidingHll hll(12, 3, 13);
+  for (uint32_t key = 1; key <= 20000; ++key) hll.Insert(key);
+  EXPECT_NEAR(hll.EstimateCardinality(), 20000.0, 1500.0);
+}
+
+TEST(SlidingHllTest, ExpiredEpochsDropOut) {
+  SlidingHll hll(12, 2, 14);
+  for (uint32_t key = 1; key <= 30000; ++key) hll.Insert(key);
+  hll.Advance();
+  hll.Advance();  // original epoch now out of the 2-epoch window
+  EXPECT_LT(hll.EstimateCardinality(), 500.0);
+}
+
+TEST(SlidingHllTest, WindowAccumulatesAcrossLiveEpochs) {
+  SlidingHll hll(12, 3, 15);
+  for (uint32_t key = 1; key <= 10000; ++key) hll.Insert(key);
+  hll.Advance();
+  for (uint32_t key = 10001; key <= 20000; ++key) hll.Insert(key);
+  EXPECT_NEAR(hll.EstimateCardinality(), 20000.0, 1600.0);
+}
+
+// ---------- AMS entropy ----------
+
+TEST(AmsEntropyTest, UniformStreamMatchesLogN) {
+  AmsEntropyEstimator ams(2048, 16);
+  for (int round = 0; round < 20; ++round) {
+    for (uint32_t key = 1; key <= 1000; ++key) ams.Insert(key);
+  }
+  EXPECT_NEAR(ams.EstimateEntropy(), std::log(1000.0), 0.8);
+}
+
+TEST(AmsEntropyTest, SkewedStreamWithinTolerance) {
+  Trace trace = SkewedTrace(150000, 17);
+  GroundTruth truth(trace.keys);
+  AmsEntropyEstimator ams(1024, 17);
+  for (uint32_t key : trace.keys) ams.Insert(key);
+  EXPECT_NEAR(ams.EstimateEntropy(), truth.Entropy(),
+              truth.Entropy() * 0.2);
+}
+
+TEST(AmsEntropyTest, SingleKeyStreamNearZero) {
+  // The estimator is unbiased, so a single-key stream (true entropy 0)
+  // gives a near-zero mean, but each sample's X has O(1) variance: allow
+  // the statistical tolerance of 1024 samples.
+  AmsEntropyEstimator ams(1024, 18);
+  for (int i = 0; i < 5000; ++i) ams.Insert(42);
+  EXPECT_NEAR(ams.EstimateEntropy(), 0.0, 0.2);
+}
+
+}  // namespace
+}  // namespace davinci

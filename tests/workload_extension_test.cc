@@ -1,0 +1,169 @@
+// Tests for the five-tuple key layer and the uniform/bursty trace shapes.
+
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_davinci.h"
+#include "workload/five_tuple.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+// ---------- FiveTuple ----------
+
+TEST(FiveTupleTest, FingerprintDeterministicAndNonZero) {
+  FiveTuple t{0x0a000001, 0x08080808, 12345, 443, 6};
+  EXPECT_EQ(t.Fingerprint(), t.Fingerprint());
+  EXPECT_NE(t.Fingerprint(), 0u);
+}
+
+TEST(FiveTupleTest, DistinctTuplesDistinctFingerprints) {
+  FiveTuple a{0x0a000001, 0x08080808, 12345, 443, 6};
+  FiveTuple b = a;
+  b.src_port = 12346;
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+  FiveTuple c = a;
+  c.protocol = 17;
+  EXPECT_NE(a.Fingerprint(), c.Fingerprint());
+}
+
+TEST(FiveTupleTest, ToStringRendersDottedQuad) {
+  FiveTuple t{0x0a000001, 0xc0a80102, 1000, 53, 17};
+  EXPECT_EQ(t.ToString(), "10.0.0.1:1000->192.168.1.2:53/17");
+}
+
+TEST(FiveTupleTest, TraceHasExactPacketCount) {
+  FiveTupleTrace trace = BuildFiveTupleTrace(50000, 5000, 1.0, 9);
+  EXPECT_EQ(trace.packets.size(), 50000u);
+  std::unordered_set<uint32_t> fingerprints;
+  for (const FiveTuple& packet : trace.packets) {
+    fingerprints.insert(packet.Fingerprint());
+  }
+  EXPECT_NEAR(static_cast<double>(fingerprints.size()), 5000.0, 100.0);
+}
+
+TEST(FiveTupleTest, SketchOverFingerprints) {
+  FiveTupleTrace trace = BuildFiveTupleTrace(100000, 10000, 1.1, 10);
+  DaVinciSketch sketch(256 * 1024, 1);
+  std::unordered_map<uint32_t, int64_t> truth;
+  for (const FiveTuple& packet : trace.packets) {
+    uint32_t fp = packet.Fingerprint();
+    sketch.Insert(fp, 1);
+    ++truth[fp];
+  }
+  // Top tuple is near-exact.
+  uint32_t top_fp = 0;
+  int64_t top_count = 0;
+  for (const auto& [fp, count] : truth) {
+    if (count > top_count) {
+      top_fp = fp;
+      top_count = count;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(sketch.Query(top_fp)),
+              static_cast<double>(top_count), top_count * 0.02);
+}
+
+// ---------- uniform / bursty traces ----------
+
+TEST(TraceShapeTest, UniformTraceHasNoElephants) {
+  Trace trace = BuildUniformTrace("u", 100000, 10000, 11);
+  GroundTruth truth(trace.keys);
+  int64_t max_f = 0;
+  for (const auto& [key, f] : truth.frequencies()) {
+    (void)key;
+    max_f = std::max(max_f, f);
+  }
+  EXPECT_LT(max_f, 40);  // mean is 10; no flow dominates
+}
+
+TEST(TraceShapeTest, BurstyTracePreservesFlowSizes) {
+  Trace shuffled = BuildSkewedTrace("s", 50000, 5000, 1.1, 12);
+  Trace bursty = BuildBurstyTrace("b", 50000, 5000, 1.1, 64, 12);
+  GroundTruth a(shuffled.keys), b(bursty.keys);
+  ASSERT_EQ(a.cardinality(), b.cardinality());
+  for (const auto& [key, f] : a.frequencies()) {
+    EXPECT_EQ(b.frequencies().at(key), f);
+  }
+}
+
+TEST(TraceShapeTest, BurstyTraceIsActuallyBursty) {
+  Trace bursty = BuildBurstyTrace("b", 50000, 5000, 1.1, 64, 13);
+  // Count adjacent same-key pairs; a shuffled trace of 5000 flows has
+  // almost none, a bursty one has many.
+  size_t adjacent = 0;
+  for (size_t i = 1; i < bursty.keys.size(); ++i) {
+    if (bursty.keys[i] == bursty.keys[i - 1]) ++adjacent;
+  }
+  EXPECT_GT(adjacent, bursty.keys.size() / 2);
+}
+
+TEST(TraceShapeTest, DaVinciHandlesBurstyArrivals) {
+  Trace bursty = BuildBurstyTrace("b", 100000, 10000, 1.1, 128, 14);
+  DaVinciSketch sketch(200 * 1024, 2);
+  for (uint32_t key : bursty.keys) sketch.Insert(key, 1);
+  GroundTruth truth(bursty.keys);
+  for (const auto& [key, f] :
+       truth.HeavyHitters(static_cast<int64_t>(bursty.keys.size()) / 500)) {
+    EXPECT_NEAR(static_cast<double>(sketch.Query(key)),
+                static_cast<double>(f), f * 0.1)
+        << key;
+  }
+}
+
+// ---------- ConcurrentDaVinci ----------
+
+TEST(ConcurrentTest, SingleThreadMatchesShardSum) {
+  ConcurrentDaVinci concurrent(4, 512 * 1024, 3);
+  for (uint32_t key = 1; key <= 1000; ++key) {
+    concurrent.Insert(key, key % 7 + 1);
+  }
+  for (uint32_t key = 1; key <= 1000; key += 97) {
+    EXPECT_EQ(concurrent.Query(key), key % 7 + 1);
+  }
+  EXPECT_NEAR(concurrent.EstimateCardinality(), 1000.0, 50.0);
+}
+
+TEST(ConcurrentTest, ParallelInsertsAreConsistent) {
+  ConcurrentDaVinci concurrent(8, 1024 * 1024, 4);
+  const int kThreads = 4;
+  const int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&concurrent, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Each thread hammers one hot key plus its own cold range.
+        concurrent.Insert(7777, 1);
+        concurrent.Insert(static_cast<uint32_t>(100000 + t * kPerThread + i),
+                          1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(concurrent.Query(7777), kThreads * kPerThread);
+  EXPECT_NEAR(concurrent.EstimateCardinality(),
+              1.0 + kThreads * kPerThread,
+              kThreads * kPerThread * 0.05);
+}
+
+TEST(ConcurrentTest, SnapshotAnswersAllTasks) {
+  ConcurrentDaVinci concurrent(4, 512 * 1024, 5);
+  Trace trace = BuildSkewedTrace("c", 80000, 8000, 1.05, 15);
+  for (uint32_t key : trace.keys) concurrent.Insert(key, 1);
+  DaVinciSketch snapshot = concurrent.Snapshot();
+  GroundTruth truth(trace.keys);
+  EXPECT_NEAR(snapshot.EstimateCardinality(),
+              static_cast<double>(truth.cardinality()),
+              truth.cardinality() * 0.1);
+  EXPECT_FALSE(snapshot.HeavyHitters(
+                       static_cast<int64_t>(trace.keys.size()) / 500)
+                   .empty());
+}
+
+}  // namespace
+}  // namespace davinci

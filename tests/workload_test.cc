@@ -1,0 +1,176 @@
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+#include "workload/zipf.h"
+
+namespace davinci {
+namespace {
+
+TEST(ZipfTest, SamplesWithinDomain) {
+  ZipfGenerator zipf(100, 1.0, 42);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t s = zipf.Next();
+    EXPECT_GE(s, 1u);
+    EXPECT_LE(s, 100u);
+  }
+}
+
+TEST(ZipfTest, SkewFavorsSmallRanks) {
+  ZipfGenerator zipf(1000, 1.2, 7);
+  size_t rank_one = 0;
+  const size_t kSamples = 20000;
+  for (size_t i = 0; i < kSamples; ++i) {
+    if (zipf.Next() == 1) ++rank_one;
+  }
+  // With α=1.2 over 1000 items, rank 1 carries >10% of the mass.
+  EXPECT_GT(rank_one, kSamples / 10);
+}
+
+TEST(ZipfTest, AlphaZeroIsRoughlyUniform) {
+  ZipfGenerator zipf(10, 0.0, 11);
+  std::unordered_map<uint64_t, size_t> counts;
+  const size_t kSamples = 50000;
+  for (size_t i = 0; i < kSamples; ++i) ++counts[zipf.Next()];
+  for (const auto& [value, count] : counts) {
+    (void)value;
+    EXPECT_NEAR(static_cast<double>(count), kSamples / 10.0,
+                kSamples / 10.0 * 0.15);
+  }
+}
+
+TEST(ZipfTest, SeededReproducibility) {
+  ZipfGenerator a(500, 1.0, 99), b(500, 1.0, 99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(TraceTest, ExactPacketAndFlowCounts) {
+  Trace trace = BuildSkewedTrace("t", 100000, 5000, 1.0, 3);
+  TraceStats stats = ComputeStats(trace);
+  EXPECT_EQ(stats.packets, 100000u);
+  EXPECT_EQ(stats.flows, 5000u);
+  EXPECT_EQ(stats.cardinality, 5000u);
+}
+
+TEST(TraceTest, KeysAreNonZero) {
+  Trace trace = BuildSkewedTrace("t", 20000, 1000, 1.0, 5);
+  for (uint32_t key : trace.keys) {
+    EXPECT_NE(key, 0u);
+  }
+}
+
+TEST(TraceTest, SkewProducesDominantFlows) {
+  Trace trace = BuildSkewedTrace("t", 100000, 5000, 1.2, 4);
+  GroundTruth truth(trace.keys);
+  int64_t max_f = 0;
+  for (const auto& [key, f] : truth.frequencies()) {
+    (void)key;
+    max_f = std::max(max_f, f);
+  }
+  // The largest flow should hold a large share of a α=1.2 trace.
+  EXPECT_GT(max_f, 100000 / 20);
+}
+
+TEST(TraceTest, TableTwoCalibrations) {
+  // At 10% scale the shape of Table II must hold exactly.
+  Trace caida = BuildCaidaLike(0.1);
+  TraceStats s = ComputeStats(caida);
+  EXPECT_EQ(s.packets, static_cast<size_t>(2472727 * 0.1));
+  EXPECT_EQ(s.flows, static_cast<size_t>(109642 * 0.1));
+
+  Trace tpcds = BuildTpcdsLike(0.1);
+  TraceStats t = ComputeStats(tpcds);
+  EXPECT_EQ(t.packets, static_cast<size_t>(4903874 * 0.1));
+  EXPECT_LT(t.flows, 200u);  // tiny key domain is the TPC-DS signature
+}
+
+TEST(TraceTest, SliceBounds) {
+  Trace trace = BuildSkewedTrace("t", 1000, 100, 1.0, 6);
+  Trace half = Slice(trace, 0, 500, "half");
+  EXPECT_EQ(half.keys.size(), 500u);
+  Trace overshoot = Slice(trace, 900, 5000, "tail");
+  EXPECT_EQ(overshoot.keys.size(), 100u);
+  Trace inverted = Slice(trace, 800, 100, "empty");
+  EXPECT_TRUE(inverted.keys.empty());
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  Trace a = BuildSkewedTrace("t", 5000, 100, 1.0, 8);
+  Trace b = BuildSkewedTrace("t", 5000, 100, 1.0, 8);
+  EXPECT_EQ(a.keys, b.keys);
+  Trace c = BuildSkewedTrace("t", 5000, 100, 1.0, 9);
+  EXPECT_NE(a.keys, c.keys);
+}
+
+TEST(GroundTruthTest, FrequenciesSumToTotal) {
+  std::vector<uint32_t> keys = {1, 2, 2, 3, 3, 3};
+  GroundTruth truth(keys);
+  EXPECT_EQ(truth.total(), 6);
+  EXPECT_EQ(truth.cardinality(), 3u);
+  EXPECT_EQ(truth.frequencies().at(3), 3);
+}
+
+TEST(GroundTruthTest, HeavyHittersThreshold) {
+  std::vector<uint32_t> keys;
+  for (int i = 0; i < 100; ++i) keys.push_back(7);
+  for (int i = 0; i < 5; ++i) keys.push_back(9);
+  GroundTruth truth(keys);
+  auto hh = truth.HeavyHitters(50);
+  ASSERT_EQ(hh.size(), 1u);
+  EXPECT_EQ(hh[0].first, 7u);
+}
+
+TEST(GroundTruthTest, DistributionHistogram) {
+  std::vector<uint32_t> keys = {1, 2, 2, 3, 3, 4, 4};
+  GroundTruth truth(keys);
+  auto hist = truth.Distribution();
+  EXPECT_EQ(hist[1], 1);
+  EXPECT_EQ(hist[2], 3);
+}
+
+TEST(GroundTruthTest, EntropyOfUniformIsLogN) {
+  std::vector<uint32_t> keys = {1, 2, 3, 4};
+  GroundTruth truth(keys);
+  EXPECT_NEAR(truth.Entropy(), std::log(4.0), 1e-9);
+}
+
+TEST(GroundTruthTest, EntropyOfSingletonIsZero) {
+  std::vector<uint32_t> keys = {5, 5, 5, 5};
+  GroundTruth truth(keys);
+  EXPECT_NEAR(truth.Entropy(), 0.0, 1e-12);
+}
+
+TEST(GroundTruthTest, InnerJoin) {
+  GroundTruth a(std::vector<uint32_t>{1, 1, 2});
+  GroundTruth b(std::vector<uint32_t>{1, 2, 2, 3});
+  // 2·1 + 1·2 = 4.
+  EXPECT_DOUBLE_EQ(GroundTruth::InnerJoin(a, b), 4.0);
+}
+
+TEST(GroundTruthTest, SignedDifference) {
+  GroundTruth a(std::vector<uint32_t>{1, 1, 2, 4});
+  GroundTruth b(std::vector<uint32_t>{1, 2, 3, 3});
+  GroundTruth diff = GroundTruth::Difference(a, b);
+  EXPECT_EQ(diff.frequencies().at(1), 1);
+  EXPECT_EQ(diff.frequencies().count(2), 0u);  // cancels exactly
+  EXPECT_EQ(diff.frequencies().at(3), -2);
+  EXPECT_EQ(diff.frequencies().at(4), 1);
+}
+
+TEST(GroundTruthTest, UnionAddsFrequencies) {
+  GroundTruth a(std::vector<uint32_t>{1, 2});
+  GroundTruth b(std::vector<uint32_t>{2, 3});
+  GroundTruth u = GroundTruth::Union(a, b);
+  EXPECT_EQ(u.frequencies().at(2), 2);
+  EXPECT_EQ(u.cardinality(), 3u);
+  EXPECT_EQ(u.total(), 4);
+}
+
+}  // namespace
+}  // namespace davinci
