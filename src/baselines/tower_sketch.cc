@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/prefetch.h"
 #include "common/serialize.h"
 
 namespace davinci {
@@ -32,18 +33,23 @@ size_t TowerSketch::MemoryBytes() const {
 }
 
 void TowerSketch::Insert(uint32_t key, int64_t count) {
+  uint64_t base_hash = HashFamily::BaseHash(key);
   for (Level& level : levels_) {
     ++accesses_;
-    int64_t& c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    int64_t& c = level.counters[IndexIn(level, base_hash)];
     c = std::min(c + count, level.cap);
   }
 }
 
 int64_t TowerSketch::Query(uint32_t key) const {
+  return QueryWithHash(HashFamily::BaseHash(key));
+}
+
+int64_t TowerSketch::QueryWithHash(uint64_t base_hash) const {
   int64_t best = 0;
   bool found = false;
   for (const Level& level : levels_) {
-    int64_t c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    int64_t c = level.counters[IndexIn(level, base_hash)];
     if (c < level.cap) {
       if (!found || c < best) best = c;
       found = true;
@@ -53,10 +59,17 @@ int64_t TowerSketch::Query(uint32_t key) const {
   return best;
 }
 
-int64_t TowerSketch::InsertCapped(uint32_t key, int64_t count, int64_t cap) {
+void TowerSketch::PrefetchCounters(uint64_t base_hash) const {
+  for (const Level& level : levels_) {
+    PrefetchWrite(&level.counters[IndexIn(level, base_hash)]);
+  }
+}
+
+int64_t TowerSketch::InsertCappedWithHash(uint64_t base_hash, int64_t count,
+                                          int64_t cap) {
   // Conservative update: raise the element's estimate from its current
   // value toward min(current + count, cap); the remainder overflows.
-  int64_t current = Query(key);
+  int64_t current = QueryWithHash(base_hash);
   if (current >= cap) {
     accesses_ += levels_.size();  // the query above touched each level
     return count;
@@ -65,15 +78,15 @@ int64_t TowerSketch::InsertCapped(uint32_t key, int64_t count, int64_t cap) {
   int64_t target = current + absorbed;
   for (Level& level : levels_) {
     ++accesses_;
-    int64_t& c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    int64_t& c = level.counters[IndexIn(level, base_hash)];
     c = std::min(std::max(c, target), level.cap);
   }
   return count - absorbed;
 }
 
-int64_t TowerSketch::InsertCappedDown(uint32_t key, int64_t magnitude,
-                                      int64_t cap) {
-  int64_t current = QuerySigned(key);
+int64_t TowerSketch::InsertCappedDownWithHash(uint64_t base_hash,
+                                              int64_t magnitude, int64_t cap) {
+  int64_t current = QuerySignedWithHash(base_hash);
   if (current <= -cap) {
     accesses_ += levels_.size();
     return magnitude;
@@ -82,17 +95,17 @@ int64_t TowerSketch::InsertCappedDown(uint32_t key, int64_t magnitude,
   int64_t target = current - absorbed;
   for (Level& level : levels_) {
     ++accesses_;
-    int64_t& c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    int64_t& c = level.counters[IndexIn(level, base_hash)];
     c = std::max(std::min(c, target), -level.cap);
   }
   return magnitude - absorbed;
 }
 
-int64_t TowerSketch::QuerySigned(uint32_t key) const {
+int64_t TowerSketch::QuerySignedWithHash(uint64_t base_hash) const {
   int64_t best = 0;
   bool found = false;
   for (const Level& level : levels_) {
-    int64_t c = level.counters[level.hash.Bucket(key, level.counters.size())];
+    int64_t c = level.counters[IndexIn(level, base_hash)];
     if (c < level.cap && c > -level.cap) {
       if (!found || std::llabs(c) < std::llabs(best)) best = c;
       found = true;

@@ -42,16 +42,33 @@ class TowerSketch : public FrequencySketch {
   // Cold-filter-style bounded insert used by the DaVinci element filter:
   // performs a conservative (CU) update but never grows the element's
   // estimate beyond `cap`. Returns the part of `count` that did not fit.
-  int64_t InsertCapped(uint32_t key, int64_t count, int64_t cap);
+  int64_t InsertCapped(uint32_t key, int64_t count, int64_t cap) {
+    return InsertCappedWithHash(HashFamily::BaseHash(key), count, cap);
+  }
 
   // Mirror of InsertCapped for negative mass (difference sketches): pushes
   // the element's estimate down toward −cap by `magnitude` (≥ 0); returns
   // the magnitude that did not fit.
-  int64_t InsertCappedDown(uint32_t key, int64_t magnitude, int64_t cap);
+  int64_t InsertCappedDown(uint32_t key, int64_t magnitude, int64_t cap) {
+    return InsertCappedDownWithHash(HashFamily::BaseHash(key), magnitude, cap);
+  }
 
   // Point query that may return a negative value (for subtracted sketches):
   // among unsaturated levels, the value of smallest magnitude.
-  int64_t QuerySigned(uint32_t key) const;
+  int64_t QuerySigned(uint32_t key) const {
+    return QuerySignedWithHash(HashFamily::BaseHash(key));
+  }
+
+  // Hot-path variants taking a precomputed HashFamily::BaseHash of the key
+  // (the counter index depends only on the base hash, not the key itself).
+  int64_t InsertCappedWithHash(uint64_t base_hash, int64_t count, int64_t cap);
+  int64_t InsertCappedDownWithHash(uint64_t base_hash, int64_t magnitude,
+                                   int64_t cap);
+  int64_t QueryWithHash(uint64_t base_hash) const;
+  int64_t QuerySignedWithHash(uint64_t base_hash) const;
+
+  // Write-prefetch of the one counter per level that `base_hash` maps to.
+  void PrefetchCounters(uint64_t base_hash) const;
 
   // Counter-wise merge/subtract with a sketch of identical geometry and
   // seeds. Merge saturates at each level's cap, as the paper prescribes.
@@ -67,7 +84,10 @@ class TowerSketch : public FrequencySketch {
     return levels_[level].counters;
   }
   size_t LevelIndex(size_t level, uint32_t key) const {
-    return levels_[level].hash.Bucket(key, levels_[level].counters.size());
+    return LevelIndexWithBase(level, HashFamily::BaseHash(key));
+  }
+  size_t LevelIndexWithBase(size_t level, uint64_t base_hash) const {
+    return IndexIn(levels_[level], base_hash);
   }
   int64_t LevelCap(size_t level) const { return levels_[level].cap; }
 
@@ -86,6 +106,12 @@ class TowerSketch : public FrequencySketch {
     HashFamily hash;
     std::vector<int64_t> counters;
   };
+
+  // Divide-free per-level counter index from a precomputed base hash.
+  static size_t IndexIn(const Level& level, uint64_t base_hash) {
+    return HashFamily::FastReduce(level.hash.RehashBase(base_hash),
+                                  level.counters.size());
+  }
 
   std::vector<Level> levels_;
   mutable uint64_t accesses_ = 0;

@@ -29,6 +29,12 @@ constexpr uint64_t Mix64(uint64_t x) {
 
 // A seeded 64-bit hash family over integer keys. Instances are cheap value
 // types; two instances with the same seed are the same function.
+//
+// Hot-path composition: the batched insertion pipeline mixes each key ONCE
+// with BaseHash and then derives every row/part hash from that base with
+// RehashBase (one multiply + xor-shift, keyed by the row seed). Index
+// reduction uses FastReduce (Lemire's multiply-shift fastrange, with a mask
+// path for power-of-two widths) instead of a hardware divide.
 class HashFamily {
  public:
   HashFamily() : seed_(0) {}
@@ -37,9 +43,44 @@ class HashFamily {
   // Full 64-bit hash of `key`.
   uint64_t Hash(uint64_t key) const { return Mix64(key ^ seed_); }
 
+  // One full mix of the key, shared across every row and part. Seed
+  // independent: compute it once per key and thread it through the
+  // *WithHash entry points.
+  static constexpr uint64_t BaseHash(uint64_t key) { return Mix64(key); }
+
+  // Cheap per-row derivation from a precomputed BaseHash: one multiply
+  // (murmur3 fmix constant) plus a xor-shift, keyed by this family's seed.
+  // The multiply pushes entropy into the high bits, which is exactly what
+  // FastReduce consumes.
+  constexpr uint64_t RehashBase(uint64_t base_hash) const {
+    uint64_t x = (base_hash ^ seed_) * 0xff51afd7ed558ccdULL;
+    return x ^ (x >> 33);
+  }
+
+  // Lemire fastrange: reduce a 64-bit hash to [0, n) with one multiply
+  // (high 64 bits of hash·n), or a mask when n is a power of two.
+  // Precondition: n >= 1.
+  static constexpr size_t FastReduce(uint64_t hash, size_t n) {
+    if ((n & (n - 1)) == 0) return static_cast<size_t>(hash & (n - 1));
+    return static_cast<size_t>(
+        (static_cast<unsigned __int128>(hash) * n) >> 64);
+  }
+
   // Hash reduced to a bucket index in [0, buckets).
   size_t Bucket(uint64_t key, size_t buckets) const {
     return static_cast<size_t>(Hash(key) % buckets);
+  }
+
+  // Divide-free bucket index used by the DaVinci hot path. NOTE: this is a
+  // different (equally uniform) mapping than Bucket(); a structure must use
+  // one or the other consistently.
+  size_t BucketFast(uint64_t key, size_t buckets) const {
+    return FastReduce(RehashBase(BaseHash(key)), buckets);
+  }
+
+  // Same, from a precomputed BaseHash (the batched pipeline's form).
+  size_t BucketFastWithBase(uint64_t base_hash, size_t buckets) const {
+    return FastReduce(RehashBase(base_hash), buckets);
   }
 
   uint64_t seed() const { return seed_; }
@@ -54,9 +95,16 @@ class SignHash {
   SignHash() : family_(1) {}
   explicit SignHash(uint64_t seed) : family_(seed ^ 0xa076bc9d3f2e11ULL) {}
 
-  // Returns +1 or -1 with equal probability over keys.
+  // Returns +1 or -1 with equal probability over keys. The sign comes from
+  // the hash's high bit: after the final multiply the top bits carry the
+  // most mixed entropy, whereas bit 0 is the weakest bit of a multiply.
   int Sign(uint64_t key) const {
-    return (family_.Hash(key) & 1) ? 1 : -1;
+    return SignWithBase(HashFamily::BaseHash(key));
+  }
+
+  // Same, from a precomputed BaseHash.
+  int SignWithBase(uint64_t base_hash) const {
+    return (family_.RehashBase(base_hash) >> 63) ? 1 : -1;
   }
 
  private:

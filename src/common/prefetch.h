@@ -1,0 +1,30 @@
+#ifndef DAVINCI_COMMON_PREFETCH_H_
+#define DAVINCI_COMMON_PREFETCH_H_
+
+// Portable software-prefetch wrappers for the batched insertion pipeline.
+// On compilers without __builtin_prefetch these compile to nothing, so the
+// pipeline degrades to a plain (still correct) staged loop.
+
+namespace davinci {
+
+// Hint that `addr` will be read soon.
+inline void PrefetchRead(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+// Hint that `addr` will be read and written soon.
+inline void PrefetchWrite(const void* addr) {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(addr, /*rw=*/1, /*locality=*/3);
+#else
+  (void)addr;
+#endif
+}
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_PREFETCH_H_

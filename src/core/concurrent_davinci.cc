@@ -20,6 +20,47 @@ void ConcurrentDaVinci::Insert(uint32_t key, int64_t count) {
   shard.sketch->Insert(key, count);
 }
 
+void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys,
+                                    std::span<const int64_t> counts) {
+  // Partition each block by shard into scratch buffers, then drain every
+  // non-empty shard group under a single lock acquisition. Blocks bound the
+  // scratch memory and the time any one lock is held.
+  constexpr size_t kBlock = 16 * DaVinciSketch::kInsertBlock;
+  std::vector<std::vector<uint32_t>> shard_keys(shards_.size());
+  std::vector<std::vector<int64_t>> shard_counts(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_keys[s].reserve(kBlock);
+    shard_counts[s].reserve(kBlock);
+  }
+  for (size_t start = 0; start < keys.size(); start += kBlock) {
+    size_t len = std::min(kBlock, keys.size() - start);
+    for (size_t i = 0; i < len; ++i) {
+      size_t s = ShardOf(keys[start + i]);
+      shard_keys[s].push_back(keys[start + i]);
+      shard_counts[s].push_back(counts[start + i]);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shard_keys[s].empty()) continue;
+      {
+        std::lock_guard<std::mutex> lock(shards_[s].mutex);
+        shards_[s].sketch->InsertBatch(shard_keys[s], shard_counts[s]);
+      }
+      shard_keys[s].clear();
+      shard_counts[s].clear();
+    }
+  }
+}
+
+void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys) {
+  if (keys.empty()) return;
+  std::vector<int64_t> ones(std::min<size_t>(keys.size(), size_t{4096}), 1);
+  for (size_t start = 0; start < keys.size(); start += ones.size()) {
+    size_t len = std::min(ones.size(), keys.size() - start);
+    InsertBatch(keys.subspan(start, len),
+                std::span<const int64_t>(ones.data(), len));
+  }
+}
+
 int64_t ConcurrentDaVinci::Query(uint32_t key) const {
   const Shard& shard = shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <vector>
 
 #include "core/davinci_sketch.h"
@@ -23,6 +24,16 @@ class ConcurrentDaVinci {
   ConcurrentDaVinci(size_t shards, size_t total_bytes, uint64_t seed);
 
   void Insert(uint32_t key, int64_t count = 1);
+
+  // Batched insert: processes keys in blocks, groups each block by shard,
+  // and takes each shard's lock ONCE per block instead of once per key
+  // before handing the group to DaVinciSketch::InsertBatch. Keys of the
+  // same shard are applied in stream order, so the per-shard (and hence
+  // snapshot) state is identical to single Inserts.
+  void InsertBatch(std::span<const uint32_t> keys,
+                   std::span<const int64_t> counts);
+  void InsertBatch(std::span<const uint32_t> keys);  // count 1 per key
+
   int64_t Query(uint32_t key) const;
   double EstimateCardinality() const;
 
@@ -40,7 +51,7 @@ class ConcurrentDaVinci {
   };
 
   size_t ShardOf(uint32_t key) const {
-    return shard_hash_.Bucket(key, shards_.size());
+    return shard_hash_.BucketFast(key, shards_.size());
   }
 
   HashFamily shard_hash_;

@@ -34,17 +34,112 @@ uint64_t DaVinciSketch::MemoryAccesses() const {
 }
 
 void DaVinciSketch::RouteToFilter(uint32_t key, int64_t count) {
-  int64_t overflow = ef_.InsertSigned(key, count);
+  RouteToFilterWithHash(key, HashFamily::BaseHash(key), count);
+}
+
+void DaVinciSketch::RouteToFilterWithHash(uint32_t key, uint64_t base_hash,
+                                          int64_t count) {
+  int64_t overflow = ef_.InsertSignedWithHash(base_hash, count);
   if (overflow != 0) {
-    ifp_.Insert(key, overflow);
+    ifp_.InsertWithHash(key, base_hash, overflow);
   }
 }
 
 void DaVinciSketch::Insert(uint32_t key, int64_t count) {
   InvalidateDecodeCache();
-  FrequentPart::InsertResult result = fp_.Insert(key, count);
+  uint64_t base_hash = HashFamily::BaseHash(key);
+  FrequentPart::InsertResult result = fp_.InsertWithHash(key, base_hash, count);
   if (result.action != FrequentPart::InsertResult::Action::kAbsorbed) {
-    RouteToFilter(result.overflow_key, result.overflow_count);
+    // An eviction overflows the resident minimum, not the inserted key, so
+    // its base hash must be derived afresh in that (rare) case.
+    uint64_t overflow_hash = result.overflow_key == key
+                                 ? base_hash
+                                 : HashFamily::BaseHash(result.overflow_key);
+    RouteToFilterWithHash(result.overflow_key, overflow_hash,
+                          result.overflow_count);
+  }
+}
+
+void DaVinciSketch::InsertBatch(std::span<const uint32_t> keys,
+                                std::span<const int64_t> counts) {
+  if (keys.empty()) return;
+  InvalidateDecodeCache();
+
+  // Double-buffered stage A state: while block k is applied (stages B/C),
+  // block k+1's base hashes are already computed and its FP bucket lines
+  // are in flight — the one-block-ahead prefetch invariant.
+  uint64_t hash_buf[2][kInsertBlock];
+  struct Overflow {
+    uint32_t key;
+    int64_t count;
+    uint64_t base_hash;
+  };
+  Overflow overflow[kInsertBlock];
+
+  const size_t n = keys.size();
+  auto stage_a = [&](size_t start, uint64_t* hashes) {
+    size_t len = std::min(kInsertBlock, n - start);
+    for (size_t i = 0; i < len; ++i) {
+      hashes[i] = HashFamily::BaseHash(keys[start + i]);
+      fp_.PrefetchBucket(hashes[i]);
+    }
+  };
+
+  stage_a(0, hash_buf[0]);
+  for (size_t start = 0, parity = 0; start < n;
+       start += kInsertBlock, parity ^= 1) {
+    if (start + kInsertBlock < n) {
+      stage_a(start + kInsertBlock, hash_buf[parity ^ 1]);
+    }
+    const uint64_t* hashes = hash_buf[parity];
+    size_t len = std::min(kInsertBlock, n - start);
+
+    // Stage B: FP inserts. Overflow (rejected newcomers and evicted
+    // residents) is buffered instead of routed immediately; the FP and the
+    // filter never read each other's state, so deferring the EF/IFP work to
+    // the end of the block leaves every part bit-identical to the
+    // one-key-at-a-time order.
+    size_t num_overflow = 0;
+    for (size_t i = 0; i < len; ++i) {
+      uint32_t key = keys[start + i];
+      FrequentPart::InsertResult result =
+          fp_.InsertWithHash(key, hashes[i], counts[start + i]);
+      if (result.action != FrequentPart::InsertResult::Action::kAbsorbed) {
+        uint64_t overflow_hash =
+            result.overflow_key == key
+                ? hashes[i]
+                : HashFamily::BaseHash(result.overflow_key);
+        // Start the EF miss as soon as the overflow is known — the rest of
+        // the block's FP work runs while the filter counters travel up the
+        // cache hierarchy.
+        ef_.Prefetch(overflow_hash);
+        overflow[num_overflow++] = {result.overflow_key,
+                                    result.overflow_count, overflow_hash};
+      }
+    }
+
+    // Stage C: apply the buffered overflow through EF and (on filter
+    // overflow) IFP. The EF counters were prefetched at discovery time in
+    // stage B; the IFP (iID, icnt) cells are NOT prefetched — only the
+    // small filter-crossing fraction of overflow keys reaches the IFP, and
+    // measurements showed the 2·d speculative lines per key cost more in
+    // memory bandwidth than the avoided demand misses returned.
+    for (size_t i = 0; i < num_overflow; ++i) {
+      RouteToFilterWithHash(overflow[i].key, overflow[i].base_hash,
+                            overflow[i].count);
+    }
+  }
+}
+
+void DaVinciSketch::InsertBatch(std::span<const uint32_t> keys) {
+  // A stack chunk of ones feeds the two-span pipeline in pieces large
+  // enough (many blocks) that the one-block-ahead prefetch stays engaged.
+  constexpr size_t kOnesChunk = 64 * kInsertBlock;
+  int64_t ones[kOnesChunk];
+  std::fill(std::begin(ones), std::end(ones), int64_t{1});
+  for (size_t start = 0; start < keys.size(); start += kOnesChunk) {
+    size_t len = std::min(kOnesChunk, keys.size() - start);
+    InsertBatch(keys.subspan(start, len), std::span<const int64_t>(ones, len));
   }
 }
 
@@ -81,16 +176,22 @@ int64_t DaVinciSketch::Query(uint32_t key) const {
 
 std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyHitters(
     int64_t threshold) const {
+  const std::vector<FrequentPart::Entry> entries = fp_.Entries();
+  const auto& decoded = DecodedFlows();
+  // Every candidate comes from the FP entries or the decoded map, so sizing
+  // both containers up front avoids any rehash/regrow churn below.
   std::vector<std::pair<uint32_t, int64_t>> out;
+  out.reserve(entries.size());
   std::unordered_set<uint32_t> reported;
-  for (const FrequentPart::Entry& entry : fp_.Entries()) {
+  reported.reserve(entries.size() + decoded.size());
+  for (const FrequentPart::Entry& entry : entries) {
     int64_t est = Query(entry.key);
     if (est > threshold && reported.insert(entry.key).second) {
       out.emplace_back(entry.key, est);
     }
   }
   // Medium flows that stayed out of the FP can still cross the threshold.
-  for (const auto& [key, count] : DecodedFlows()) {
+  for (const auto& [key, count] : decoded) {
     (void)count;
     if (reported.count(key)) continue;
     int64_t est = Query(key);
@@ -236,21 +337,27 @@ void DaVinciSketch::Subtract(const DaVinciSketch& other) {
 
 std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyChangers(
     const DaVinciSketch& other, int64_t delta) const {
+  // One explicit working copy of this sketch, subtracted in place; nothing
+  // else below copies sketch state.
   DaVinciSketch difference = *this;
   difference.Subtract(other);
 
+  const std::vector<FrequentPart::Entry> mine = fp_.Entries();
+  const std::vector<FrequentPart::Entry> theirs = other.fp_.Entries();
+  const auto& decoded = difference.DecodedFlows();
+
   std::vector<std::pair<uint32_t, int64_t>> out;
+  out.reserve(mine.size() + theirs.size());
   std::unordered_set<uint32_t> seen;
+  seen.reserve(mine.size() + theirs.size() + decoded.size());
   auto consider = [&](uint32_t key) {
     if (!seen.insert(key).second) return;
     int64_t change = difference.Query(key);
     if (std::llabs(change) > delta) out.emplace_back(key, change);
   };
-  for (const FrequentPart::Entry& entry : fp_.Entries()) consider(entry.key);
-  for (const FrequentPart::Entry& entry : other.fp_.Entries()) {
-    consider(entry.key);
-  }
-  for (const auto& [key, count] : difference.DecodedFlows()) {
+  for (const FrequentPart::Entry& entry : mine) consider(entry.key);
+  for (const FrequentPart::Entry& entry : theirs) consider(entry.key);
+  for (const auto& [key, count] : decoded) {
     (void)count;
     consider(key);
   }

@@ -5,6 +5,7 @@
 #include <iosfwd>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -48,6 +49,23 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   int64_t Query(uint32_t key) const override;  // Algorithm 4
   uint64_t MemoryAccesses() const override;
 
+  // ---- batched hot path ----
+  // Block width of the insertion pipeline: stage A hashes a block's keys
+  // once each and prefetches their FP bucket lines one block ahead of use;
+  // stage B applies the FP inserts, prefetching the element-filter counters
+  // of each overflow key the moment it is discovered; stage C drains the
+  // block's overflow through EF and IFP.
+  static constexpr size_t kInsertBlock = 64;
+
+  // State-equivalent to `for (i) Insert(keys[i], counts[i])` — bit-for-bit:
+  // the FP/EF/IFP state after a batch is identical to the single-insert
+  // state, so every query answers the same. `counts` must match `keys` in
+  // size.
+  void InsertBatch(std::span<const uint32_t> keys,
+                   std::span<const int64_t> counts);
+  // Same with an implicit count of 1 per key.
+  void InsertBatch(std::span<const uint32_t> keys);
+
   // ---- single-set tasks ----
   std::vector<std::pair<uint32_t, int64_t>> HeavyHitters(
       int64_t threshold) const override;
@@ -85,6 +103,7 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
  private:
   // Routes an overflow (evicted or rejected element) through EF then IFP.
   void RouteToFilter(uint32_t key, int64_t count);
+  void RouteToFilterWithHash(uint32_t key, uint64_t base_hash, int64_t count);
   // Shared implementation of Merge/Subtract.
   void Combine(const DaVinciSketch& other, bool subtract);
   void InvalidateDecodeCache() { decode_cache_.reset(); }

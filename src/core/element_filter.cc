@@ -12,14 +12,25 @@ int64_t ElementFilter::Insert(uint32_t key, int64_t count) {
 }
 
 int64_t ElementFilter::InsertSigned(uint32_t key, int64_t count) {
-  if (count >= 0) return tower_.InsertCapped(key, count, threshold_);
-  return -tower_.InsertCappedDown(key, -count, threshold_);
+  return InsertSignedWithHash(HashFamily::BaseHash(key), count);
+}
+
+int64_t ElementFilter::InsertSignedWithHash(uint64_t base_hash,
+                                            int64_t count) {
+  if (count >= 0) {
+    return tower_.InsertCappedWithHash(base_hash, count, threshold_);
+  }
+  return -tower_.InsertCappedDownWithHash(base_hash, -count, threshold_);
 }
 
 int64_t ElementFilter::Query(uint32_t key) const { return tower_.Query(key); }
 
 int64_t ElementFilter::QuerySigned(uint32_t key) const {
   return tower_.QuerySigned(key);
+}
+
+int64_t ElementFilter::QuerySignedWithHash(uint64_t base_hash) const {
+  return tower_.QuerySignedWithHash(base_hash);
 }
 
 }  // namespace davinci

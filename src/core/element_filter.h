@@ -30,11 +30,20 @@ class ElementFilter {
   // the sign of `count`.
   int64_t InsertSigned(uint32_t key, int64_t count);
 
+  // Hot-path variant of InsertSigned taking a precomputed
+  // HashFamily::BaseHash of the key (the filter's counters are indexed by
+  // hash only, so the key itself is not needed).
+  int64_t InsertSignedWithHash(uint64_t base_hash, int64_t count);
+
   // Count-min estimate of the key's retained count (≤ T up to collisions).
   int64_t Query(uint32_t key) const;
 
   // Signed estimate for subtracted filters.
   int64_t QuerySigned(uint32_t key) const;
+  int64_t QuerySignedWithHash(uint64_t base_hash) const;
+
+  // Write-prefetch of the tower counters `base_hash` maps to.
+  void Prefetch(uint64_t base_hash) const { tower_.PrefetchCounters(base_hash); }
 
   int64_t threshold() const { return threshold_; }
 

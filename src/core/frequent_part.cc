@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "common/prefetch.h"
 #include "common/serialize.h"
 
 namespace davinci {
@@ -20,8 +21,18 @@ FrequentPart::FrequentPart(size_t buckets, size_t slots, int64_t evict_lambda,
   flags_.assign(buckets_, 0);
 }
 
-FrequentPart::InsertResult FrequentPart::Insert(uint32_t key, int64_t count) {
-  size_t bucket = BucketOf(key);
+void FrequentPart::PrefetchBucket(uint64_t base_hash) const {
+  size_t base = BucketOfBase(base_hash) * slots_;
+  PrefetchWrite(&keys_[base]);
+  PrefetchWrite(&counts_[base]);
+  // A bucket's counts span slots_ × 8 bytes and may straddle a line.
+  PrefetchWrite(&counts_[base + slots_ - 1]);
+}
+
+FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
+                                                        uint64_t base_hash,
+                                                        int64_t count) {
+  size_t bucket = BucketOfBase(base_hash);
   size_t base = bucket * slots_;
   size_t min_slot = base;
 

@@ -44,7 +44,17 @@ class FrequentPart {
   FrequentPart(size_t buckets, size_t slots, int64_t evict_lambda,
                uint64_t seed);
 
-  InsertResult Insert(uint32_t key, int64_t count);
+  InsertResult Insert(uint32_t key, int64_t count) {
+    return InsertWithHash(key, HashFamily::BaseHash(key), count);
+  }
+
+  // Hot-path variant: `base_hash` must equal HashFamily::BaseHash(key),
+  // computed once by the caller and shared with the other parts.
+  InsertResult InsertWithHash(uint32_t key, uint64_t base_hash, int64_t count);
+
+  // Issues a write prefetch for the bucket `base_hash` maps to, so a
+  // subsequent InsertWithHash with the same base hash starts warm.
+  void PrefetchBucket(uint64_t base_hash) const;
 
   // Count of `key` if resident, 0 otherwise. `tainted` is set to the
   // entry's taint bit (true = the key may have residue in the element
@@ -62,7 +72,12 @@ class FrequentPart {
     size_t i = bucket * slots_ + slot;
     return {keys_[i], counts_[i], tainted_[i] != 0};
   }
-  size_t BucketOf(uint32_t key) const { return hash_.Bucket(key, buckets_); }
+  size_t BucketOf(uint32_t key) const {
+    return hash_.BucketFast(key, buckets_);
+  }
+  size_t BucketOfBase(uint64_t base_hash) const {
+    return hash_.BucketFastWithBase(base_hash, buckets_);
+  }
 
   // All live entries (key, count).
   std::vector<Entry> Entries() const;

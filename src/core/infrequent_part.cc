@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <deque>
 
+#include "common/prefetch.h"
 #include "common/serialize.h"
 
 namespace davinci {
@@ -23,21 +24,32 @@ InfrequentPart::InfrequentPart(size_t rows, size_t buckets_per_row,
   counts_.assign(rows_ * width_, 0);
 }
 
-void InfrequentPart::Insert(uint32_t key, int64_t count) {
+void InfrequentPart::InsertWithHash(uint32_t key, uint64_t base_hash,
+                                    int64_t count) {
   uint64_t delta = MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
   for (size_t i = 0; i < rows_; ++i) {
     ++accesses_;
-    size_t j = BucketIndex(i, key);
+    size_t j = BucketIndexBase(i, base_hash);
     ids_[j] = AddMod(ids_[j], delta, kFermatPrime);
-    counts_[j] += Sign(i, key) * count;
+    counts_[j] += SignBase(i, base_hash) * count;
+  }
+}
+
+void InfrequentPart::Prefetch(uint64_t base_hash) const {
+  for (size_t i = 0; i < rows_; ++i) {
+    size_t j = BucketIndexBase(i, base_hash);
+    PrefetchWrite(&ids_[j]);
+    PrefetchWrite(&counts_[j]);
   }
 }
 
 int64_t InfrequentPart::FastQuery(uint32_t key) const {
+  uint64_t base_hash = HashFamily::BaseHash(key);
   std::vector<int64_t> estimates;
   estimates.reserve(rows_);
   for (size_t i = 0; i < rows_; ++i) {
-    estimates.push_back(Sign(i, key) * counts_[BucketIndex(i, key)]);
+    estimates.push_back(SignBase(i, base_hash) *
+                        counts_[BucketIndexBase(i, base_hash)]);
   }
   std::nth_element(estimates.begin(), estimates.begin() + estimates.size() / 2,
                    estimates.end());
@@ -64,11 +76,13 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
   auto try_candidate = [&](size_t index, uint64_t candidate) -> bool {
     if (candidate == 0 || candidate > UINT32_MAX) return false;
     uint32_t key = static_cast<uint32_t>(candidate);
+    // One mix of the candidate, reused for every row index and sign below.
+    uint64_t base_hash = HashFamily::BaseHash(key);
     size_t row = index / width_;
-    if (BucketIndex(row, key) != index) return false;
+    if (BucketIndexBase(row, base_hash) != index) return false;
     // Sign-consistency: with icnt = ζ_row(key)·count, the id field must
     // equal count·key mod p.
-    int64_t count = Sign(row, key) * counts[index];
+    int64_t count = SignBase(row, base_hash) * counts[index];
     uint64_t expected =
         MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
     if (expected != ids[index]) return false;
@@ -78,9 +92,9 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
     uint64_t delta =
         MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
     for (size_t r = 0; r < rows_; ++r) {
-      size_t j = BucketIndex(r, key);
+      size_t j = BucketIndexBase(r, base_hash);
       ids[j] = SubMod(ids[j], delta, kFermatPrime);
-      counts[j] -= Sign(r, key) * count;
+      counts[j] -= SignBase(r, base_hash) * count;
       queue.push_back(j);
     }
     return true;

@@ -29,7 +29,16 @@ class InfrequentPart {
   InfrequentPart(size_t rows, size_t buckets_per_row, bool use_signs,
                  uint64_t seed);
 
-  void Insert(uint32_t key, int64_t count);
+  void Insert(uint32_t key, int64_t count) {
+    InsertWithHash(key, HashFamily::BaseHash(key), count);
+  }
+
+  // Hot-path variant: `base_hash` must equal HashFamily::BaseHash(key).
+  // The key itself is still needed for the mod-p id encoding.
+  void InsertWithHash(uint32_t key, uint64_t base_hash, int64_t count);
+
+  // Write-prefetch of the d (iID, icnt) cells `base_hash` maps to.
+  void Prefetch(uint64_t base_hash) const;
 
   // Median of sign-corrected mapped counters (no decode).
   int64_t FastQuery(uint32_t key) const;
@@ -63,11 +72,17 @@ class InfrequentPart {
   uint64_t memory_accesses() const { return accesses_; }
 
  private:
+  size_t BucketIndexBase(size_t row, uint64_t base_hash) const {
+    return row * width_ + hashes_[row].BucketFastWithBase(base_hash, width_);
+  }
   size_t BucketIndex(size_t row, uint32_t key) const {
-    return row * width_ + hashes_[row].Bucket(key, width_);
+    return BucketIndexBase(row, HashFamily::BaseHash(key));
+  }
+  int SignBase(size_t row, uint64_t base_hash) const {
+    return use_signs_ ? signs_[row].SignWithBase(base_hash) : 1;
   }
   int Sign(size_t row, uint64_t key) const {
-    return use_signs_ ? signs_[row].Sign(key) : 1;
+    return SignBase(row, HashFamily::BaseHash(key));
   }
 
   size_t rows_;

@@ -1,5 +1,7 @@
 #include "common/hash.h"
 
+#include <cmath>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
@@ -73,6 +75,88 @@ TEST(HashFamilyTest, BucketsRoughlyUniform) {
   for (size_t c : counts) {
     EXPECT_NEAR(static_cast<double>(c), expected, expected * 0.05);
   }
+}
+
+TEST(HashFamilyTest, BucketFastInRangeAndDeterministic) {
+  HashFamily h(13);
+  for (size_t buckets : {size_t{1}, size_t{2}, size_t{17}, size_t{64},
+                         size_t{1000}}) {
+    for (uint64_t key = 0; key < 500; ++key) {
+      size_t b = h.BucketFast(key, buckets);
+      EXPECT_LT(b, buckets);
+      EXPECT_EQ(b, h.BucketFastWithBase(HashFamily::BaseHash(key), buckets));
+      EXPECT_EQ(b, h.BucketFast(key, buckets));
+    }
+  }
+}
+
+TEST(HashFamilyTest, FastReducePowerOfTwoUsesMask) {
+  // On power-of-two widths the mask path must agree with hash mod n,
+  // because the mask IS hash mod n there.
+  for (uint64_t hash : {0ull, 1ull, 0xdeadbeefcafef00dull, ~0ull}) {
+    EXPECT_EQ(HashFamily::FastReduce(hash, 64), hash % 64);
+    EXPECT_EQ(HashFamily::FastReduce(hash, 1), 0u);
+  }
+}
+
+// Pearson chi-squared statistic of observed counts against a uniform
+// expectation. With k cells the statistic has k−1 degrees of freedom:
+// mean k−1, variance 2(k−1). A threshold of dof + 8·sqrt(2·dof) is far
+// beyond any plausible statistical fluctuation (≈ 8 sigma) while still
+// catching structural bias like a stuck bit.
+double ChiSquared(const std::vector<size_t>& counts, size_t samples) {
+  double expected = static_cast<double>(samples) / counts.size();
+  double chi2 = 0.0;
+  for (size_t c : counts) {
+    double d = static_cast<double>(c) - expected;
+    chi2 += d * d / expected;
+  }
+  return chi2;
+}
+
+TEST(HashFamilyTest, ChiSquaredBucketBalance) {
+  const size_t kSamples = 1 << 20;
+  // Both reduction paths: a power of two (mask) and a non power of two
+  // (Lemire multiply-shift).
+  for (size_t buckets : {size_t{64}, size_t{97}}) {
+    for (uint64_t seed : {3u, 77u, 20250806u}) {
+      HashFamily h(seed);
+      std::vector<size_t> counts(buckets, 0);
+      for (uint64_t key = 0; key < kSamples; ++key) {
+        ++counts[h.BucketFast(key, buckets)];
+      }
+      double dof = static_cast<double>(buckets - 1);
+      EXPECT_LT(ChiSquared(counts, kSamples), dof + 8.0 * std::sqrt(2.0 * dof))
+          << "buckets=" << buckets << " seed=" << seed;
+    }
+  }
+}
+
+TEST(SignHashTest, ChiSquaredBalance) {
+  const size_t kSamples = 1 << 20;
+  for (uint64_t seed : {2u, 51u, 987654u}) {
+    SignHash s(seed);
+    std::vector<size_t> counts(2, 0);
+    for (uint64_t key = 0; key < kSamples; ++key) {
+      ++counts[s.Sign(key) > 0 ? 1 : 0];
+    }
+    // 1 degree of freedom: threshold 1 + 8·sqrt(2) ≈ 12.3.
+    EXPECT_LT(ChiSquared(counts, kSamples), 1.0 + 8.0 * std::sqrt(2.0))
+        << "seed=" << seed;
+  }
+}
+
+TEST(SignHashTest, SignComesFromHighBitNotBitZero) {
+  // The sign must track the underlying hash's high bit; sequential keys
+  // whose hashes have identical low bits but differing high bits must be
+  // able to disagree in sign, and a run of keys must not correlate with
+  // key parity (which bit-0 derivations are prone to).
+  SignHash s(8);
+  int64_t parity_correlation = 0;
+  for (uint64_t key = 0; key < 100000; ++key) {
+    parity_correlation += s.Sign(key) * ((key & 1) ? 1 : -1);
+  }
+  EXPECT_LT(std::abs(parity_correlation), 100000 / 50);
 }
 
 TEST(SignHashTest, OnlyPlusMinusOne) {
