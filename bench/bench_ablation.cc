@@ -32,7 +32,8 @@ int main() {
   Trace trace = davinci::BuildCaidaLike(scale);
   GroundTruth truth(trace.keys);
   size_t n = trace.keys.size();
-  int64_t hh_threshold = static_cast<int64_t>(n * 0.0002);
+  int64_t hh_threshold =
+      static_cast<int64_t>(static_cast<double>(n) * 0.0002);
   auto hh_actual = truth.HeavyHitters(hh_threshold);
 
   std::printf("# Ablation 1: eviction ratio lambda (scale=%.2f)\n", scale);

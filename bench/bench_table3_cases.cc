@@ -40,8 +40,9 @@ int main() {
   GroundTruth diff_truth = GroundTruth::Difference(ta, tb);
   double join_truth = GroundTruth::InnerJoin(ta, tb);
 
-  int64_t hh_threshold = static_cast<int64_t>(n * 0.0002);
-  int64_t hc_delta = static_cast<int64_t>(n * 0.0001);
+  int64_t hh_threshold =
+      static_cast<int64_t>(static_cast<double>(n) * 0.0002);
+  int64_t hc_delta = static_cast<int64_t>(static_cast<double>(n) * 0.0001);
   auto hh_actual = truth.HeavyHitters(hh_threshold);
   GroundTruth window_diff = GroundTruth::Difference(t1, t2);
   std::vector<std::pair<uint32_t, int64_t>> hc_actual;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Static-analysis gate over src/.
+#
+# Preferred path: clang-tidy with the checked-in .clang-tidy config,
+# against a compile_commands.json produced by the `tidy` CMake preset.
+# Fallback path (toolchains without clang-tidy, e.g. the minimal gcc
+# container): a strict warning pass — g++ -fsyntax-only with
+# -Wall -Wextra -Wshadow -Wconversion promoted to errors — over the same
+# sources, so the gate always has teeth.
+#
+# Usage: scripts/run-tidy.sh [extra clang-tidy args...]
+# Exit 0 iff every file is clean.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+if [[ ${#sources[@]} -eq 0 ]]; then
+  echo "run-tidy: no sources found under src/" >&2
+  exit 1
+fi
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "run-tidy: clang-tidy $(clang-tidy --version | grep -o 'version [0-9.]*' | head -1)"
+  if [[ ! -f build-tidy/compile_commands.json ]]; then
+    cmake --preset tidy >/dev/null
+  fi
+  clang-tidy --quiet -p build-tidy "$@" "${sources[@]}"
+  echo "run-tidy: clean (${#sources[@]} files)"
+else
+  echo "run-tidy: clang-tidy not found; using strict g++ warning pass" >&2
+  fail=0
+  for f in "${sources[@]}"; do
+    if ! g++ -std=c++20 -fsyntax-only -Isrc \
+         -Wall -Wextra -Wshadow -Wconversion -Werror "$f"; then
+      fail=1
+      echo "run-tidy: FAIL $f" >&2
+    fi
+  done
+  if [[ $fail -ne 0 ]]; then
+    exit 1
+  fi
+  echo "run-tidy: clean (${#sources[@]} files, g++ fallback)"
+fi

@@ -153,6 +153,32 @@ bool TowerSketch::LoadState(std::istream& in) {
   return true;
 }
 
+void TowerSketch::CheckInvariants(InvariantMode mode) const {
+  DAVINCI_CHECK(!levels_.empty());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
+    DAVINCI_CHECK_MSG(level.bits > 0 && level.bits <= 64,
+                      "level " + std::to_string(i));
+    DAVINCI_CHECK_MSG(level.cap > 0, "level " + std::to_string(i));
+    DAVINCI_CHECK_MSG(!level.counters.empty(), "level " + std::to_string(i));
+    if (i > 0) {
+      // Tower shape: going up, counters get wider (larger saturation cap)
+      // and scarcer. Queries depend on this — a level saturating before
+      // the one above it is what makes "smallest unsaturated" sound.
+      DAVINCI_CHECK_LE(levels_[i - 1].cap, level.cap);
+      DAVINCI_CHECK_LE(level.counters.size(), levels_[i - 1].counters.size());
+    }
+    if (mode == InvariantMode::kAdditive) {
+      for (size_t j = 0; j < level.counters.size(); ++j) {
+        DAVINCI_CHECK_MSG(
+            level.counters[j] >= 0 && level.counters[j] <= level.cap,
+            "level " + std::to_string(i) + " counter " + std::to_string(j) +
+                " = " + std::to_string(level.counters[j]));
+      }
+    }
+  }
+}
+
 size_t TowerSketch::ZeroSlots(size_t level) const {
   size_t zeros = 0;
   for (int64_t c : levels_[level].counters) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "baselines/sketch_interface.h"
+#include "common/check.h"
 #include "common/hash.h"
 
 // TowerSketch (Yang et al., SketchINT): a stack of count-min arrays where
@@ -93,6 +94,13 @@ class TowerSketch : public FrequencySketch {
 
   // Untouched slots in `level` (for linear counting).
   size_t ZeroSlots(size_t level) const;
+
+  // Aborts (DAVINCI_CHECK) if the tower's structural invariants are
+  // violated: levels exist, counter widths shrink and caps grow going up
+  // (the tower shape saturation relies on), and — in kAdditive mode —
+  // every counter sits in [0, cap] (inserts and merges saturate at cap and
+  // never go negative).
+  void CheckInvariants(InvariantMode mode) const;
 
   // Raw counter state round-trip (geometry must already match; used by
   // DaVinciSketch serialization).

@@ -1,0 +1,18 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace davinci {
+namespace internal {
+
+void CheckFail(const char* file, int line, const char* expr,
+               const std::string& message) {
+  std::fprintf(stderr, "DAVINCI_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace davinci

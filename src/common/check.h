@@ -1,0 +1,98 @@
+#ifndef DAVINCI_COMMON_CHECK_H_
+#define DAVINCI_COMMON_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+// Invariant-checking support for the sketch structures.
+//
+// DAVINCI_CHECK*   — always on, abort with file:line and a message on
+//                    failure. Used by the CheckInvariants() audits so they
+//                    fire even in release-built tests.
+// DAVINCI_DCHECK*  — same, but compiled out under NDEBUG (the condition is
+//                    parsed, never evaluated). Used for hot-path
+//                    preconditions that would cost real time in release.
+//
+// The *_MSG variants take an extra context expression (anything
+// std::string-convertible); it is evaluated only when the check fails, so
+// building the message with std::to_string costs nothing on the success
+// path.
+
+namespace davinci {
+
+// How much a structural audit may assume about the workload that built the
+// sketch. Several invariants (counter nonnegativity, tower saturation
+// bounds, the FP evict-counter bound) hold only when every update was a
+// nonnegative insert or a merge; after Subtract or negative-count inserts
+// only the unconditional structural invariants remain.
+enum class InvariantMode {
+  kAdditive,  // built from nonnegative Inserts and Merges only
+  kGeneral,   // anything goes (Subtract, negative counts)
+};
+
+namespace internal {
+
+[[noreturn]] void CheckFail(const char* file, int line, const char* expr,
+                            const std::string& message);
+
+// Failure reporter for the binary-comparison checks: formats both operand
+// values into the message so the log shows what was actually compared.
+template <typename A, typename B>
+[[noreturn]] void CheckOpFail(const char* file, int line, const char* expr,
+                              const A& lhs, const B& rhs) {
+  std::ostringstream os;
+  os << "(" << lhs << " vs " << rhs << ")";
+  CheckFail(file, line, expr, os.str());
+}
+
+}  // namespace internal
+}  // namespace davinci
+
+#define DAVINCI_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::davinci::internal::CheckFail(__FILE__, __LINE__, #cond,          \
+                                     std::string());                     \
+    }                                                                    \
+  } while (0)
+
+#define DAVINCI_CHECK_MSG(cond, msg)                                     \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      ::davinci::internal::CheckFail(__FILE__, __LINE__, #cond, (msg));  \
+    }                                                                    \
+  } while (0)
+
+#define DAVINCI_INTERNAL_CHECK_OP(op, a, b)                              \
+  do {                                                                   \
+    const auto& davinci_check_lhs = (a);                                 \
+    const auto& davinci_check_rhs = (b);                                 \
+    if (!(davinci_check_lhs op davinci_check_rhs)) {                     \
+      ::davinci::internal::CheckOpFail(__FILE__, __LINE__,               \
+                                       #a " " #op " " #b,                \
+                                       davinci_check_lhs,                \
+                                       davinci_check_rhs);               \
+    }                                                                    \
+  } while (0)
+
+#define DAVINCI_CHECK_EQ(a, b) DAVINCI_INTERNAL_CHECK_OP(==, a, b)
+#define DAVINCI_CHECK_LE(a, b) DAVINCI_INTERNAL_CHECK_OP(<=, a, b)
+#define DAVINCI_CHECK_LT(a, b) DAVINCI_INTERNAL_CHECK_OP(<, a, b)
+
+#ifdef NDEBUG
+// The `false &&` keeps the condition compiled (names stay "used", typos
+// still break the build) while the short circuit removes the evaluation.
+#define DAVINCI_DCHECK(cond) static_cast<void>(false && (cond))
+#define DAVINCI_DCHECK_MSG(cond, msg) static_cast<void>(false && (cond))
+#define DAVINCI_DCHECK_EQ(a, b) static_cast<void>(false && ((a) == (b)))
+#define DAVINCI_DCHECK_LE(a, b) static_cast<void>(false && ((a) <= (b)))
+#define DAVINCI_DCHECK_LT(a, b) static_cast<void>(false && ((a) < (b)))
+#else
+#define DAVINCI_DCHECK(cond) DAVINCI_CHECK(cond)
+#define DAVINCI_DCHECK_MSG(cond, msg) DAVINCI_CHECK_MSG(cond, msg)
+#define DAVINCI_DCHECK_EQ(a, b) DAVINCI_CHECK_EQ(a, b)
+#define DAVINCI_DCHECK_LE(a, b) DAVINCI_CHECK_LE(a, b)
+#define DAVINCI_DCHECK_LT(a, b) DAVINCI_CHECK_LT(a, b)
+#endif
+
+#endif  // DAVINCI_COMMON_CHECK_H_

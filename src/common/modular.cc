@@ -3,14 +3,16 @@
 namespace davinci {
 
 uint64_t MulMod(uint64_t a, uint64_t b, uint64_t m) {
+  DAVINCI_DCHECK(m != 0);
   return static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) % m);
 }
 
 uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
+  DAVINCI_DCHECK(m != 0);
   uint64_t result = 1 % m;
   base %= m;
   while (exp > 0) {
-    if (exp & 1) result = MulMod(result, base, m);
+    if ((exp & 1) != 0) result = MulMod(result, base, m);
     base = MulMod(base, base, m);
     exp >>= 1;
   }
@@ -18,6 +20,11 @@ uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m) {
 }
 
 uint64_t ModInverse(uint64_t a, uint64_t p) {
+  // Fermat's little theorem needs a unit: a ≢ 0 (mod p). A zero here means
+  // the caller is about to divide by zero in the field — in the Fermat
+  // decode path that corrupts every subsequent peel, so fail loudly.
+  DAVINCI_DCHECK_MSG(a % p != 0, "ModInverse of 0 is undefined");
+  DAVINCI_DCHECK(p > 2);
   return PowMod(a % p, p - 2, p);
 }
 

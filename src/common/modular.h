@@ -3,6 +3,8 @@
 
 #include <cstdint>
 
+#include "common/check.h"
+
 // Modular arithmetic over a 64-bit prime, used by the counting Fermat
 // sketch (the DaVinci infrequent part) and by FlowRadar/LossRadar-style
 // invertible structures.
@@ -26,22 +28,33 @@ uint64_t PowMod(uint64_t base, uint64_t exp, uint64_t m);
 // Precondition: a % p != 0.
 uint64_t ModInverse(uint64_t a, uint64_t p);
 
-// Reduce a signed 64-bit value into [0, p).
+// Reduce a signed 64-bit value into [0, p). All arithmetic is unsigned:
+// the old signed form (`v % int64_t(p)`) silently computed the wrong
+// residue for p > INT64_MAX and relied on signed overflow rules for
+// INT64_MIN; the magnitude trick below is fully defined for every input
+// (note `-(v + 1)` cannot overflow, unlike `-v` at INT64_MIN).
 inline uint64_t SignedMod(int64_t v, uint64_t p) {
-  int64_t r = v % static_cast<int64_t>(p);
-  if (r < 0) r += static_cast<int64_t>(p);
-  return static_cast<uint64_t>(r);
+  DAVINCI_DCHECK(p != 0);
+  if (v >= 0) return static_cast<uint64_t>(v) % p;
+  uint64_t magnitude = static_cast<uint64_t>(-(v + 1)) + 1;
+  uint64_t r = magnitude % p;
+  return r == 0 ? 0 : p - r;
 }
 
 // Modular addition/subtraction for values already in [0, p).
+// Precondition (DCHECKed): a, b ∈ [0, p). Correct for any p up to 2^64−1:
+// `s < a` detects uint64 wraparound of `a + b`, and the following `s -= p`
+// wraps a second time, landing exactly on a + b − p.
 inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t p) {
+  DAVINCI_DCHECK(a < p && b < p);
   uint64_t s = a + b;
-  if (s >= p) s -= p;
+  if (s >= p || s < a) s -= p;
   return s;
 }
 
 inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t p) {
-  return a >= b ? a - b : a + p - b;
+  DAVINCI_DCHECK(a < p && b < p);
+  return a >= b ? a - b : a + (p - b);
 }
 
 }  // namespace davinci

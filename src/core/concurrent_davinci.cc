@@ -87,6 +87,43 @@ DaVinciSketch ConcurrentDaVinci::Snapshot() const {
   return merged;
 }
 
+void ConcurrentDaVinci::Merge(const ConcurrentDaVinci& other) {
+  DAVINCI_CHECK_MSG(this != &other, "self-merge is not supported");
+  DAVINCI_CHECK_EQ(shards_.size(), other.shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::scoped_lock lock(shards_[s].mutex, other.shards_[s].mutex);
+    shards_[s].sketch->Merge(*other.shards_[s].sketch);
+  }
+}
+
+void ConcurrentDaVinci::CheckInvariants(InvariantMode mode) const {
+  DAVINCI_CHECK(!shards_.empty());
+  const DaVinciConfig& reference = shards_[0].sketch->config();
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    const DaVinciSketch& sketch = *shards_[s].sketch;
+    const DaVinciConfig& config = sketch.config();
+    DAVINCI_CHECK_EQ(config.seed, reference.seed);
+    DAVINCI_CHECK_EQ(config.fp_buckets, reference.fp_buckets);
+    DAVINCI_CHECK_EQ(config.fp_slots, reference.fp_slots);
+    DAVINCI_CHECK_EQ(config.ef_bytes, reference.ef_bytes);
+    DAVINCI_CHECK_EQ(config.ifp_rows, reference.ifp_rows);
+    DAVINCI_CHECK_EQ(config.ifp_buckets_per_row,
+                     reference.ifp_buckets_per_row);
+    sketch.CheckInvariants(mode);
+    // Shard-routing conservation: a key resident in shard s's frequent
+    // part must hash to s, or Snapshot would double-count it and Query
+    // would consult the wrong shard.
+    for (const FrequentPart::Entry& entry :
+         sketch.frequent_part().Entries()) {
+      DAVINCI_CHECK_MSG(ShardOf(entry.key) == s,
+                        "key " + std::to_string(entry.key) +
+                            " resident in foreign shard " +
+                            std::to_string(s));
+    }
+  }
+}
+
 size_t ConcurrentDaVinci::MemoryBytes() const {
   size_t bytes = 0;
   for (const Shard& shard : shards_) {

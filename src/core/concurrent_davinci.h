@@ -37,12 +37,27 @@ class ConcurrentDaVinci {
   int64_t Query(uint32_t key) const;
   double EstimateCardinality() const;
 
+  // Union with another sharded sketch built with the same shard count and
+  // seed: merges shard-by-shard, holding the pair of shard locks via
+  // std::scoped_lock (deadlock-free even when two threads merge two
+  // instances into each other concurrently). Safe to run while writers
+  // keep inserting into either side; inserts into `other` that race the
+  // merge land in whichever side their shard has already been merged from.
+  void Merge(const ConcurrentDaVinci& other);
+
   // A single-threaded snapshot merging every shard (shards hash-partition
   // the key space, so the merge sees each flow exactly once).
   DaVinciSketch Snapshot() const;
 
   size_t num_shards() const { return shards_.size(); }
   size_t MemoryBytes() const;
+
+  // Aborts (DAVINCI_CHECK) on a violated structural invariant: every
+  // shard's sketch passes its own audit, the shards share one geometry
+  // and seed (Snapshot's Merge requires it), and each shard holds only
+  // keys the shard hash routes to it. Takes every shard lock in turn, so
+  // it is safe to call while writers are active.
+  void CheckInvariants(InvariantMode mode) const;
 
  private:
   struct Shard {

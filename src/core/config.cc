@@ -17,8 +17,10 @@ DaVinciConfig DaVinciConfig::FromMemorySplit(size_t total_bytes,
   DaVinciConfig config;
   config.seed = seed;
 
-  size_t fp_bytes = static_cast<size_t>(total_bytes * fp_fraction);
-  size_t ef_bytes = static_cast<size_t>(total_bytes * ef_fraction);
+  size_t fp_bytes =
+      static_cast<size_t>(static_cast<double>(total_bytes) * fp_fraction);
+  size_t ef_bytes =
+      static_cast<size_t>(static_cast<double>(total_bytes) * ef_fraction);
   size_t ifp_bytes = total_bytes - fp_bytes - ef_bytes;
 
   size_t bucket_bytes =

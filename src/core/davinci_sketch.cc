@@ -62,6 +62,7 @@ void DaVinciSketch::Insert(uint32_t key, int64_t count) {
 
 void DaVinciSketch::InsertBatch(std::span<const uint32_t> keys,
                                 std::span<const int64_t> counts) {
+  DAVINCI_DCHECK_EQ(keys.size(), counts.size());
   if (keys.empty()) return;
   InvalidateDecodeCache();
 
@@ -297,8 +298,9 @@ void DaVinciSketch::Combine(const DaVinciSketch& other, bool subtract) {
                                   }),
                    combined.end());
     std::sort(combined.begin(), combined.end(),
-              [](const FrequentPart::Entry& a, const FrequentPart::Entry& b) {
-                return std::llabs(a.count) > std::llabs(b.count);
+              [](const FrequentPart::Entry& lhs,
+                 const FrequentPart::Entry& rhs) {
+                return std::llabs(lhs.count) > std::llabs(rhs.count);
               });
     bool evicted_any = combined.size() > fp_.num_slots();
     for (size_t s = fp_.num_slots(); s < combined.size(); ++s) {
@@ -362,6 +364,24 @@ std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyChangers(
     consider(key);
   }
   return out;
+}
+
+void DaVinciSketch::CheckInvariants(InvariantMode mode) const {
+  DAVINCI_CHECK_EQ(fp_.num_buckets(), config_.fp_buckets);
+  DAVINCI_CHECK_EQ(fp_.num_slots(), config_.fp_slots);
+  DAVINCI_CHECK_EQ(ifp_.rows(), config_.ifp_rows);
+  DAVINCI_CHECK_EQ(ifp_.width(), config_.ifp_buckets_per_row);
+  DAVINCI_CHECK_EQ(ef_.threshold(), config_.promotion_threshold);
+  fp_.CheckInvariants(mode);
+  ef_.CheckInvariants(mode);
+  ifp_.CheckInvariants(mode);
+  if (decode_cache_.has_value()) {
+    for (const auto& [key, count] : *decode_cache_) {
+      DAVINCI_CHECK_MSG(count != 0,
+                        "decode cache holds zero-count flow " +
+                            std::to_string(key));
+    }
+  }
 }
 
 void DaVinciSketch::Save(std::ostream& out) const {

@@ -92,6 +92,14 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   void Save(std::ostream& out) const;
   static bool Load(std::istream& in, DaVinciSketch* sketch);
 
+  // Aborts (DAVINCI_CHECK) on a violated structural invariant: the three
+  // parts' geometry matches the config, every part-level audit passes
+  // (see FrequentPart/ElementFilter/InfrequentPart::CheckInvariants), and
+  // the decode cache — if populated — holds no zero-count flows. Pass
+  // kAdditive only if the sketch saw nothing but nonnegative inserts and
+  // merges.
+  void CheckInvariants(InvariantMode mode) const;
+
   // ---- introspection ----
   const DaVinciConfig& config() const { return config_; }
   const FrequentPart& frequent_part() const { return fp_; }

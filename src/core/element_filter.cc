@@ -33,4 +33,10 @@ int64_t ElementFilter::QuerySignedWithHash(uint64_t base_hash) const {
   return tower_.QuerySignedWithHash(base_hash);
 }
 
+void ElementFilter::CheckInvariants(InvariantMode mode) const {
+  DAVINCI_CHECK(threshold_ > 0);
+  DAVINCI_CHECK_LE(threshold_, tower_.LevelCap(tower_.num_levels() - 1));
+  tower_.CheckInvariants(mode);
+}
+
 }  // namespace davinci

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "baselines/tower_sketch.h"
+#include "common/check.h"
 #include "core/config.h"
 
 // The element filter (EF) of DaVinci Sketch: a TowerSketch acting as a
@@ -61,6 +62,12 @@ class ElementFilter {
 
   void SaveState(std::ostream& out) const { tower_.SaveState(out); }
   bool LoadState(std::istream& in) { return tower_.LoadState(in); }
+
+  // Aborts (DAVINCI_CHECK) on a violated structural invariant: the
+  // promotion threshold is positive and representable by the tower (T must
+  // not exceed the top level's saturation cap, or the filter could never
+  // retain a flow's full T units), plus every TowerSketch invariant.
+  void CheckInvariants(InvariantMode mode) const;
 
   size_t MemoryBytes() const { return tower_.MemoryBytes(); }
   uint64_t memory_accesses() const { return tower_.MemoryAccesses(); }

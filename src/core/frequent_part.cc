@@ -109,7 +109,7 @@ int64_t FrequentPart::Query(uint32_t key, bool* tainted) const {
 }
 
 bool FrequentPart::Contains(uint32_t key) const {
-  bool tainted;
+  bool tainted = false;
   return Query(key, &tainted) != 0;
 }
 
@@ -154,9 +154,66 @@ bool FrequentPart::LoadState(std::istream& in) {
   return true;
 }
 
+void FrequentPart::CheckInvariants(InvariantMode mode) const {
+  DAVINCI_CHECK_EQ(keys_.size(), buckets_ * slots_);
+  DAVINCI_CHECK_EQ(counts_.size(), buckets_ * slots_);
+  DAVINCI_CHECK_EQ(tainted_.size(), buckets_ * slots_);
+  DAVINCI_CHECK_EQ(ecnt_.size(), buckets_);
+  DAVINCI_CHECK_EQ(flags_.size(), buckets_);
+  for (size_t b = 0; b < buckets_; ++b) {
+    const std::string where = "bucket " + std::to_string(b);
+    DAVINCI_CHECK_MSG(flags_[b] <= 1, where);
+    size_t base = b * slots_;
+    bool full = true;
+    bool all_positive = true;
+    int64_t min_abs = 0;
+    bool min_seen = false;
+    for (size_t s = 0; s < slots_; ++s) {
+      size_t i = base + s;
+      DAVINCI_CHECK_MSG(tainted_[i] <= 1, where);
+      if (counts_[i] == 0) {
+        full = false;
+        continue;
+      }
+      DAVINCI_CHECK_MSG(BucketOf(keys_[i]) == b,
+                        where + ": resident key " +
+                            std::to_string(keys_[i]) + " hashes elsewhere");
+      for (size_t t = s + 1; t < slots_; ++t) {
+        DAVINCI_CHECK_MSG(counts_[base + t] == 0 || keys_[base + t] != keys_[i],
+                          where + ": duplicate key " +
+                              std::to_string(keys_[i]));
+      }
+      if (mode == InvariantMode::kAdditive) {
+        DAVINCI_CHECK_MSG(counts_[i] > 0, where + ": nonpositive count");
+      }
+      if (counts_[i] < 0) all_positive = false;
+      int64_t abs = std::llabs(counts_[i]);
+      if (!min_seen || abs < min_abs) {
+        min_abs = abs;
+        min_seen = true;
+      }
+    }
+    if (mode == InvariantMode::kAdditive) {
+      if (!full) {
+        DAVINCI_CHECK_MSG(ecnt_[b] == 0,
+                          where + ": evict counter moved while a slot was "
+                                  "free");
+      } else if (all_positive && min_seen) {
+        DAVINCI_CHECK_MSG(
+            static_cast<int64_t>(ecnt_[b]) <= evict_lambda_ * min_abs,
+            where + ": ecnt " + std::to_string(ecnt_[b]) +
+                " exceeds lambda*min " +
+                std::to_string(evict_lambda_ * min_abs));
+      }
+    }
+  }
+}
+
 void FrequentPart::OverwriteBucket(size_t bucket,
                                    const std::vector<Entry>& entries,
                                    bool flag) {
+  DAVINCI_DCHECK_LT(bucket, buckets_);
+  DAVINCI_DCHECK_LE(entries.size(), slots_);
   size_t base = bucket * slots_;
   for (size_t s = 0; s < slots_; ++s) {
     if (s < entries.size()) {

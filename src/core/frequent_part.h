@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/hash.h"
 #include "core/config.h"
 
@@ -90,6 +91,16 @@ class FrequentPart {
   // Raw state round-trip (geometry must already match).
   void SaveState(std::ostream& out) const;
   bool LoadState(std::istream& in);
+
+  // Aborts (DAVINCI_CHECK) if Algorithm 1's structural invariants are
+  // violated. Unconditional: array geometry, flag/taint bytes are 0/1,
+  // every live entry hashes to the bucket holding it, no bucket holds a
+  // key twice. In kAdditive mode additionally: live counts are positive,
+  // a bucket with a free slot has a zero evict counter (ecnt only moves
+  // while the bucket is full), and a full bucket's evict counter respects
+  // the λ-vote bound ecnt ≤ λ·min|count| (an insert pushing it past the
+  // bound must have evicted and reset it).
+  void CheckInvariants(InvariantMode mode) const;
 
   uint64_t memory_accesses() const { return accesses_; }
   size_t MemoryBytes() const {

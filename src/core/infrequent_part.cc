@@ -187,6 +187,41 @@ bool InfrequentPart::LoadState(std::istream& in) {
   return true;
 }
 
+void InfrequentPart::CheckInvariants(InvariantMode mode) const {
+  DAVINCI_CHECK_EQ(ids_.size(), rows_ * width_);
+  DAVINCI_CHECK_EQ(counts_.size(), rows_ * width_);
+  DAVINCI_CHECK_EQ(hashes_.size(), rows_);
+  DAVINCI_CHECK_EQ(signs_.size(), rows_);
+  uint64_t row0_id_sum = 0;
+  int64_t row0_count_sum = 0;
+  for (size_t row = 0; row < rows_; ++row) {
+    uint64_t id_sum = 0;
+    int64_t count_sum = 0;
+    for (size_t j = 0; j < width_; ++j) {
+      size_t i = row * width_ + j;
+      DAVINCI_CHECK_MSG(ids_[i] < kFermatPrime,
+                        "row " + std::to_string(row) + " bucket " +
+                            std::to_string(j) + ": iID outside the field");
+      id_sum = AddMod(id_sum, ids_[i], kFermatPrime);
+      count_sum += counts_[i];
+      if (mode == InvariantMode::kAdditive && !use_signs_) {
+        DAVINCI_CHECK_MSG(counts_[i] >= 0,
+                          "row " + std::to_string(row) + " bucket " +
+                              std::to_string(j) + ": negative icnt");
+      }
+    }
+    if (row == 0) {
+      row0_id_sum = id_sum;
+      row0_count_sum = count_sum;
+    } else {
+      // Every row absorbs the full update stream, so Σ_j iID mod p (and,
+      // without ζ signs, Σ_j icnt) must agree across rows.
+      DAVINCI_CHECK_EQ(id_sum, row0_id_sum);
+      if (!use_signs_) DAVINCI_CHECK_EQ(count_sum, row0_count_sum);
+    }
+  }
+}
+
 size_t InfrequentPart::EmptyBuckets() const {
   size_t empty = 0;
   for (size_t i = 0; i < ids_.size(); ++i) {

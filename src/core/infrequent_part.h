@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/check.h"
 #include "common/hash.h"
 #include "common/modular.h"
 #include "core/config.h"
@@ -68,6 +69,15 @@ class InfrequentPart {
   // Raw state round-trip (geometry must already match).
   void SaveState(std::ostream& out) const;
   bool LoadState(std::istream& in);
+
+  // Aborts (DAVINCI_CHECK) on a violated structural invariant of the
+  // counting Fermat sketch. Unconditional: array geometry; every iID field
+  // lies in [0, p) (Fermat decode divides by icnt mod p, so an id outside
+  // the field silently corrupts every peel); each row receives every
+  // insert exactly once, so the per-row sum of iID fields mod p is the
+  // same for all rows. Without sign hashes the per-row icnt sums agree
+  // too, and in kAdditive mode each icnt is additionally nonnegative.
+  void CheckInvariants(InvariantMode mode) const;
 
   uint64_t memory_accesses() const { return accesses_; }
 

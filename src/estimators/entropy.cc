@@ -7,7 +7,9 @@ namespace davinci {
 double EntropyFromDistribution(const std::map<int64_t, int64_t>& histogram) {
   double total = 0.0;
   for (const auto& [size, n] : histogram) {
-    if (size > 0 && n > 0) total += static_cast<double>(size) * n;
+    if (size > 0 && n > 0) {
+      total += static_cast<double>(size) * static_cast<double>(n);
+    }
   }
   if (total <= 0.0) return 0.0;
   double entropy = 0.0;

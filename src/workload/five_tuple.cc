@@ -54,7 +54,8 @@ FiveTupleTrace BuildFiveTupleTrace(size_t num_packets, size_t num_flows,
   size_t assigned = 0;
   for (size_t i = 0; i < num_flows && assigned < num_packets; ++i) {
     size_t count = std::max<size_t>(
-        1, static_cast<size_t>(weights[i] / total_weight * num_packets));
+        1, static_cast<size_t>(weights[i] / total_weight *
+                               static_cast<double>(num_packets)));
     count = std::min(count, num_packets - assigned);
     trace.packets.insert(trace.packets.end(), count, flows[i]);
     assigned += count;

@@ -24,6 +24,7 @@ TEST(DaVinciSketchTest, ExactForSingleFlow) {
   DaVinciSketch sketch(64 * 1024, 1);
   for (int i = 0; i < 12345; ++i) sketch.Insert(42, 1);
   EXPECT_EQ(sketch.Query(42), 12345);
+  sketch.CheckInvariants(InvariantMode::kAdditive);
 }
 
 TEST(DaVinciSketchTest, SmallFlowStaysInFilter) {

@@ -42,6 +42,7 @@ TEST(ElementFilterTest, IndependentFlowsDoNotInterfereAtLowLoad) {
   for (uint32_t key = 1; key <= 50; ++key) {
     EXPECT_GE(ef.Query(key), static_cast<int64_t>(key % 10 + 1));
   }
+  ef.CheckInvariants(InvariantMode::kAdditive);
 }
 
 TEST(ElementFilterTest, MergeAddsRetainedCounts) {

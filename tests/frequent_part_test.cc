@@ -83,6 +83,7 @@ TEST(FrequentPartTest, KeepsElephantsOnSkewedStream) {
     EXPECT_TRUE(fp.Contains(flows[i].second))
         << "flow of size " << flows[i].first << " missing";
   }
+  fp.CheckInvariants(InvariantMode::kAdditive);
 }
 
 TEST(FrequentPartTest, EntriesEnumerationMatchesQueries) {

@@ -15,6 +15,7 @@ TEST(InfrequentPartTest, DecodeRoundTripWithoutFilter) {
   for (uint32_t key = 1; key <= 800; ++key) {
     EXPECT_EQ(decoded[key], key % 13 + 1);
   }
+  ifp.CheckInvariants(InvariantMode::kAdditive);
 }
 
 TEST(InfrequentPartTest, DecodeWorksWithoutSignHash) {

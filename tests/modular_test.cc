@@ -1,5 +1,8 @@
 #include "common/modular.h"
 
+#include <cstdint>
+#include <random>
+
 #include <gtest/gtest.h>
 
 namespace davinci {
@@ -47,6 +50,42 @@ TEST(ModularTest, SignedModHandlesNegatives) {
   EXPECT_EQ(SignedMod(-97, 97), 0u);
   EXPECT_EQ(SignedMod(5, 97), 5u);
   EXPECT_EQ(SignedMod(-1, kFermatPrime), kFermatPrime - 1);
+}
+
+TEST(ModularTest, SignedModExtremeValues) {
+  // INT64_MIN has no positive counterpart; the unsigned magnitude path
+  // must still produce the exact residue. 2^63 mod 97 = 79, so
+  // (−2^63) mod 97 = 97 − 79 = 18.
+  EXPECT_EQ(SignedMod(INT64_MIN, 97), 18u);
+  EXPECT_EQ(SignedMod(INT64_MIN, 2), 0u);
+  EXPECT_EQ(SignedMod(INT64_MAX, 2), 1u);
+  // Against a modulus above INT64_MAX the old signed cast was wrong; the
+  // unsigned form reduces exactly (here p > |v| so the residue is p−|v|).
+  uint64_t huge = (uint64_t{1} << 63) + 9;
+  EXPECT_EQ(SignedMod(-5, huge), huge - 5);
+  EXPECT_EQ(SignedMod(INT64_MIN, huge), 9u);
+}
+
+TEST(ModularTest, SignedModMatchesReferenceOnRandomInputs) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = static_cast<int64_t>(rng());
+    uint64_t p = rng() % 1000000 + 2;
+    // Reference via 128-bit arithmetic: ((v mod p) + p) mod p.
+    auto wide = static_cast<__int128>(v);
+    auto residue = static_cast<uint64_t>(
+        ((wide % static_cast<__int128>(p)) + static_cast<__int128>(p)) %
+        static_cast<__int128>(p));
+    EXPECT_EQ(SignedMod(v, p), residue) << v << " mod " << p;
+  }
+}
+
+TEST(ModularTest, AddModNearTheTopOfTheField) {
+  // a + b close to 2p must wrap exactly once.
+  EXPECT_EQ(AddMod(kFermatPrime - 1, kFermatPrime - 1, kFermatPrime),
+            kFermatPrime - 2);
+  EXPECT_EQ(AddMod(0, 0, kFermatPrime), 0u);
+  EXPECT_EQ(SubMod(0, kFermatPrime - 1, kFermatPrime), 1u);
 }
 
 TEST(ModularTest, AddSubModInverse) {
