@@ -29,6 +29,7 @@ double FrequencyAre(const GroundTruth& truth, const DaVinciSketch& sketch) {
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("ablation");
   Trace trace = davinci::BuildCaidaLike(scale);
   GroundTruth truth(trace.keys);
   size_t n = trace.keys.size();
@@ -118,5 +119,6 @@ int main() {
                   spurious);
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, trace.keys, 600 * 1024, 7);
   return 0;
 }

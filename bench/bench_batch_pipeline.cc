@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 
 #include "core/concurrent_davinci.h"
 #include "core/davinci_sketch.h"
+#include "obs/health.h"
 #include "workload/zipf.h"
 
 namespace {
@@ -30,21 +32,50 @@ using davinci::ConcurrentDaVinci;
 using davinci::DaVinciSketch;
 using davinci::ZipfGenerator;
 
+// Defaults reproduce the committed snapshot. DAVINCI_BENCH_SKETCH_BYTES,
+// DAVINCI_BENCH_TRACE_LEN and DAVINCI_BENCH_DOMAIN shrink the workload for
+// quick runs — the CI regression gate compares two equally small runs, not
+// a small run against the full-size committed snapshot.
+//
 // 32 MB of design state (≈ 8× that physically: counters are stored as
 // int64_t) keeps the FP/EF/IFP arrays far larger than any L2/L3.
-constexpr size_t kSketchBytes = 32u << 20;
+constexpr size_t kDefaultSketchBytes = 32u << 20;
 constexpr uint64_t kSeed = 42;
-constexpr size_t kTraceLen = 8u << 20;
+constexpr size_t kDefaultTraceLen = 8u << 20;
 // A wide key domain keeps the tail cold: the batched pipeline's prefetching
 // is aimed at exactly this DRAM-latency-bound regime.
-constexpr uint64_t kDomain = 16u << 20;
+constexpr uint64_t kDefaultDomain = 16u << 20;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  unsigned long long value = std::strtoull(env, nullptr, 10);
+  return value > 0 ? static_cast<size_t>(value) : fallback;
+}
+
+size_t SketchBytes() {
+  static const size_t bytes =
+      EnvSize("DAVINCI_BENCH_SKETCH_BYTES", kDefaultSketchBytes);
+  return bytes;
+}
+
+size_t TraceLen() {
+  static const size_t len = EnvSize("DAVINCI_BENCH_TRACE_LEN", kDefaultTraceLen);
+  return len;
+}
+
+uint64_t Domain() {
+  static const uint64_t domain =
+      EnvSize("DAVINCI_BENCH_DOMAIN", kDefaultDomain);
+  return domain;
+}
 
 const std::vector<uint32_t>& ZipfTrace() {
   static const std::vector<uint32_t> trace = [] {
-    ZipfGenerator zipf(kDomain, 1.05, kSeed);
+    ZipfGenerator zipf(Domain(), 1.05, kSeed);
     std::vector<uint32_t> keys;
-    keys.reserve(kTraceLen);
-    for (size_t i = 0; i < kTraceLen; ++i) {
+    keys.reserve(TraceLen());
+    for (size_t i = 0; i < TraceLen(); ++i) {
       keys.push_back(static_cast<uint32_t>(zipf.Next()));
     }
     return keys;
@@ -56,7 +87,7 @@ void BM_SingleInsert(benchmark::State& state) {
   const std::vector<uint32_t>& keys = ZipfTrace();
   for (auto _ : state) {
     state.PauseTiming();
-    DaVinciSketch sketch(kSketchBytes, kSeed);
+    DaVinciSketch sketch(SketchBytes(), kSeed);
     state.ResumeTiming();
     for (uint32_t key : keys) sketch.Insert(key, 1);
     benchmark::DoNotOptimize(sketch);
@@ -70,7 +101,7 @@ void BM_InsertBatch(benchmark::State& state) {
   const std::vector<uint32_t>& keys = ZipfTrace();
   for (auto _ : state) {
     state.PauseTiming();
-    DaVinciSketch sketch(kSketchBytes, kSeed);
+    DaVinciSketch sketch(SketchBytes(), kSeed);
     state.ResumeTiming();
     sketch.InsertBatch(keys);
     benchmark::DoNotOptimize(sketch);
@@ -84,7 +115,7 @@ void BM_ConcurrentInsertBatch(benchmark::State& state) {
   const std::vector<uint32_t>& keys = ZipfTrace();
   for (auto _ : state) {
     state.PauseTiming();
-    ConcurrentDaVinci sketch(4, kSketchBytes, kSeed);
+    ConcurrentDaVinci sketch(4, SketchBytes(), kSeed);
     state.ResumeTiming();
     sketch.InsertBatch(keys);
     benchmark::DoNotOptimize(sketch);
@@ -129,24 +160,35 @@ void WriteJson(const ThroughputCapture& capture) {
   double batch = capture.Mops("BM_InsertBatch");
   double concurrent = capture.Mops("BM_ConcurrentInsertBatch");
   double ratio = single > 0.0 ? batch / single : 0.0;
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
+
+  // Final-state health of one batched build over the same trace, so the
+  // snapshot records occupancy/saturation alongside the throughputs.
+  DaVinciSketch sketch(SketchBytes(), kSeed);
+  sketch.InsertBatch(ZipfTrace());
+  davinci::obs::HealthSnapshot snapshot;
+  sketch.CollectStats(&snapshot);
+
+  std::ofstream out(path);
+  if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path);
     return;
   }
-  std::fprintf(f,
-               "{\n"
-               "  \"bench\": \"bench_batch_pipeline\",\n"
-               "  \"trace\": \"zipf-1.05\",\n"
-               "  \"trace_len\": %zu,\n"
-               "  \"sketch_bytes\": %zu,\n"
-               "  \"single_insert_mops\": %.3f,\n"
-               "  \"insert_batch_mops\": %.3f,\n"
-               "  \"concurrent_insert_batch_mops\": %.3f,\n"
-               "  \"batch_over_single\": %.3f\n"
-               "}\n",
-               kTraceLen, kSketchBytes, single, batch, concurrent, ratio);
-  std::fclose(f);
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"bench_batch_pipeline\",\n"
+                "  \"trace\": \"zipf-1.05\",\n"
+                "  \"trace_len\": %zu,\n"
+                "  \"sketch_bytes\": %zu,\n"
+                "  \"single_insert_mops\": %.3f,\n"
+                "  \"insert_batch_mops\": %.3f,\n"
+                "  \"concurrent_insert_batch_mops\": %.3f,\n"
+                "  \"batch_over_single\": %.3f,\n"
+                "  \"health\": ",
+                TraceLen(), SketchBytes(), single, batch, concurrent, ratio);
+  out << buf;
+  snapshot.WriteJson(out);
+  out << "\n}\n";
   std::printf("single=%.2f Mops  batch=%.2f Mops  ratio=%.2fx  -> %s\n",
               single, batch, ratio, path);
 }

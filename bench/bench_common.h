@@ -3,10 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/davinci_sketch.h"
 #include "metrics/metrics.h"
+#include "obs/health.h"
+#include "obs/stats.h"
 #include "workload/ground_truth.h"
 #include "workload/trace.h"
 
@@ -16,6 +22,12 @@
 //
 // DAVINCI_SCALE (env var, default 0.25) scales the Table II trace sizes;
 // set DAVINCI_SCALE=1.0 to run the paper's full trace sizes.
+//
+// Besides the CSV, every bench binary writes BENCH_<name>.json (insert
+// throughput, sampled latency percentiles, and a HealthSnapshot of the
+// final sketch) via BenchJson, so the performance/health trajectory is
+// machine-readable from every run. DAVINCI_BENCH_JSON_DIR overrides the
+// output directory (default: ./results when it exists, else the cwd).
 
 namespace davinci::bench {
 
@@ -53,6 +65,117 @@ std::vector<Estimate> Observe(const GroundTruth& truth, QueryFn&& query) {
     observations.push_back({f, query(key)});
   }
   return observations;
+}
+
+// Collects named numeric fields plus an optional HealthSnapshot and writes
+// them as BENCH_<name>.json on Write() (or destruction). Fields keep
+// insertion order.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+  ~BenchJson() { Write(); }
+  BenchJson(const BenchJson&) = delete;
+  BenchJson& operator=(const BenchJson&) = delete;
+
+  void Metric(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    fields_.emplace_back(key, buf);
+  }
+  void Count(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+  }
+  // p50/p99/max/sample-count of a latency histogram under `prefix`.
+  void Histogram(const std::string& prefix,
+                 const obs::LatencyHistogram& histogram) {
+    Count(prefix + "_p50_ns", histogram.PercentileNanos(0.50));
+    Count(prefix + "_p99_ns", histogram.PercentileNanos(0.99));
+    Count(prefix + "_max_ns", histogram.MaxNanos());
+    Count(prefix + "_samples", histogram.Count());
+  }
+  void Snapshot(const obs::HealthSnapshot& snapshot) {
+    snapshot_ = snapshot;
+    have_snapshot_ = true;
+  }
+
+  std::string Path() const {
+    namespace fs = std::filesystem;
+    const char* env = std::getenv("DAVINCI_BENCH_JSON_DIR");
+    fs::path dir = env != nullptr && *env != '\0'
+                       ? fs::path(env)
+                       : (fs::is_directory("results") ? fs::path("results")
+                                                      : fs::path("."));
+    return (dir / ("BENCH_" + name_ + ".json")).string();
+  }
+
+  void Write() {
+    if (written_) return;
+    written_ = true;
+    std::string path = Path();
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path(), ec);
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n  \"bench\": \"" << name_ << "\"";
+    for (const auto& [key, value] : fields_) {
+      out << ",\n  \"" << key << "\": " << value;
+    }
+    if (have_snapshot_) {
+      out << ",\n  \"health\": ";
+      snapshot_.WriteJson(out);
+    }
+    out << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> fields_;
+  obs::HealthSnapshot snapshot_;
+  bool have_snapshot_ = false;
+  bool written_ = false;
+};
+
+// Streams `keys` into `sketch` (anything with Insert(key, count)), timing
+// the whole loop; every `sample_every`-th op is additionally timed alone
+// into `histogram` when non-null. Returns Mops.
+template <typename Sketch>
+double TimedInsert(Sketch& sketch, const std::vector<uint32_t>& keys,
+                   obs::LatencyHistogram* histogram = nullptr,
+                   size_t sample_every = 256) {
+  Timer timer;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (histogram != nullptr && i % sample_every == 0) {
+      obs::ScopedLatencyTimer op_timer(histogram);
+      sketch.Insert(keys[i], 1);
+    } else {
+      sketch.Insert(keys[i], 1);
+    }
+  }
+  return ThroughputMpps(keys.size(), timer.ElapsedSeconds());
+}
+
+// Standard observability epilogue shared by the figure/table benches:
+// streams `keys` into a fresh DaVinci sketch of `bytes`, records insert
+// throughput, sampled per-op latency percentiles and the final
+// HealthSnapshot into `json`.
+inline void DaVinciObsEpilogue(BenchJson& json,
+                               const std::vector<uint32_t>& keys,
+                               size_t bytes, uint64_t seed) {
+  DaVinciSketch sketch(bytes, seed);
+  obs::LatencyHistogram histogram;
+  double mops = TimedInsert(sketch, keys, &histogram);
+  json.Count("obs_trace_len", keys.size());
+  json.Count("obs_sketch_bytes", bytes);
+  json.Metric("insert_mops", mops);
+  json.Histogram("insert", histogram);
+  obs::HealthSnapshot snapshot;
+  sketch.CollectStats(&snapshot);
+  json.Snapshot(snapshot);
 }
 
 // F1 of a reported heavy set vs the exact heavy set.

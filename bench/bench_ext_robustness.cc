@@ -29,6 +29,7 @@ double FrequencyAre(const Trace& trace, const DaVinciSketch& sketch) {
 }  // namespace
 
 int main() {
+  davinci::bench::BenchJson json("ext_robustness");
   std::printf("# Robustness 1: skew sweep (%zu pkts, %zu flows, %zu KB)\n",
               kPackets, kFlows, kBytes / 1024);
   std::printf("skew,freq_are,card_re,hh_f1\n");
@@ -104,5 +105,7 @@ int main() {
                                           timer.ElapsedSeconds()));
     }
   }
+  Trace obs_trace = davinci::BuildSkewedTrace("obs", kPackets, kFlows, 1.05, 17);
+  davinci::bench::DaVinciObsEpilogue(json, obs_trace.keys, kBytes, 7);
   return 0;
 }

@@ -10,9 +10,11 @@
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig1_cdf");
   std::printf("# Fig 1: CDF of flow sizes (scale=%.2f)\n", scale);
   std::printf("dataset,flow_percentile,traffic_share\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     std::vector<int64_t> sizes;
     sizes.reserve(dataset.truth.cardinality());
     double total = 0;
@@ -38,5 +40,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

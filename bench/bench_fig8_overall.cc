@@ -105,6 +105,7 @@ size_t SearchJoinBytes(const Workload& w, double target) {
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
   Workload w = MakeWorkload(scale);
+  davinci::bench::BenchJson json("fig8_overall");
 
   std::printf("# Fig 8: overall performance, DaVinci vs CSOA (scale=%.2f)\n",
               scale);
@@ -160,5 +161,6 @@ int main() {
                 csoa.MemoryBytes() / 1024, memory_pct, davinci_ama, csoa_ama,
                 davinci_mpps, csoa_mpps, davinci_mpps / csoa_mpps);
   }
+  davinci::bench::DaVinciObsEpilogue(json, w.trace.keys, 600 * 1024, 43);
   return 0;
 }

@@ -14,10 +14,12 @@
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_cardinality");
   std::printf("# Fig 4d/5d/6d: cardinality estimation RE (scale=%.2f)\n",
               scale);
   std::printf("dataset,memory_kb,algorithm,re\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     double truth = static_cast<double>(dataset.truth.cardinality());
     for (size_t kb : davinci::bench::MemorySweepKb()) {
       size_t bytes = kb * 1024;
@@ -71,5 +73,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

@@ -38,12 +38,14 @@ double DifferenceAre(const GroundTruth& truth_diff, QueryFn&& query) {
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_difference");
   std::printf(
       "# Fig 4h/4j (and 5/6 twins): set difference, frequency ARE "
       "(scale=%.2f)\n",
       scale);
   std::printf("dataset,scenario,memory_kb,algorithm,are\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     size_t n = dataset.trace.keys.size();
     std::vector<Scenario> scenarios;
     scenarios.push_back({"inclusion", davinci::Slice(dataset.trace, 0, n, "A"),
@@ -110,5 +112,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

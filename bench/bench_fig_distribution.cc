@@ -12,10 +12,12 @@
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_distribution");
   std::printf("# Fig 4e/5e/6e: flow-size distribution WMRE (scale=%.2f)\n",
               scale);
   std::printf("dataset,memory_kb,algorithm,wmre\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     auto truth = dataset.truth.Distribution();
     for (size_t kb : davinci::bench::MemorySweepKb()) {
       size_t bytes = kb * 1024;
@@ -46,5 +48,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

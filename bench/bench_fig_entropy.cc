@@ -13,9 +13,11 @@
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_entropy");
   std::printf("# Fig 4f/5f/6f: entropy estimation RE (scale=%.2f)\n", scale);
   std::printf("dataset,memory_kb,algorithm,re\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     double truth = dataset.truth.Entropy();
     for (size_t kb : davinci::bench::MemorySweepKb()) {
       size_t bytes = kb * 1024;
@@ -56,5 +58,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

@@ -35,11 +35,13 @@ std::unique_ptr<FrequencySketch> Make(const std::string& name, size_t bytes,
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_frequency");
   std::printf(
       "# Fig 4a/5a/6a + 7c: element frequency estimation (scale=%.2f)\n",
       scale);
   std::printf("dataset,memory_kb,algorithm,are,aae\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     for (size_t kb : davinci::bench::MemorySweepKb()) {
       for (const std::string name :  // NOLINT: elements are char literals
            {"Ours", "CM", "CU", "Elastic", "FCM", "ColdFilter"}) {
@@ -55,5 +57,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

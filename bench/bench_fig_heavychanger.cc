@@ -70,10 +70,12 @@ std::vector<std::pair<uint32_t, int64_t>> TrueChangers(
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_heavychanger");
   std::printf("# Fig 4c/5c/6c: heavy-changer detection F1 (scale=%.2f)\n",
               scale);
   std::printf("dataset,memory_kb,algorithm,f1\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     size_t half = dataset.trace.keys.size() / 2;
     davinci::Trace w1 = davinci::Slice(dataset.trace, 0, half, "w1");
     davinci::Trace w2 = davinci::Slice(dataset.trace, half,
@@ -138,5 +140,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

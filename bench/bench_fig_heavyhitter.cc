@@ -85,10 +85,12 @@ Candidate Make(const std::string& name, size_t bytes, uint64_t seed) {
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_heavyhitter");
   std::printf("# Fig 4b/5b/6b: heavy-hitter detection F1 (scale=%.2f)\n",
               scale);
   std::printf("dataset,memory_kb,algorithm,f1\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     int64_t threshold = static_cast<int64_t>(
         static_cast<double>(dataset.trace.keys.size()) * 0.0002);
     auto actual = dataset.truth.HeavyHitters(threshold);
@@ -106,5 +108,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

@@ -19,11 +19,13 @@ constexpr int kTrials = 3;
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_innerjoin");
   std::printf("# Fig 4i/5i/6i: cardinality of the inner join, RE "
               "(scale=%.2f, %d trials)\n",
               scale, kTrials);
   std::printf("dataset,memory_kb,algorithm,re\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     size_t n = dataset.trace.keys.size();
     davinci::Trace wa = davinci::Slice(dataset.trace, 0, 2 * n / 3, "a");
     davinci::Trace wb = davinci::Slice(dataset.trace, n / 3, n, "b");
@@ -72,5 +74,7 @@ int main() {
       std::printf("%s,%zu,F-AGMS,%.6f\n", dataset_name, kb, fagms / kTrials);
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

@@ -11,10 +11,12 @@
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("fig_union");
   std::printf("# Fig 4g/5g/6g: union of two sets, frequency ARE (scale=%.2f)\n",
               scale);
   std::printf("dataset,memory_kb,algorithm,are\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     size_t half = dataset.trace.keys.size() / 2;
     davinci::Trace a = davinci::Slice(dataset.trace, 0, half, "a");
     davinci::Trace b =
@@ -60,5 +62,7 @@ int main() {
       }
     }
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

@@ -1,6 +1,13 @@
 // Google-benchmark micro-benchmarks: per-sketch insertion and query
 // throughput on a Zipf stream (backs the paper's throughput claims with
 // op-level numbers).
+//
+// Besides the console table, writes BENCH_micro_ops.json (per-sketch Mops
+// plus the final DaVinci HealthSnapshot) for the CI bench-regression gate.
+
+#include <string>
+#include <utility>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -12,6 +19,7 @@
 #include "baselines/fcm_sketch.h"
 #include "baselines/heavy_guardian.h"
 #include "baselines/space_saving.h"
+#include "bench_common.h"
 #include "core/davinci_sketch.h"
 #include "workload/trace.h"
 
@@ -95,6 +103,48 @@ void BM_Query(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
+// Captures items_per_second per benchmark while still printing the normal
+// console table, keyed by a JSON-friendly name.
+class MopsCapture : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) {
+        mops_.emplace_back(JsonKey(run.benchmark_name()),
+                           it->second.value / 1e6);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<std::pair<std::string, double>>& mops() const {
+    return mops_;
+  }
+
+ private:
+  // "BM_Insert<davinci::CmSketch>" -> "Insert_CmSketch_mops".
+  static std::string JsonKey(const std::string& name) {
+    std::string key;
+    key.reserve(name.size() + 5);
+    for (size_t i = 0; i < name.size();) {
+      if (name.compare(i, 3, "BM_") == 0) {
+        i += 3;
+      } else if (name.compare(i, 10, "<davinci::") == 0) {
+        key += '_';
+        i += 10;
+      } else if (name[i] == '>') {
+        ++i;
+      } else {
+        key += name[i++];
+      }
+    }
+    return key + "_mops";
+  }
+
+  std::vector<std::pair<std::string, double>> mops_;
+};
+
 }  // namespace
 
 BENCHMARK_TEMPLATE(BM_Insert, davinci::DaVinciSketch)->Unit(benchmark::kMillisecond);
@@ -111,4 +161,19 @@ BENCHMARK_TEMPLATE(BM_Query, davinci::DaVinciSketch);
 BENCHMARK_TEMPLATE(BM_Query, davinci::CmSketch);
 BENCHMARK_TEMPLATE(BM_Query, davinci::ElasticSketch);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  MopsCapture reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+
+  davinci::bench::BenchJson json("micro_ops");
+  for (const auto& [key, mops] : reporter.mops()) json.Metric(key, mops);
+  davinci::DaVinciSketch sketch = MakeSketch<davinci::DaVinciSketch>();
+  for (uint32_t key : Keys()) sketch.Insert(key, 1);
+  davinci::obs::HealthSnapshot snapshot;
+  sketch.CollectStats(&snapshot);
+  json.Snapshot(snapshot);
+  json.Write();
+  return 0;
+}

@@ -7,12 +7,16 @@
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("table2_datasets");
   std::printf("# Table II: dataset statistics (scale=%.2f)\n", scale);
   std::printf("dataset,packets,flows,cardinality\n");
-  for (const auto& dataset : davinci::bench::AllDatasets(scale)) {
+  const auto datasets = davinci::bench::AllDatasets(scale);
+  for (const auto& dataset : datasets) {
     davinci::TraceStats stats = davinci::ComputeStats(dataset.trace);
     std::printf("%s,%zu,%zu,%zu\n", dataset.trace.name.c_str(), stats.packets,
                 stats.flows, stats.cardinality);
   }
+  davinci::bench::DaVinciObsEpilogue(json, datasets[0].trace.keys,
+                                     600 * 1024, 7);
   return 0;
 }

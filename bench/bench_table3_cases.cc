@@ -26,6 +26,7 @@ DaVinciSketch Build(const std::vector<uint32_t>& keys, size_t bytes,
 
 int main() {
   double scale = davinci::bench::ScaleFromEnv();
+  davinci::bench::BenchJson json("table3_cases");
   Trace trace = davinci::BuildCaidaLike(scale);
   GroundTruth truth(trace.keys);
   size_t n = trace.keys.size();
@@ -106,5 +107,6 @@ int main() {
                 bytes / 1024, freq_are, hh_f1, hc_f1, card_re, dist_wmre,
                 entropy_re, union_are, diff_are, join_re);
   }
+  davinci::bench::DaVinciObsEpilogue(json, trace.keys, 600 * 1024, 7);
   return 0;
 }

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gate insert throughput against a committed BENCH_*.json baseline.
+
+Compares one or more numeric keys between a baseline JSON (typically
+results/BENCH_insert_throughput.json) and a freshly produced one, and
+fails when any compared value dropped by more than --max-regression
+(default 25%). Higher-is-better semantics: values above baseline always
+pass.
+
+Usage:
+    scripts/check_bench_regression.py BASELINE CURRENT \
+        [--key insert_batch_mops] [--max-regression 0.25]
+
+Only the standard library is used, so the script runs anywhere python3
+does (the CI bench-regression job calls it on the runner).
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="baseline BENCH_*.json")
+    parser.add_argument("current", help="freshly produced BENCH_*.json")
+    parser.add_argument(
+        "--key",
+        action="append",
+        dest="keys",
+        help="numeric key to compare (repeatable; default insert_batch_mops)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop vs baseline (default 0.25)",
+    )
+    args = parser.parse_args()
+    keys = args.keys or ["insert_batch_mops"]
+
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+    with open(args.current) as f:
+        current = json.load(f)
+
+    failures = []
+    for key in keys:
+        if key not in baseline:
+            print(f"SKIP {key}: not in baseline {args.baseline}")
+            continue
+        if key not in current:
+            failures.append(f"{key}: missing from {args.current}")
+            continue
+        base = float(baseline[key])
+        now = float(current[key])
+        floor = base * (1.0 - args.max_regression)
+        verdict = "OK" if now >= floor else "REGRESSION"
+        print(
+            f"{verdict} {key}: baseline={base:.3f} current={now:.3f} "
+            f"floor={floor:.3f}"
+        )
+        if now < floor:
+            failures.append(
+                f"{key}: {now:.3f} < {floor:.3f} "
+                f"({args.max_regression:.0%} below baseline {base:.3f})"
+            )
+
+    if failures:
+        print("bench regression gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

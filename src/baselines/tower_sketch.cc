@@ -179,6 +179,14 @@ void TowerSketch::CheckInvariants(InvariantMode mode) const {
   }
 }
 
+size_t TowerSketch::SaturatedSlots(size_t level) const {
+  size_t saturated = 0;
+  for (int64_t c : levels_[level].counters) {
+    if (c >= levels_[level].cap) ++saturated;
+  }
+  return saturated;
+}
+
 size_t TowerSketch::ZeroSlots(size_t level) const {
   size_t zeros = 0;
   for (int64_t c : levels_[level].counters) {

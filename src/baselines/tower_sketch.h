@@ -91,9 +91,14 @@ class TowerSketch : public FrequencySketch {
     return IndexIn(levels_[level], base_hash);
   }
   int64_t LevelCap(size_t level) const { return levels_[level].cap; }
+  int LevelBits(size_t level) const { return levels_[level].bits; }
 
   // Untouched slots in `level` (for linear counting).
   size_t ZeroSlots(size_t level) const;
+
+  // Counters pinned at the level's saturation cap (for health telemetry:
+  // a saturated level degrades silently, see docs/OBSERVABILITY.md).
+  size_t SaturatedSlots(size_t level) const;
 
   // Aborts (DAVINCI_CHECK) if the tower's structural invariants are
   // violated: levels exist, counter widths shrink and caps grow going up

@@ -87,6 +87,19 @@ DaVinciSketch ConcurrentDaVinci::Snapshot() const {
   return merged;
 }
 
+void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
+  *out = obs::HealthSnapshot{};
+  out->shards = 0;  // Accumulate sums the per-shard `shards` of 1 each
+  for (const Shard& shard : shards_) {
+    obs::HealthSnapshot one;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      shard.sketch->CollectStats(&one);
+    }
+    out->Accumulate(one);
+  }
+}
+
 void ConcurrentDaVinci::Merge(const ConcurrentDaVinci& other) {
   DAVINCI_CHECK_MSG(this != &other, "self-merge is not supported");
   DAVINCI_CHECK_EQ(shards_.size(), other.shards_.size());

@@ -49,6 +49,11 @@ class ConcurrentDaVinci {
   // the key space, so the merge sees each flow exactly once).
   DaVinciSketch Snapshot() const;
 
+  // Aggregated health telemetry: collects every shard's snapshot under its
+  // lock and sums them (capacities and counters add across shards;
+  // `shards` records the shard count). Safe while writers are active.
+  void CollectStats(obs::HealthSnapshot* out) const;
+
   size_t num_shards() const { return shards_.size(); }
   size_t MemoryBytes() const;
 

@@ -47,6 +47,7 @@ void DaVinciSketch::RouteToFilterWithHash(uint32_t key, uint64_t base_hash,
 
 void DaVinciSketch::Insert(uint32_t key, int64_t count) {
   InvalidateDecodeCache();
+  inserts_.Inc();
   uint64_t base_hash = HashFamily::BaseHash(key);
   FrequentPart::InsertResult result = fp_.InsertWithHash(key, base_hash, count);
   if (result.action != FrequentPart::InsertResult::Action::kAbsorbed) {
@@ -65,6 +66,7 @@ void DaVinciSketch::InsertBatch(std::span<const uint32_t> keys,
   DAVINCI_DCHECK_EQ(keys.size(), counts.size());
   if (keys.empty()) return;
   InvalidateDecodeCache();
+  inserts_.Inc(keys.size());
 
   // Double-buffered stage A state: while block k is applied (stages B/C),
   // block k+1's base hashes are already computed and its FP bucket lines
@@ -154,6 +156,7 @@ const std::unordered_map<uint32_t, int64_t>& DaVinciSketch::DecodedFlows()
 }
 
 int64_t DaVinciSketch::Query(uint32_t key) const {
+  queries_.Inc();
   bool tainted = false;
   int64_t fp_count = fp_.Query(key, &tainted);
   if (fp_count != 0 && !tainted) {
@@ -382,6 +385,16 @@ void DaVinciSketch::CheckInvariants(InvariantMode mode) const {
                             std::to_string(key));
     }
   }
+}
+
+void DaVinciSketch::CollectStats(obs::HealthSnapshot* out) const {
+  *out = obs::HealthSnapshot{};
+  out->memory_bytes = MemoryBytes();
+  out->inserts = inserts_.value();
+  out->queries = queries_.value();
+  fp_.CollectStats(&out->fp);
+  ef_.CollectStats(&out->ef);
+  ifp_.CollectStats(&out->ifp);
 }
 
 void DaVinciSketch::Save(std::ostream& out) const {

@@ -16,6 +16,7 @@
 #include "core/element_filter.h"
 #include "core/frequent_part.h"
 #include "core/infrequent_part.h"
+#include "obs/health.h"
 
 // DaVinci Sketch: one data structure, nine set-measurement tasks.
 //
@@ -101,6 +102,12 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   void CheckInvariants(InvariantMode mode) const;
 
   // ---- introspection ----
+  // Populates a HealthSnapshot from the three parts' CollectStats hooks
+  // plus the sketch-level insert/query tallies. Structural fields (slot
+  // occupancy, tower saturation, IFP load) are always live; event counters
+  // are zero unless built with DAVINCI_STATS (see docs/OBSERVABILITY.md).
+  void CollectStats(obs::HealthSnapshot* out) const;
+
   const DaVinciConfig& config() const { return config_; }
   const FrequentPart& frequent_part() const { return fp_; }
   const ElementFilter& element_filter() const { return ef_; }
@@ -121,6 +128,11 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   ElementFilter ef_;
   InfrequentPart ifp_;
   mutable std::optional<std::unordered_map<uint32_t, int64_t>> decode_cache_;
+
+  // Telemetry (no-ops unless built with DAVINCI_STATS); queries_ is
+  // mutable because Query() is const.
+  obs::EventCounter inserts_;
+  mutable obs::EventCounter queries_;
 };
 
 }  // namespace davinci

@@ -8,7 +8,13 @@ ElementFilter::ElementFilter(size_t bytes, const std::vector<int>& level_bits,
       tower_(bytes, seed * 22000331 + 5, TowerSketch::Options{level_bits}) {}
 
 int64_t ElementFilter::Insert(uint32_t key, int64_t count) {
-  return tower_.InsertCapped(key, count, threshold_);
+  stats_.inserts.Inc();
+  int64_t overflow = tower_.InsertCapped(key, count, threshold_);
+  if (overflow != 0) {
+    stats_.promotions.Inc();
+    stats_.promoted_units.Inc(static_cast<uint64_t>(overflow));
+  }
+  return overflow;
 }
 
 int64_t ElementFilter::InsertSigned(uint32_t key, int64_t count) {
@@ -17,10 +23,37 @@ int64_t ElementFilter::InsertSigned(uint32_t key, int64_t count) {
 
 int64_t ElementFilter::InsertSignedWithHash(uint64_t base_hash,
                                             int64_t count) {
+  stats_.inserts.Inc();
+  int64_t overflow;
   if (count >= 0) {
-    return tower_.InsertCappedWithHash(base_hash, count, threshold_);
+    overflow = tower_.InsertCappedWithHash(base_hash, count, threshold_);
+  } else {
+    overflow = -tower_.InsertCappedDownWithHash(base_hash, -count, threshold_);
   }
-  return -tower_.InsertCappedDownWithHash(base_hash, -count, threshold_);
+  if (overflow != 0) {
+    stats_.promotions.Inc();
+    stats_.promoted_units.Inc(
+        static_cast<uint64_t>(overflow < 0 ? -overflow : overflow));
+  }
+  return overflow;
+}
+
+void ElementFilter::CollectStats(obs::EfHealth* out) const {
+  out->threshold = threshold_;
+  out->levels.clear();
+  out->levels.reserve(tower_.num_levels());
+  for (size_t i = 0; i < tower_.num_levels(); ++i) {
+    obs::EfLevelHealth level;
+    level.width = tower_.LevelWidth(i);
+    level.bits = tower_.LevelBits(i);
+    level.cap = tower_.LevelCap(i);
+    level.saturated = tower_.SaturatedSlots(i);
+    level.zeros = tower_.ZeroSlots(i);
+    out->levels.push_back(level);
+  }
+  out->inserts = stats_.inserts.value();
+  out->promotions = stats_.promotions.value();
+  out->promoted_units = stats_.promoted_units.value();
 }
 
 int64_t ElementFilter::Query(uint32_t key) const { return tower_.Query(key); }

@@ -8,6 +8,7 @@
 #include "baselines/tower_sketch.h"
 #include "common/check.h"
 #include "core/config.h"
+#include "obs/health.h"
 
 // The element filter (EF) of DaVinci Sketch: a TowerSketch acting as a
 // cold filter with threshold T. Each element keeps at most ~T units of its
@@ -69,12 +70,24 @@ class ElementFilter {
   // retain a flow's full T units), plus every TowerSketch invariant.
   void CheckInvariants(InvariantMode mode) const;
 
+  // Fills `out` with per-level saturation/zero scans and (stats builds)
+  // the insert/promotion counters. See docs/OBSERVABILITY.md.
+  void CollectStats(obs::EfHealth* out) const;
+
   size_t MemoryBytes() const { return tower_.MemoryBytes(); }
   uint64_t memory_accesses() const { return tower_.MemoryAccesses(); }
 
  private:
   int64_t threshold_;
   TowerSketch tower_;
+
+  // Telemetry (no-ops unless built with DAVINCI_STATS).
+  struct Counters {
+    obs::EventCounter inserts;
+    obs::EventCounter promotions;      // inserts whose overflow crossed T
+    obs::EventCounter promoted_units;  // Σ |overflow| routed onward
+  };
+  Counters stats_;
 };
 
 }  // namespace davinci

@@ -32,6 +32,7 @@ void FrequentPart::PrefetchBucket(uint64_t base_hash) const {
 FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
                                                         uint64_t base_hash,
                                                         int64_t count) {
+  stats_.inserts.Inc();
   size_t bucket = BucketOfBase(base_hash);
   size_t base = bucket * slots_;
   size_t min_slot = base;
@@ -53,6 +54,7 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
         std::swap(counts_[i], counts_[i - 1]);
         std::swap(tainted_[i], tainted_[i - 1]);
       }
+      stats_.hits.Inc();
       return {};
     }
     if (counts_[i] == 0) {
@@ -67,6 +69,7 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
     keys_[empty_slot] = key;
     counts_[empty_slot] = count;
     tainted_[empty_slot] = 0;
+    stats_.fills.Inc();
     return {};
   }
 
@@ -86,9 +89,11 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
     tainted_[min_slot] = 1;
     flags_[bucket] = 1;
     ecnt_[bucket] = 0;
+    stats_.evictions.Inc();
     return result;
   }
   // Case 4: the incoming element is deemed infrequent.
+  stats_.rejections.Inc();
   InsertResult result;
   result.action = InsertResult::Action::kRejected;
   result.overflow_key = key;
@@ -207,6 +212,30 @@ void FrequentPart::CheckInvariants(InvariantMode mode) const {
       }
     }
   }
+}
+
+void FrequentPart::CollectStats(obs::FpHealth* out) const {
+  out->buckets = buckets_;
+  out->slots = slots_;
+  out->live_slots = 0;
+  for (int64_t count : counts_) {
+    if (count != 0) ++out->live_slots;
+  }
+  out->flagged_buckets = 0;
+  for (uint8_t flag : flags_) {
+    if (flag != 0) ++out->flagged_buckets;
+  }
+  out->ecnt_sum = 0;
+  out->ecnt_max = 0;
+  for (uint32_t ecnt : ecnt_) {
+    out->ecnt_sum += ecnt;
+    if (ecnt > out->ecnt_max) out->ecnt_max = ecnt;
+  }
+  out->inserts = stats_.inserts.value();
+  out->hits = stats_.hits.value();
+  out->fills = stats_.fills.value();
+  out->evictions = stats_.evictions.value();
+  out->rejections = stats_.rejections.value();
 }
 
 void FrequentPart::OverwriteBucket(size_t bucket,

@@ -9,6 +9,7 @@
 #include "common/check.h"
 #include "common/hash.h"
 #include "core/config.h"
+#include "obs/health.h"
 
 // The frequent part (FP) of DaVinci Sketch: a hash table of k buckets,
 // each with c (key, count) entries, an evict counter and an evict flag,
@@ -102,6 +103,10 @@ class FrequentPart {
   // bound must have evicted and reset it).
   void CheckInvariants(InvariantMode mode) const;
 
+  // Fills `out` with the bucket-occupancy scan and (stats builds) the
+  // Algorithm 1 case counters. See docs/OBSERVABILITY.md.
+  void CollectStats(obs::FpHealth* out) const;
+
   uint64_t memory_accesses() const { return accesses_; }
   size_t MemoryBytes() const {
     return buckets_ * (slots_ * DaVinciConfig::kFpSlotBytes +
@@ -119,6 +124,16 @@ class FrequentPart {
   std::vector<uint32_t> ecnt_;     // per-bucket evict counters
   std::vector<uint8_t> flags_;     // per-bucket evict flags
   mutable uint64_t accesses_ = 0;
+
+  // Telemetry (no-ops unless built with DAVINCI_STATS).
+  struct Counters {
+    obs::EventCounter inserts;
+    obs::EventCounter hits;        // case 1
+    obs::EventCounter fills;       // case 2
+    obs::EventCounter evictions;   // case 3
+    obs::EventCounter rejections;  // case 4
+  };
+  Counters stats_;
 };
 
 }  // namespace davinci

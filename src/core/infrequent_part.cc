@@ -26,6 +26,7 @@ InfrequentPart::InfrequentPart(size_t rows, size_t buckets_per_row,
 
 void InfrequentPart::InsertWithHash(uint32_t key, uint64_t base_hash,
                                     int64_t count) {
+  stats_.inserts.Inc();
   uint64_t delta = MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
   for (size_t i = 0; i < rows_; ++i) {
     ++accesses_;
@@ -58,6 +59,7 @@ int64_t InfrequentPart::FastQuery(uint32_t key) const {
 
 std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
     const ElementFilter* cross_filter) const {
+  stats_.decode_runs.Inc();
   std::vector<uint64_t> ids = ids_;
   std::vector<int64_t> counts = counts_;
   std::unordered_map<uint32_t, int64_t> flows;
@@ -68,8 +70,14 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
     if (cross_filter == nullptr) return true;
     // The element reached the IFP only by crossing the filter threshold,
     // so its (signed, for differences) filter estimate must sit at ±T.
-    return std::llabs(cross_filter->QuerySigned(key)) >=
-           cross_filter->threshold();
+    if (std::llabs(cross_filter->QuerySigned(key)) >=
+        cross_filter->threshold()) {
+      return true;
+    }
+    // A pure-looking bucket produced a candidate the filter never saw: a
+    // false decode caught by the paper's double verification.
+    stats_.decode_rejected_by_filter.Inc();
+    return false;
   };
 
   // Tries to peel bucket `index` as the single element `candidate`.
@@ -136,6 +144,7 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
       ++it;
     }
   }
+  stats_.decoded_flows.Inc(flows.size());
   return flows;
 }
 
@@ -220,6 +229,16 @@ void InfrequentPart::CheckInvariants(InvariantMode mode) const {
       if (!use_signs_) DAVINCI_CHECK_EQ(count_sum, row0_count_sum);
     }
   }
+}
+
+void InfrequentPart::CollectStats(obs::IfpHealth* out) const {
+  out->rows = rows_;
+  out->width = width_;
+  out->empty_buckets = EmptyBuckets();
+  out->inserts = stats_.inserts.value();
+  out->decode_runs = stats_.decode_runs.value();
+  out->decoded_flows = stats_.decoded_flows.value();
+  out->decode_rejected_by_filter = stats_.decode_rejected_by_filter.value();
 }
 
 size_t InfrequentPart::EmptyBuckets() const {

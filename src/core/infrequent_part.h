@@ -11,6 +11,7 @@
 #include "common/modular.h"
 #include "core/config.h"
 #include "core/element_filter.h"
+#include "obs/health.h"
 
 // The infrequent part (IFP) of DaVinci Sketch: a counting Fermat sketch of
 // d rows × w buckets {iID, icnt} with per-row ±1 functions ζ_i
@@ -79,6 +80,11 @@ class InfrequentPart {
   // too, and in kAdditive mode each icnt is additionally nonnegative.
   void CheckInvariants(InvariantMode mode) const;
 
+  // Fills `out` with the bucket-load scan and (stats builds) the
+  // insert/decode counters, including false decodes rejected by the EF
+  // cross-validation. See docs/OBSERVABILITY.md.
+  void CollectStats(obs::IfpHealth* out) const;
+
   uint64_t memory_accesses() const { return accesses_; }
 
  private:
@@ -103,6 +109,16 @@ class InfrequentPart {
   std::vector<uint64_t> ids_;    // Σ count·key mod p, rows_ × width_
   std::vector<int64_t> counts_;  // Σ ζ(key)·count (signed)
   mutable uint64_t accesses_ = 0;
+
+  // Telemetry (no-ops unless built with DAVINCI_STATS). Mutable: Decode()
+  // is logically const but accounts its peeling outcomes.
+  struct Counters {
+    obs::EventCounter inserts;
+    obs::EventCounter decode_runs;
+    obs::EventCounter decoded_flows;
+    obs::EventCounter decode_rejected_by_filter;
+  };
+  mutable Counters stats_;
 };
 
 }  // namespace davinci

@@ -1,0 +1,88 @@
+#include "obs/health.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace davinci::obs {
+
+void HealthSnapshot::Accumulate(const HealthSnapshot& other) {
+  stats_enabled = stats_enabled && other.stats_enabled;
+  shards += other.shards;
+  memory_bytes += other.memory_bytes;
+  inserts += other.inserts;
+  queries += other.queries;
+
+  fp.buckets += other.fp.buckets;
+  fp.slots = std::max(fp.slots, other.fp.slots);
+  fp.live_slots += other.fp.live_slots;
+  fp.flagged_buckets += other.fp.flagged_buckets;
+  fp.ecnt_sum += other.fp.ecnt_sum;
+  fp.ecnt_max = std::max(fp.ecnt_max, other.fp.ecnt_max);
+  fp.inserts += other.fp.inserts;
+  fp.hits += other.fp.hits;
+  fp.fills += other.fp.fills;
+  fp.evictions += other.fp.evictions;
+  fp.rejections += other.fp.rejections;
+
+  ef.threshold = std::max(ef.threshold, other.ef.threshold);
+  if (ef.levels.size() < other.ef.levels.size()) {
+    ef.levels.resize(other.ef.levels.size());
+  }
+  for (size_t i = 0; i < other.ef.levels.size(); ++i) {
+    EfLevelHealth& mine = ef.levels[i];
+    const EfLevelHealth& theirs = other.ef.levels[i];
+    mine.width += theirs.width;
+    mine.bits = std::max(mine.bits, theirs.bits);
+    mine.cap = std::max(mine.cap, theirs.cap);
+    mine.saturated += theirs.saturated;
+    mine.zeros += theirs.zeros;
+  }
+  ef.inserts += other.ef.inserts;
+  ef.promotions += other.ef.promotions;
+  ef.promoted_units += other.ef.promoted_units;
+
+  ifp.rows = std::max(ifp.rows, other.ifp.rows);
+  ifp.width += other.ifp.width;
+  ifp.empty_buckets += other.ifp.empty_buckets;
+  ifp.inserts += other.ifp.inserts;
+  ifp.decode_runs += other.ifp.decode_runs;
+  ifp.decoded_flows += other.ifp.decoded_flows;
+  ifp.decode_rejected_by_filter += other.ifp.decode_rejected_by_filter;
+}
+
+void HealthSnapshot::WriteJson(std::ostream& out) const {
+  out << "{\"stats_enabled\":" << (stats_enabled ? "true" : "false")
+      << ",\"shards\":" << shards << ",\"memory_bytes\":" << memory_bytes
+      << ",\"inserts\":" << inserts << ",\"queries\":" << queries;
+
+  out << ",\"fp\":{\"buckets\":" << fp.buckets << ",\"slots\":" << fp.slots
+      << ",\"live_slots\":" << fp.live_slots << ",\"occupancy\":"
+      << fp.Occupancy() << ",\"flagged_buckets\":" << fp.flagged_buckets
+      << ",\"ecnt_sum\":" << fp.ecnt_sum << ",\"ecnt_max\":" << fp.ecnt_max
+      << ",\"inserts\":" << fp.inserts << ",\"hits\":" << fp.hits
+      << ",\"fills\":" << fp.fills << ",\"evictions\":" << fp.evictions
+      << ",\"rejections\":" << fp.rejections << "}";
+
+  out << ",\"ef\":{\"threshold\":" << ef.threshold << ",\"levels\":[";
+  for (size_t i = 0; i < ef.levels.size(); ++i) {
+    const EfLevelHealth& level = ef.levels[i];
+    if (i > 0) out << ",";
+    out << "{\"width\":" << level.width << ",\"bits\":" << level.bits
+        << ",\"cap\":" << level.cap << ",\"saturated\":" << level.saturated
+        << ",\"saturation\":" << level.SaturationFraction()
+        << ",\"zeros\":" << level.zeros << "}";
+  }
+  out << "],\"inserts\":" << ef.inserts << ",\"promotions\":" << ef.promotions
+      << ",\"promoted_units\":" << ef.promoted_units << "}";
+
+  out << ",\"ifp\":{\"rows\":" << ifp.rows << ",\"width\":" << ifp.width
+      << ",\"empty_buckets\":" << ifp.empty_buckets << ",\"load\":"
+      << ifp.Load() << ",\"inserts\":" << ifp.inserts << ",\"decode_runs\":"
+      << ifp.decode_runs << ",\"decoded_flows\":" << ifp.decoded_flows
+      << ",\"decode_rejected_by_filter\":" << ifp.decode_rejected_by_filter
+      << "}";
+
+  out << "}";
+}
+
+}  // namespace davinci::obs

@@ -1,0 +1,116 @@
+#ifndef DAVINCI_OBS_HEALTH_H_
+#define DAVINCI_OBS_HEALTH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/stats.h"
+
+// HealthSnapshot: a point-in-time view of a DaVinci Sketch's internal
+// dynamics, populated by the CollectStats() hooks on the three parts
+// (docs/OBSERVABILITY.md maps every field to the paper's Algorithms 1/3/5).
+//
+// Two kinds of fields coexist:
+//  - structural scans (slot occupancy, tower saturation, IFP bucket load):
+//    recomputed from sketch state on every CollectStats() call, available
+//    regardless of DAVINCI_STATS;
+//  - event counters (evictions, promotions, decode rejects): accumulated in
+//    the hot paths, zero when the build has DAVINCI_STATS off (check
+//    `stats_enabled`).
+
+namespace davinci::obs {
+
+// Frequent part (Algorithm 1: λ-vote eviction).
+struct FpHealth {
+  // Structural scan.
+  size_t buckets = 0;
+  size_t slots = 0;            // per bucket
+  size_t live_slots = 0;       // entries with count != 0
+  size_t flagged_buckets = 0;  // evict flag set (bucket ever evicted)
+  uint64_t ecnt_sum = 0;       // Σ per-bucket evict counters
+  uint32_t ecnt_max = 0;
+  // Event counters (Algorithm 1's four cases).
+  uint64_t inserts = 0;
+  uint64_t hits = 0;        // case 1: key already resident
+  uint64_t fills = 0;       // case 2: took a free slot
+  uint64_t evictions = 0;   // case 3: λ-vote evicted the resident minimum
+  uint64_t rejections = 0;  // case 4: newcomer deemed infrequent
+
+  double Occupancy() const {
+    size_t total = buckets * slots;
+    return total == 0 ? 0.0
+                      : static_cast<double>(live_slots) /
+                            static_cast<double>(total);
+  }
+};
+
+// One tower level of the element filter.
+struct EfLevelHealth {
+  size_t width = 0;      // counters at this level
+  int bits = 0;          // design counter width
+  int64_t cap = 0;       // saturation value
+  size_t saturated = 0;  // counters pinned at cap
+  size_t zeros = 0;      // untouched counters
+
+  double SaturationFraction() const {
+    return width == 0 ? 0.0
+                      : static_cast<double>(saturated) /
+                            static_cast<double>(width);
+  }
+};
+
+// Element filter (cold filter with threshold T).
+struct EfHealth {
+  int64_t threshold = 0;  // T
+  std::vector<EfLevelHealth> levels;
+  // Event counters.
+  uint64_t inserts = 0;
+  uint64_t promotions = 0;      // inserts whose overflow crossed T
+  uint64_t promoted_units = 0;  // Σ |overflow| handed to the IFP
+};
+
+// Infrequent part (Algorithm 5: Fermat peeling with EF cross-validation).
+struct IfpHealth {
+  // Structural scan.
+  size_t rows = 0;
+  size_t width = 0;  // buckets per row
+  size_t empty_buckets = 0;
+  // Event counters.
+  uint64_t inserts = 0;
+  uint64_t decode_runs = 0;    // full Decode() invocations
+  uint64_t decoded_flows = 0;  // flows recovered across all runs
+  // Pure-looking buckets whose candidate failed the element-filter
+  // cross-check (the paper's double verification rejecting false decodes).
+  uint64_t decode_rejected_by_filter = 0;
+
+  double Load() const {
+    size_t total = rows * width;
+    return total == 0 ? 0.0
+                      : 1.0 - static_cast<double>(empty_buckets) /
+                                  static_cast<double>(total);
+  }
+};
+
+struct HealthSnapshot {
+  bool stats_enabled = kStatsEnabled;
+  size_t shards = 1;  // > 1 when collected from a ConcurrentDaVinci
+  size_t memory_bytes = 0;
+  uint64_t inserts = 0;  // sketch-level Insert/InsertBatch keys
+  uint64_t queries = 0;
+  FpHealth fp;
+  EfHealth ef;
+  IfpHealth ifp;
+
+  // Shard aggregation: sums capacities, scans and counters; takes the max
+  // of ecnt_max; merges tower levels element-wise (shards share geometry).
+  void Accumulate(const HealthSnapshot& other);
+
+  // Single JSON object, no trailing newline.
+  void WriteJson(std::ostream& out) const;
+};
+
+}  // namespace davinci::obs
+
+#endif  // DAVINCI_OBS_HEALTH_H_

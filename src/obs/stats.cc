@@ -1,0 +1,111 @@
+#include "obs/stats.h"
+
+#include <bit>
+#include <ostream>
+
+namespace davinci::obs {
+
+namespace {
+
+// Bucket index = bit length of the sample (0 for a zero sample), so bucket
+// i covers [2^(i-1), 2^i).
+size_t BucketOf(uint64_t nanos) {
+  return static_cast<size_t>(std::bit_width(nanos));
+}
+
+uint64_t BucketUpperBound(size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return UINT64_MAX;
+  return (uint64_t{1} << bucket) - 1;
+}
+
+}  // namespace
+
+void LatencyHistogram::Record(uint64_t nanos) {
+  buckets_[BucketOf(nanos)].fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (nanos > seen &&
+         !max_.compare_exchange_weak(seen, nanos, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+uint64_t LatencyHistogram::PercentileNanos(double p) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the requested quantile, 1-based; cumulative walk finds its
+  // bucket.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= rank) {
+      // The top bucket's nominal bound can exceed the true max; clamp so
+      // reported percentiles never exceed the observed maximum.
+      uint64_t bound = BucketUpperBound(i);
+      uint64_t max = MaxNanos();
+      return bound < max ? bound : max;
+    }
+  }
+  return MaxNanos();
+}
+
+StatsRegistry& StatsRegistry::Global() {
+  static StatsRegistry* registry = new StatsRegistry();
+  return *registry;
+}
+
+std::atomic<uint64_t>& StatsRegistry::Counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<std::atomic<uint64_t>>(0);
+  return *slot;
+}
+
+LatencyHistogram& StatsRegistry::Histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
+  return *slot;
+}
+
+void StatsRegistry::DumpJson(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name
+        << "\":" << counter->load(std::memory_order_relaxed);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":{\"count\":" << histogram->Count()
+        << ",\"p50_ns\":" << histogram->PercentileNanos(0.50)
+        << ",\"p99_ns\":" << histogram->PercentileNanos(0.99)
+        << ",\"max_ns\":" << histogram->MaxNanos() << "}";
+  }
+  out << "}}";
+}
+
+void StatsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+}  // namespace davinci::obs

@@ -1,0 +1,129 @@
+#ifndef DAVINCI_OBS_STATS_H_
+#define DAVINCI_OBS_STATS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+// Observability primitives (see docs/OBSERVABILITY.md).
+//
+// Two tiers with different cost models:
+//
+//  - EventCounter: a per-structure event tally embedded in the sketch hot
+//    paths (FP evictions, EF promotions, IFP decode rejects, ...). Gated by
+//    the compile-time DAVINCI_STATS flag: with stats on it is a plain
+//    uint64_t increment (the structures are externally synchronized, so no
+//    atomics are needed); with stats off every method is an empty inline
+//    and the compiler removes the hook entirely — the release-off build is
+//    bit- and speed-identical to an uninstrumented one.
+//
+//  - StatsRegistry / LatencyHistogram: process-wide named atomic counters
+//    and log-scale latency histograms (p50/p99/max) for harness-level
+//    instrumentation (benches, servers). Always compiled: these live at
+//    block/operation granularity, never inside the per-key hot loop.
+//
+// Serialized sketch state never includes any of this, so DAVINCI_STATS=ON
+// and =OFF builds produce byte-identical Save() output
+// (tests/serialization_fuzz_test.cc pins a digest to enforce it).
+
+namespace davinci::obs {
+
+#ifdef DAVINCI_STATS
+inline constexpr bool kStatsEnabled = true;
+
+// Plain (non-atomic) event tally. Embedded in structures that are either
+// single-threaded or externally locked (DaVinciSketch under its
+// ConcurrentDaVinci shard mutex), so a bare increment is race-free.
+class EventCounter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+#else
+inline constexpr bool kStatsEnabled = false;
+
+// Stats-off stub: every call site compiles to nothing.
+class EventCounter {
+ public:
+  void Inc(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+};
+#endif
+
+// Lock-free log-scale histogram: bucket i counts samples whose value's
+// bit-length is i, so bucket boundaries grow by powers of two (resolution
+// is a factor of 2 — plenty for latency percentiles spanning ns to s).
+// Record is one relaxed fetch_add plus a relaxed max update; safe from any
+// number of threads.
+class LatencyHistogram {
+ public:
+  void Record(uint64_t nanos);
+
+  uint64_t Count() const;
+  uint64_t MaxNanos() const { return max_.load(std::memory_order_relaxed); }
+  // Upper bound of the bucket holding the p-quantile (p in (0, 1]).
+  // Returns 0 when empty.
+  uint64_t PercentileNanos(double p) const;
+
+  static constexpr size_t kBuckets = 64;
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> max_{0};
+};
+
+// Times a scope and records the elapsed nanoseconds into a histogram.
+class ScopedLatencyTimer {
+ public:
+  explicit ScopedLatencyTimer(LatencyHistogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedLatencyTimer() {
+    if (histogram_ == nullptr) return;
+    auto elapsed = std::chrono::steady_clock::now() - start_;
+    histogram_->Record(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+  ScopedLatencyTimer(const ScopedLatencyTimer&) = delete;
+  ScopedLatencyTimer& operator=(const ScopedLatencyTimer&) = delete;
+
+ private:
+  LatencyHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Process-wide name -> counter/histogram registry. Registration takes a
+// mutex; the returned references are stable for the registry's lifetime,
+// so callers resolve a name once and then update lock-free.
+class StatsRegistry {
+ public:
+  static StatsRegistry& Global();
+
+  std::atomic<uint64_t>& Counter(const std::string& name);
+  LatencyHistogram& Histogram(const std::string& name);
+
+  // {"counters": {...}, "histograms": {name: {count,p50,p99,max}, ...}}
+  void DumpJson(std::ostream& out) const;
+
+  // Drops every registered counter and histogram (previously returned
+  // references dangle — test-only).
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace davinci::obs
+
+#endif  // DAVINCI_OBS_STATS_H_

@@ -1,0 +1,186 @@
+// Statistical accuracy-regression gate: one seeded Zipf workload, one
+// DaVinci Sketch per operand set, and a pinned upper bound for every one
+// of the paper's nine measurement tasks. The bounds are ~2× the error
+// observed at pin time, so ordinary run-to-run noise passes while a real
+// accuracy regression (a broken eviction rule, a miscounted EF threshold,
+// a bad decode) trips the gate in plain ctest.
+//
+// DAVINCI_TEST_SEED overrides the trace seed; the bounds are loose enough
+// to hold across seeds, and failures print the seed for replay.
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/davinci_sketch.h"
+#include "metrics/metrics.h"
+#include "test_seed.h"
+#include "workload/ground_truth.h"
+#include "workload/trace.h"
+
+namespace davinci {
+namespace {
+
+constexpr size_t kBytes = 256 * 1024;
+constexpr uint64_t kSketchSeed = 7;  // fixed: only the trace seed varies
+constexpr size_t kPackets = 120000;
+constexpr size_t kFlows = 10000;
+
+struct Fixture {
+  uint64_t seed;
+  Trace full, a, b, da, db;
+  GroundTruth truth, ta, tb, tda, tdb;
+  DaVinciSketch s_full, sa, sb, sda, sdb;
+};
+
+DaVinciSketch BuildSketch(const std::vector<uint32_t>& keys) {
+  DaVinciSketch sketch(kBytes, kSketchSeed);
+  for (uint32_t key : keys) sketch.Insert(key, 1);
+  return sketch;
+}
+
+const Fixture& F() {
+  static const Fixture* fixture = [] {
+    uint64_t seed = testing::TestSeed(2025);
+    Trace full = BuildSkewedTrace("acc", kPackets, kFlows, 1.0, seed);
+    size_t n = full.keys.size();
+    // Disjoint halves (union, heavy changers) and overlapping two-thirds
+    // slices (difference, inner join — the paper's overlap scenario).
+    Trace a = Slice(full, 0, n / 2, "a");
+    Trace b = Slice(full, n / 2, n, "b");
+    Trace da = Slice(full, 0, 2 * n / 3, "da");
+    Trace db = Slice(full, n / 3, n, "db");
+    auto* f = new Fixture{seed,
+                          full,
+                          a,
+                          b,
+                          da,
+                          db,
+                          GroundTruth(full.keys),
+                          GroundTruth(a.keys),
+                          GroundTruth(b.keys),
+                          GroundTruth(da.keys),
+                          GroundTruth(db.keys),
+                          BuildSketch(full.keys),
+                          BuildSketch(a.keys),
+                          BuildSketch(b.keys),
+                          BuildSketch(da.keys),
+                          BuildSketch(db.keys)};
+    return f;
+  }();
+  return *fixture;
+}
+
+// ARE over a truth frequency map against a query functor.
+template <typename QueryFn>
+double FrequencyAre(const GroundTruth& truth, QueryFn&& query) {
+  std::vector<Estimate> observations;
+  observations.reserve(truth.frequencies().size());
+  for (const auto& [key, f] : truth.frequencies()) {
+    observations.push_back({f, query(key)});
+  }
+  return AverageRelativeError(observations);
+}
+
+double HeavySetF1(const std::vector<std::pair<uint32_t, int64_t>>& reported,
+                  const std::vector<std::pair<uint32_t, int64_t>>& actual) {
+  std::unordered_map<uint32_t, int64_t> actual_map(actual.begin(),
+                                                   actual.end());
+  size_t correct = 0;
+  for (const auto& [key, est] : reported) {
+    if (actual_map.count(key)) ++correct;
+  }
+  return F1Score(correct, reported.size(), actual.size());
+}
+
+#define DAVINCI_GATE(metric, bound)                                   \
+  do {                                                                \
+    DAVINCI_ANNOUNCE_SEED(F().seed);                                  \
+    double observed = (metric);                                       \
+    std::printf("accuracy-gate %s: %.6f (bound %.6f)\n", #metric,     \
+                observed, static_cast<double>(bound));                \
+    EXPECT_LE(observed, bound);                                       \
+  } while (0)
+
+// Task 1: per-flow frequency estimation.
+TEST(AccuracyRegressionTest, FrequencyAre) {
+  DAVINCI_GATE(
+      FrequencyAre(F().truth, [](uint32_t key) { return F().s_full.Query(key); }),
+      0.02);
+}
+
+// Task 2: heavy hitters at ~0.1% of the stream.
+TEST(AccuracyRegressionTest, HeavyHitterF1) {
+  int64_t threshold = F().truth.total() / 1000;
+  auto actual = F().truth.HeavyHitters(threshold);
+  ASSERT_FALSE(actual.empty());
+  DAVINCI_GATE(1.0 - HeavySetF1(F().s_full.HeavyHitters(threshold), actual),
+               0.05);
+}
+
+// Task 3: heavy changers between the two halves.
+TEST(AccuracyRegressionTest, HeavyChangerF1) {
+  int64_t delta = F().truth.total() / 2000;
+  GroundTruth diff = GroundTruth::Difference(F().ta, F().tb);
+  std::vector<std::pair<uint32_t, int64_t>> actual;
+  for (const auto& [key, change] : diff.frequencies()) {
+    if (std::llabs(change) > delta) actual.emplace_back(key, change);
+  }
+  ASSERT_FALSE(actual.empty());
+  DAVINCI_GATE(1.0 - HeavySetF1(F().sa.HeavyChangers(F().sb, delta), actual),
+               0.05);
+}
+
+// Task 4: cardinality.
+TEST(AccuracyRegressionTest, CardinalityRe) {
+  DAVINCI_GATE(RelativeError(static_cast<double>(F().truth.cardinality()),
+                             F().s_full.EstimateCardinality()),
+               0.05);
+}
+
+// Task 5: flow-size distribution.
+TEST(AccuracyRegressionTest, DistributionWmre) {
+  DAVINCI_GATE(WeightedMeanRelativeError(F().truth.Distribution(),
+                                         F().s_full.Distribution()),
+               0.05);
+}
+
+// Task 6: entropy.
+TEST(AccuracyRegressionTest, EntropyRe) {
+  DAVINCI_GATE(
+      RelativeError(F().truth.Entropy(), F().s_full.EstimateEntropy()), 0.05);
+}
+
+// Task 7: union — merging the halves must answer like the whole trace.
+TEST(AccuracyRegressionTest, UnionAre) {
+  DaVinciSketch merged = F().sa;
+  merged.Merge(F().sb);
+  DAVINCI_GATE(
+      FrequencyAre(F().truth, [&](uint32_t key) { return merged.Query(key); }),
+      0.02);
+}
+
+// Task 8: signed difference of the overlapping slices.
+TEST(AccuracyRegressionTest, DifferenceAre) {
+  DaVinciSketch diff_sketch = F().sda;
+  diff_sketch.Subtract(F().sdb);
+  GroundTruth diff = GroundTruth::Difference(F().tda, F().tdb);
+  DAVINCI_GATE(FrequencyAre(
+                   diff, [&](uint32_t key) { return diff_sketch.Query(key); }),
+               0.10);
+}
+
+// Task 9: cardinality of the inner join.
+TEST(AccuracyRegressionTest, InnerJoinRe) {
+  double truth = GroundTruth::InnerJoin(F().tda, F().tdb);
+  DAVINCI_GATE(
+      RelativeError(truth, DaVinciSketch::InnerProduct(F().sda, F().sdb)),
+      0.10);
+}
+
+}  // namespace
+}  // namespace davinci

@@ -15,6 +15,7 @@
 
 #include "core/concurrent_davinci.h"
 #include "core/davinci_sketch.h"
+#include "test_seed.h"
 #include "workload/zipf.h"
 
 namespace davinci {
@@ -74,7 +75,9 @@ void ExpectBatchEquivalent(size_t stream_len, size_t batch_size,
 }
 
 TEST(BatchPipelineTest, StateEquivalentAcrossBatchSizesAndSeeds) {
-  for (uint64_t seed : {1u, 7u, 42u}) {
+  const uint64_t base = testing::TestSeed(1);
+  DAVINCI_ANNOUNCE_SEED(base);
+  for (uint64_t seed : {base, base + 6, base + 41}) {
     for (size_t batch_size : {size_t{0}, size_t{1}, size_t{7}, size_t{16},
                               size_t{1000}}) {
       ExpectBatchEquivalent(20000, batch_size, seed);
@@ -164,7 +167,9 @@ TEST(BatchPipelineTest, AllNineQueryAnswersMatch) {
 }
 
 TEST(BatchPipelineTest, ConcurrentInsertBatchMatchesSingleInserts) {
-  std::vector<uint32_t> keys = ZipfKeys(30000, 31);
+  const uint64_t seed = testing::TestSeed(31);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::vector<uint32_t> keys = ZipfKeys(30000, seed);
   std::vector<int64_t> counts = MixedCounts(keys.size(), 32);
 
   ConcurrentDaVinci single(4, 256 * 1024, 7);

@@ -16,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "core/concurrent_davinci.h"
+#include "test_seed.h"
 
 namespace davinci {
 namespace {
@@ -35,7 +36,9 @@ std::vector<uint32_t> ThreadKeys(int thread, size_t n, uint64_t seed) {
 TEST(ConcurrentStressTest, InsertsRacingQueriesAndSnapshots) {
   constexpr int kWriters = 4;
   constexpr size_t kKeysPerWriter = 20000;
-  ConcurrentDaVinci sketch(4, 512 * 1024, 7);
+  const uint64_t seed = testing::TestSeed(7);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  ConcurrentDaVinci sketch(4, 512 * 1024, seed);
 
   std::atomic<bool> done{false};
   std::vector<std::thread> threads;

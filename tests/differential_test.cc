@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "core/davinci_sketch.h"
+#include "test_seed.h"
 #include "metrics/metrics.h"
 
 namespace davinci {
@@ -18,7 +19,9 @@ namespace {
 class DifferentialTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(DifferentialTest, RandomInsertSequencesTrackDictionary) {
-  std::mt19937_64 rng(GetParam());
+  const uint64_t seed = testing::TestSeed(GetParam());
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::mt19937_64 rng(seed);
   DaVinciSketch sketch(256 * 1024, GetParam());
   std::unordered_map<uint32_t, int64_t> exact;
 
@@ -54,7 +57,9 @@ TEST_P(DifferentialTest, RandomInsertSequencesTrackDictionary) {
 }
 
 TEST_P(DifferentialTest, RandomMergeSubtractProgramsStayConsistent) {
-  std::mt19937_64 rng(GetParam() * 977);
+  const uint64_t base = testing::TestSeed(GetParam());
+  DAVINCI_ANNOUNCE_SEED(base);
+  std::mt19937_64 rng(base * 977);
   const size_t kBytes = 192 * 1024;
   const uint64_t kSeed = 5;
 

@@ -14,6 +14,7 @@
 
 #include "core/concurrent_davinci.h"
 #include "core/davinci_sketch.h"
+#include "test_seed.h"
 #include "workload/zipf.h"
 
 namespace davinci {
@@ -35,7 +36,9 @@ TEST(InvariantAuditTest, FreshSketchPasses) {
 }
 
 TEST(InvariantAuditTest, RandomizedInsertWorkloads) {
-  for (uint64_t seed : {1u, 7u, 23u}) {
+  const uint64_t base = testing::TestSeed(1);
+  for (uint64_t seed : {base, base + 6, base + 22}) {
+    DAVINCI_ANNOUNCE_SEED(seed);
     DaVinciSketch sketch(48 * 1024, seed);
     std::mt19937_64 rng(seed);
     std::uniform_int_distribution<uint32_t> key_dist(1, 30000);

@@ -1,0 +1,34 @@
+#ifndef DAVINCI_TESTS_TEST_SEED_H_
+#define DAVINCI_TESTS_TEST_SEED_H_
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include <gtest/gtest.h>
+
+// Seed plumbing for randomized tests: every such test calls
+// TestSeed(default) so DAVINCI_TEST_SEED=<n> reproduces a failure, and
+// DAVINCI_ANNOUNCE_SEED(seed) so the seed is printed with any failing
+// assertion (via SCOPED_TRACE) and recorded in the XML report.
+
+namespace davinci::testing {
+
+inline uint64_t TestSeed(uint64_t default_seed) {
+  const char* env = std::getenv("DAVINCI_TEST_SEED");
+  if (env == nullptr || *env == '\0') return default_seed;
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(env, &end, 10);
+  return (end != env) ? static_cast<uint64_t>(value) : default_seed;
+}
+
+}  // namespace davinci::testing
+
+// Attaches "rerun with DAVINCI_TEST_SEED=<seed>" to every assertion failure
+// in the current scope and records the seed as a test property.
+#define DAVINCI_ANNOUNCE_SEED(seed)                                        \
+  ::testing::Test::RecordProperty("davinci_test_seed",                     \
+                                  std::to_string(seed));                   \
+  SCOPED_TRACE("rerun with DAVINCI_TEST_SEED=" + std::to_string(seed))
+
+#endif  // DAVINCI_TESTS_TEST_SEED_H_
