@@ -85,6 +85,11 @@ class BenchJson {
   void Count(const std::string& key, uint64_t value) {
     fields_.emplace_back(key, std::to_string(value));
   }
+  // Quoted string field (e.g. the SIMD backend in use). `value` must not
+  // need JSON escaping.
+  void Str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + value + "\"");
+  }
   // p50/p99/max/sample-count of a latency histogram under `prefix`.
   void Histogram(const std::string& prefix,
                  const obs::LatencyHistogram& histogram) {

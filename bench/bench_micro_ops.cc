@@ -3,8 +3,11 @@
 // op-level numbers).
 //
 // Besides the console table, writes BENCH_micro_ops.json (per-sketch Mops
-// plus the final DaVinci HealthSnapshot) for the CI bench-regression gate.
+// plus the final DaVinci HealthSnapshot) and BENCH_query_kernels.json
+// (scalar-vs-SIMD probe throughput, single-vs-batch query throughput and
+// 1-vs-4-thread decode latency) for the CI bench-regression gate.
 
+#include <random>
 #include <string>
 #include <utility>
 #include <vector>
@@ -20,7 +23,9 @@
 #include "baselines/heavy_guardian.h"
 #include "baselines/space_saving.h"
 #include "bench_common.h"
+#include "common/simd.h"
 #include "core/davinci_sketch.h"
+#include "core/infrequent_part.h"
 #include "workload/trace.h"
 
 namespace {
@@ -103,6 +108,196 @@ void BM_Query(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
+// ---- query-path kernels (SIMD probe / batch query / parallel decode) ----
+
+// A field of FP-shaped buckets (7 logical slots padded to the SIMD stride)
+// with a probe stream that alternates hits and misses — the kernels' real
+// workload, minus the surrounding sketch.
+struct ProbeFixture {
+  size_t stride = 0;
+  std::vector<uint32_t> keys;
+  std::vector<int64_t> counts;
+  std::vector<uint32_t> needles;  // needle i probes bucket i % kBuckets
+
+  static constexpr size_t kBuckets = 4096;
+  static constexpr size_t kSlots = 7;
+};
+
+const ProbeFixture& Probes() {
+  static const ProbeFixture* fixture = [] {
+    auto* f = new ProbeFixture;
+    f->stride = davinci::simd::PaddedSlots(ProbeFixture::kSlots);
+    f->keys.assign(ProbeFixture::kBuckets * f->stride, 0);
+    f->counts.assign(ProbeFixture::kBuckets * f->stride, 0);
+    std::mt19937_64 rng(42);
+    for (size_t b = 0; b < ProbeFixture::kBuckets; ++b) {
+      for (size_t s = 0; s < ProbeFixture::kSlots; ++s) {
+        f->keys[b * f->stride + s] =
+            static_cast<uint32_t>(b * ProbeFixture::kSlots + s + 1);
+        f->counts[b * f->stride + s] = 1 + static_cast<int64_t>(rng() % 100);
+      }
+    }
+    f->needles.resize(1 << 16);
+    for (size_t i = 0; i < f->needles.size(); ++i) {
+      size_t b = i % ProbeFixture::kBuckets;
+      // Even probes hit a random resident slot, odd probes miss.
+      f->needles[i] =
+          (i & 1) == 0
+              ? f->keys[b * f->stride + rng() % ProbeFixture::kSlots]
+              : static_cast<uint32_t>(1000000000u + i);
+    }
+    return f;
+  }();
+  return *fixture;
+}
+
+// One full pass over the probe stream; returns a sink so the loop is not
+// optimized away. `UseSimd` selects the dispatched kernel vs the scalar
+// reference.
+template <bool UseSimd>
+size_t ProbePass(const ProbeFixture& f) {
+  size_t sink = 0;
+  for (size_t i = 0; i < f.needles.size(); ++i) {
+    size_t base = (i % ProbeFixture::kBuckets) * f.stride;
+    size_t hit = UseSimd
+                     ? davinci::simd::FindLiveKey(&f.keys[base],
+                                                  &f.counts[base], f.stride,
+                                                  f.needles[i])
+                     : davinci::simd::FindLiveKeyScalar(
+                           &f.keys[base], &f.counts[base], f.stride,
+                           f.needles[i]);
+    sink += hit != SIZE_MAX ? hit : 0;
+  }
+  return sink;
+}
+
+void BM_ProbeScalar(benchmark::State& state) {
+  const ProbeFixture& f = Probes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProbePass<false>(f));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.needles.size()));
+}
+
+void BM_ProbeSimd(benchmark::State& state) {
+  const ProbeFixture& f = Probes();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ProbePass<true>(f));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.needles.size()));
+}
+
+void BM_QueryBatch(benchmark::State& state) {
+  const auto& keys = Keys();
+  davinci::DaVinciSketch sketch = MakeSketch<davinci::DaVinciSketch>();
+  sketch.InsertBatch(keys);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sketch.QueryBatch(keys));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(keys.size()));
+}
+
+// A decodable infrequent part big enough that the purity scans dominate.
+const davinci::InfrequentPart& DecodeFixture() {
+  static const davinci::InfrequentPart* ifp = [] {
+    auto* part = new davinci::InfrequentPart(3, 1 << 16, /*use_signs=*/true,
+                                             /*seed=*/7);
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 25000; ++i) {
+      part->Insert(static_cast<uint32_t>(1 + rng() % 40000),
+                   1 + static_cast<int64_t>(rng() % 30));
+    }
+    return part;
+  }();
+  return *ifp;
+}
+
+void BM_Decode(benchmark::State& state) {
+  const davinci::InfrequentPart& ifp = DecodeFixture();
+  size_t threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ifp.Decode(nullptr, threads));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+// Direct timings for BENCH_query_kernels.json (independent of the
+// benchmark framework's iteration policy, so the JSON is cheap to
+// regenerate and deterministic in shape).
+void WriteQueryKernelsJson() {
+  davinci::bench::BenchJson json("query_kernels");
+  json.Str("simd_backend", davinci::simd::kBackend);
+
+  const ProbeFixture& f = Probes();
+  constexpr int kProbeRounds = 200;
+  auto time_probe = [&](auto pass) {
+    size_t sink = 0;
+    davinci::Timer timer;
+    for (int r = 0; r < kProbeRounds; ++r) sink += pass(f);
+    double seconds = timer.ElapsedSeconds();
+    benchmark::DoNotOptimize(sink);
+    return davinci::ThroughputMpps(
+        static_cast<size_t>(kProbeRounds) * f.needles.size(), seconds);
+  };
+  double probe_scalar = time_probe(ProbePass<false>);
+  double probe_simd = time_probe(ProbePass<true>);
+  json.Metric("probe_scalar_mops", probe_scalar);
+  json.Metric("probe_simd_mops", probe_simd);
+  json.Metric("probe_speedup",
+              probe_scalar > 0 ? probe_simd / probe_scalar : 0.0);
+
+  const auto& keys = Keys();
+  davinci::DaVinciSketch sketch = MakeSketch<davinci::DaVinciSketch>();
+  sketch.InsertBatch(keys);
+  constexpr int kQueryRounds = 3;
+  int64_t sink = 0;
+  davinci::Timer timer;
+  for (int r = 0; r < kQueryRounds; ++r) {
+    for (uint32_t key : keys) sink += sketch.Query(key);
+  }
+  double query_single =
+      davinci::ThroughputMpps(kQueryRounds * keys.size(),
+                              timer.ElapsedSeconds());
+  timer.Restart();
+  for (int r = 0; r < kQueryRounds; ++r) {
+    std::vector<int64_t> answers = sketch.QueryBatch(keys);
+    sink += answers.empty() ? 0 : answers.back();
+  }
+  double query_batch =
+      davinci::ThroughputMpps(kQueryRounds * keys.size(),
+                              timer.ElapsedSeconds());
+  benchmark::DoNotOptimize(sink);
+  json.Metric("query_single_mops", query_single);
+  json.Metric("query_batch_mops", query_batch);
+  json.Metric("query_batch_speedup",
+              query_single > 0 ? query_batch / query_single : 0.0);
+
+  const davinci::InfrequentPart& ifp = DecodeFixture();
+  constexpr int kDecodeReps = 3;
+  auto time_decode_ms = [&](size_t threads) {
+    size_t flows = 0;
+    davinci::Timer decode_timer;
+    for (int r = 0; r < kDecodeReps; ++r) {
+      flows += ifp.Decode(nullptr, threads).size();
+    }
+    double ms = decode_timer.ElapsedSeconds() * 1000.0 / kDecodeReps;
+    benchmark::DoNotOptimize(flows);
+    return ms;
+  };
+  double decode_1t = time_decode_ms(1);
+  double decode_4t = time_decode_ms(4);
+  json.Metric("decode_1t_ms", decode_1t);
+  json.Metric("decode_4t_ms", decode_4t);
+  json.Metric("decode_speedup_4t", decode_4t > 0 ? decode_1t / decode_4t : 0.0);
+  // Every Decode above landed in the process-wide ifp_decode histogram.
+  json.Histogram("ifp_decode",
+                 davinci::obs::StatsRegistry::Global().Histogram("ifp_decode"));
+  json.Write();
+}
+
 // Captures items_per_second per benchmark while still printing the normal
 // console table, keyed by a JSON-friendly name.
 class MopsCapture : public benchmark::ConsoleReporter {
@@ -161,6 +356,11 @@ BENCHMARK_TEMPLATE(BM_Query, davinci::DaVinciSketch);
 BENCHMARK_TEMPLATE(BM_Query, davinci::CmSketch);
 BENCHMARK_TEMPLATE(BM_Query, davinci::ElasticSketch);
 
+BENCHMARK(BM_ProbeScalar);
+BENCHMARK(BM_ProbeSimd);
+BENCHMARK(BM_QueryBatch)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Decode)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
+
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -175,5 +375,7 @@ int main(int argc, char** argv) {
   sketch.CollectStats(&snapshot);
   json.Snapshot(snapshot);
   json.Write();
+
+  WriteQueryKernelsJson();
   return 0;
 }

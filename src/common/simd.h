@@ -1,0 +1,134 @@
+#ifndef DAVINCI_COMMON_SIMD_H_
+#define DAVINCI_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Vectorized bucket-probe kernels for the DaVinci hot paths.
+//
+// The frequent part stores each bucket as SoA lanes — a contiguous run of
+// keys and a contiguous run of counts — padded to kKeyLaneStride slots, so
+// one vector compare tests a whole bucket's keys at once. The kernels here
+// are the only place that knows which instruction set is in use; everything
+// else calls FindLiveKey/FindZeroCount and gets identical results from
+// every backend (the scalar reference is the semantic definition, and the
+// simd-off CI preset pins the equivalence).
+//
+// Backend selection is compile-time:
+//   -DDAVINCI_SIMD=OFF (cmake)  -> DAVINCI_SIMD_DISABLED -> scalar
+//   __AVX2__                    -> 8-lane 32-bit compares
+//   __SSE2__                    -> 4-lane 32-bit compares
+//   anything else               -> scalar
+//
+// Padding contract: callers pass lanes whose length is a multiple of
+// kKeyLaneStride; padding slots hold key 0 / count 0 and are never live, so
+// the liveness filter (count != 0) masks them out of every result.
+
+#if !defined(DAVINCI_SIMD_DISABLED) && defined(__AVX2__)
+#include <immintrin.h>
+#define DAVINCI_SIMD_AVX2 1
+#elif !defined(DAVINCI_SIMD_DISABLED) && defined(__SSE2__)
+#include <emmintrin.h>
+#define DAVINCI_SIMD_SSE2 1
+#endif
+
+namespace davinci::simd {
+
+// Bucket key lanes are padded to a multiple of this many slots so the
+// kernels can issue full-width loads with no tail masking.
+inline constexpr size_t kKeyLaneStride = 8;
+
+inline constexpr size_t PaddedSlots(size_t slots) {
+  return (slots + kKeyLaneStride - 1) / kKeyLaneStride * kKeyLaneStride;
+}
+
+#if defined(DAVINCI_SIMD_AVX2)
+inline constexpr const char* kBackend = "avx2";
+#elif defined(DAVINCI_SIMD_SSE2)
+inline constexpr const char* kBackend = "sse2";
+#else
+inline constexpr const char* kBackend = "scalar";
+#endif
+
+// Reference semantics for every backend: the first slot i < padded_n with
+// keys[i] == key and counts[i] != 0, or SIZE_MAX. Always compiled (the
+// micro-benchmarks and the equivalence tests compare against it).
+inline size_t FindLiveKeyScalar(const uint32_t* keys, const int64_t* counts,
+                                size_t padded_n, uint32_t key) {
+  for (size_t i = 0; i < padded_n; ++i) {
+    if (keys[i] == key && counts[i] != 0) return i;
+  }
+  return SIZE_MAX;
+}
+
+// Reference: the first slot i < padded_n with counts[i] == 0, or SIZE_MAX.
+inline size_t FindZeroCountScalar(const int64_t* counts, size_t padded_n) {
+  for (size_t i = 0; i < padded_n; ++i) {
+    if (counts[i] == 0) return i;
+  }
+  return SIZE_MAX;
+}
+
+// First live slot holding `key`. One vector compare covers a whole stride
+// of keys; match candidates (rare: at most one live plus stale duplicates)
+// are filtered by the scalar liveness check.
+inline size_t FindLiveKey(const uint32_t* keys, const int64_t* counts,
+                          size_t padded_n, uint32_t key) {
+#if defined(DAVINCI_SIMD_AVX2)
+  const __m256i needle = _mm256_set1_epi32(static_cast<int>(key));
+  for (size_t base = 0; base < padded_n; base += 8) {
+    const __m256i lane = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(keys + base));
+    uint32_t mask = static_cast<uint32_t>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpeq_epi32(lane, needle))));
+    while (mask != 0) {
+      size_t i = base + static_cast<size_t>(__builtin_ctz(mask));
+      if (counts[i] != 0) return i;
+      mask &= mask - 1;
+    }
+  }
+  return SIZE_MAX;
+#elif defined(DAVINCI_SIMD_SSE2)
+  const __m128i needle = _mm_set1_epi32(static_cast<int>(key));
+  for (size_t base = 0; base < padded_n; base += 4) {
+    const __m128i lane =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(keys + base));
+    uint32_t mask = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(lane, needle))));
+    while (mask != 0) {
+      size_t i = base + static_cast<size_t>(__builtin_ctz(mask));
+      if (counts[i] != 0) return i;
+      mask &= mask - 1;
+    }
+  }
+  return SIZE_MAX;
+#else
+  return FindLiveKeyScalar(keys, counts, padded_n, key);
+#endif
+}
+
+// First free slot (count == 0). Padding counts are always zero, so a full
+// bucket of s live slots returns s (the first padding slot) when padded_n
+// exceeds the logical slot count — callers compare against their logical
+// width.
+inline size_t FindZeroCount(const int64_t* counts, size_t padded_n) {
+#if defined(DAVINCI_SIMD_AVX2)
+  const __m256i zero = _mm256_setzero_si256();
+  for (size_t base = 0; base < padded_n; base += 4) {
+    const __m256i lane = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(counts + base));
+    uint32_t mask = static_cast<uint32_t>(_mm256_movemask_pd(
+        _mm256_castsi256_pd(_mm256_cmpeq_epi64(lane, zero))));
+    if (mask != 0) return base + static_cast<size_t>(__builtin_ctz(mask));
+  }
+  return SIZE_MAX;
+#else
+  // SSE2 has no 64-bit integer compare; the scalar scan is already cheap
+  // next to the vector key probe.
+  return FindZeroCountScalar(counts, padded_n);
+#endif
+}
+
+}  // namespace davinci::simd
+
+#endif  // DAVINCI_COMMON_SIMD_H_

@@ -67,6 +67,43 @@ int64_t ConcurrentDaVinci::Query(uint32_t key) const {
   return shard.sketch->Query(key);
 }
 
+std::vector<int64_t> ConcurrentDaVinci::QueryBatch(
+    std::span<const uint32_t> keys) const {
+  std::vector<int64_t> out(keys.size());
+  // Same block structure as InsertBatch, with a parallel position vector so
+  // the per-shard answers scatter back to the caller's order.
+  constexpr size_t kBlock = 16 * DaVinciSketch::kInsertBlock;
+  std::vector<std::vector<uint32_t>> shard_keys(shards_.size());
+  std::vector<std::vector<size_t>> shard_pos(shards_.size());
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shard_keys[s].reserve(kBlock);
+    shard_pos[s].reserve(kBlock);
+  }
+  std::vector<int64_t> answers;
+  answers.reserve(kBlock);
+  for (size_t start = 0; start < keys.size(); start += kBlock) {
+    size_t len = std::min(kBlock, keys.size() - start);
+    for (size_t i = 0; i < len; ++i) {
+      size_t s = ShardOf(keys[start + i]);
+      shard_keys[s].push_back(keys[start + i]);
+      shard_pos[s].push_back(start + i);
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      if (shard_keys[s].empty()) continue;
+      {
+        std::lock_guard<std::mutex> lock(shards_[s].mutex);
+        answers = shards_[s].sketch->QueryBatch(shard_keys[s]);
+      }
+      for (size_t i = 0; i < answers.size(); ++i) {
+        out[shard_pos[s][i]] = answers[i];
+      }
+      shard_keys[s].clear();
+      shard_pos[s].clear();
+    }
+  }
+  return out;
+}
+
 double ConcurrentDaVinci::EstimateCardinality() const {
   // Shards partition the key space, so cardinalities add.
   double total = 0;

@@ -35,6 +35,13 @@ class ConcurrentDaVinci {
   void InsertBatch(std::span<const uint32_t> keys);  // count 1 per key
 
   int64_t Query(uint32_t key) const;
+
+  // Batched point queries: groups each block of keys by shard (remembering
+  // every key's position in `keys`), takes each shard's lock once per
+  // block, and scatters the per-shard DaVinciSketch::QueryBatch answers
+  // back into result order. Answer-equivalent to `for (i) Query(keys[i])`.
+  std::vector<int64_t> QueryBatch(std::span<const uint32_t> keys) const;
+
   double EstimateCardinality() const;
 
   // Union with another sharded sketch built with the same shard count and

@@ -27,6 +27,13 @@ struct DaVinciConfig {
   bool use_sign_hash = true;           // ζ_i on (unbiased fast queries)
   bool decode_cross_validation = true;  // EF check inside canDecode
 
+  // Worker threads for the IFP peeling decode (cardinality / distribution /
+  // entropy / difference queries). Runtime-only tuning — deliberately NOT
+  // serialized (two hosts may decode the same sketch with different
+  // parallelism; the decoded map is bit-identical either way, see
+  // InfrequentPart::Decode). 1 = today's sequential behavior.
+  size_t decode_threads = 1;
+
   uint64_t seed = 1;
 
   // Memory accounting constants (bytes of design state):

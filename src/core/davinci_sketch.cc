@@ -150,20 +150,19 @@ const std::unordered_map<uint32_t, int64_t>& DaVinciSketch::DecodedFlows()
     const {
   if (!decode_cache_.has_value()) {
     decode_cache_ =
-        ifp_.Decode(config_.decode_cross_validation ? &ef_ : nullptr);
+        ifp_.Decode(config_.decode_cross_validation ? &ef_ : nullptr,
+                    config_.decode_threads);
   }
   return *decode_cache_;
 }
 
-int64_t DaVinciSketch::Query(uint32_t key) const {
-  queries_.Inc();
-  bool tainted = false;
-  int64_t fp_count = fp_.Query(key, &tainted);
+int64_t DaVinciSketch::ResolveQuery(uint32_t key, uint64_t base_hash,
+                                    int64_t fp_count, bool tainted) const {
   if (fp_count != 0 && !tainted) {
     return fp_count;  // exact: the flow never left the frequent part
   }
 
-  int64_t ef_estimate = ef_.QuerySigned(key);
+  int64_t ef_estimate = ef_.QuerySignedWithHash(base_hash);
   const auto& decoded = DecodedFlows();
   auto it = decoded.find(key);
   if (it != decoded.end()) {
@@ -173,9 +172,83 @@ int64_t DaVinciSketch::Query(uint32_t key) const {
   if (std::llabs(ef_estimate) >= config_.promotion_threshold) {
     // The flow crossed the filter but did not decode: fall back to the
     // unbiased count-sketch-style fast query of the infrequent part.
-    return fp_count + ifp_.FastQuery(key) + ef_estimate;
+    return fp_count + ifp_.FastQueryWithBase(base_hash) + ef_estimate;
   }
   return fp_count + ef_estimate;
+}
+
+int64_t DaVinciSketch::Query(uint32_t key) const {
+  queries_.Inc();
+  uint64_t base_hash = HashFamily::BaseHash(key);
+  bool tainted = false;
+  int64_t fp_count = fp_.QueryWithBase(base_hash, key, &tainted);
+  return ResolveQuery(key, base_hash, fp_count, tainted);
+}
+
+std::vector<int64_t> DaVinciSketch::QueryBatch(
+    std::span<const uint32_t> keys) const {
+  std::vector<int64_t> out(keys.size());
+  if (keys.empty()) return out;
+  queries_.Inc(keys.size());
+  // Materialize the decode cache before the pipeline starts so no block
+  // stalls on a full peel mid-flight.
+  (void)DecodedFlows();
+
+  // Double-buffered stage A, as in InsertBatch: while block k's FP probes
+  // run, block k+1's base hashes are computed and its bucket key/count
+  // lanes are already traveling up the cache hierarchy.
+  uint64_t hash_buf[2][kInsertBlock];
+  const size_t n = keys.size();
+  auto stage_a = [&](size_t start, uint64_t* hashes) {
+    size_t len = std::min(kInsertBlock, n - start);
+    for (size_t i = 0; i < len; ++i) {
+      hashes[i] = HashFamily::BaseHash(keys[start + i]);
+      fp_.PrefetchBucketRead(hashes[i]);
+    }
+  };
+
+  // Keys whose FP probe did not settle the answer; their EF counters are
+  // prefetched at probe time and resolved at the end of the block.
+  struct PendingKey {
+    size_t index;
+    uint64_t base_hash;
+    int64_t fp_count;
+  };
+  PendingKey pending[kInsertBlock];
+
+  stage_a(0, hash_buf[0]);
+  for (size_t start = 0, parity = 0; start < n;
+       start += kInsertBlock, parity ^= 1) {
+    if (start + kInsertBlock < n) {
+      stage_a(start + kInsertBlock, hash_buf[parity ^ 1]);
+    }
+    const uint64_t* hashes = hash_buf[parity];
+    size_t len = std::min(kInsertBlock, n - start);
+
+    // Stage B: FP probes. An untainted hit is final; everything else needs
+    // the element filter, whose counters start their fetch here.
+    size_t num_pending = 0;
+    for (size_t i = 0; i < len; ++i) {
+      bool tainted = false;
+      int64_t fp_count =
+          fp_.QueryWithBase(hashes[i], keys[start + i], &tainted);
+      if (fp_count != 0 && !tainted) {
+        out[start + i] = fp_count;
+        continue;
+      }
+      ef_.Prefetch(hashes[i]);
+      pending[num_pending++] = {start + i, hashes[i], fp_count};
+    }
+
+    // Stage C: resolve the pending keys through EF / decoded map / IFP.
+    for (size_t i = 0; i < num_pending; ++i) {
+      const PendingKey& p = pending[i];
+      out[p.index] =
+          ResolveQuery(keys[p.index], p.base_hash, p.fp_count,
+                       /*tainted=*/true);
+    }
+  }
+  return out;
 }
 
 std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyHitters(
@@ -189,7 +262,11 @@ std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyHitters(
   std::unordered_set<uint32_t> reported;
   reported.reserve(entries.size() + decoded.size());
   for (const FrequentPart::Entry& entry : entries) {
-    int64_t est = Query(entry.key);
+    // The entry IS the FP probe result — resolve the EF/IFP shares
+    // directly instead of re-hashing and re-probing the bucket per
+    // candidate.
+    int64_t est = ResolveQuery(entry.key, HashFamily::BaseHash(entry.key),
+                               entry.count, entry.tainted);
     if (est > threshold && reported.insert(entry.key).second) {
       out.emplace_back(entry.key, est);
     }
@@ -222,10 +299,13 @@ double DaVinciSketch::EstimateCardinality() const {
 std::map<int64_t, int64_t> DaVinciSketch::Distribution() const {
   std::map<int64_t, int64_t> histogram;
 
-  // Exact sizes: FP residents and decoded medium flows.
+  // Exact sizes: FP residents and decoded medium flows. The entry already
+  // carries the FP probe result, so only the EF/IFP shares are resolved.
   std::unordered_set<uint32_t> known;
   for (const FrequentPart::Entry& entry : fp_.Entries()) {
-    ++histogram[std::llabs(Query(entry.key))];
+    ++histogram[std::llabs(ResolveQuery(entry.key,
+                                        HashFamily::BaseHash(entry.key),
+                                        entry.count, entry.tainted))];
     known.insert(entry.key);
   }
   for (const auto& [key, count] : DecodedFlows()) {
@@ -355,10 +435,21 @@ std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::HeavyChangers(
   out.reserve(mine.size() + theirs.size());
   std::unordered_set<uint32_t> seen;
   seen.reserve(mine.size() + theirs.size() + decoded.size());
+  auto report = [&](uint32_t key, int64_t change) {
+    if (std::llabs(change) > delta) out.emplace_back(key, change);
+  };
+  // The difference FP's residents (every surviving combination of the two
+  // windows' entries — the common case for a heavy changer) carry their
+  // probe result already; resolve them without the redundant re-probe.
+  for (const FrequentPart::Entry& entry : difference.fp_.Entries()) {
+    if (!seen.insert(entry.key).second) continue;
+    report(entry.key,
+           difference.ResolveQuery(entry.key, HashFamily::BaseHash(entry.key),
+                                   entry.count, entry.tainted));
+  }
   auto consider = [&](uint32_t key) {
     if (!seen.insert(key).second) return;
-    int64_t change = difference.Query(key);
-    if (std::llabs(change) > delta) out.emplace_back(key, change);
+    report(key, difference.Query(key));
   };
   for (const FrequentPart::Entry& entry : mine) consider(entry.key);
   for (const FrequentPart::Entry& entry : theirs) consider(entry.key);
@@ -395,6 +486,8 @@ void DaVinciSketch::CollectStats(obs::HealthSnapshot* out) const {
   fp_.CollectStats(&out->fp);
   ef_.CollectStats(&out->ef);
   ifp_.CollectStats(&out->ifp);
+  // The IFP itself is decode-thread agnostic; the knob lives in the config.
+  out->ifp.decode_threads = config_.decode_threads;
 }
 
 void DaVinciSketch::Save(std::ostream& out) const {

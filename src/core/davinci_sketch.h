@@ -67,6 +67,14 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   // Same with an implicit count of 1 per key.
   void InsertBatch(std::span<const uint32_t> keys);
 
+  // Batched point queries, mirroring the insertion pipeline: each block's
+  // base hashes are computed once and its FP bucket lines read-prefetched
+  // one block ahead; the EF counters of keys that miss the FP (or hit a
+  // tainted entry) are prefetched the moment the FP probe resolves.
+  // Returns exactly what `for (i) Query(keys[i])` would — same decode
+  // cache, same per-key result (tests/query_batch_test.cc pins this).
+  std::vector<int64_t> QueryBatch(std::span<const uint32_t> keys) const;
+
   // ---- single-set tasks ----
   std::vector<std::pair<uint32_t, int64_t>> HeavyHitters(
       int64_t threshold) const override;
@@ -116,6 +124,13 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   const std::unordered_map<uint32_t, int64_t>& DecodedFlows() const;
 
  private:
+  // Shared tail of Query/QueryBatch: combines an already-computed FP probe
+  // result with the EF/IFP shares per Algorithm 4. `base_hash` must equal
+  // HashFamily::BaseHash(key); `fp_count`/`tainted` must come from the FP
+  // probe of that key. HeavyHitters/Distribution call this directly with
+  // the FP entry they are iterating, skipping the redundant re-probe.
+  int64_t ResolveQuery(uint32_t key, uint64_t base_hash, int64_t fp_count,
+                       bool tainted) const;
   // Routes an overflow (evicted or rejected element) through EF then IFP.
   void RouteToFilter(uint32_t key, int64_t count);
   void RouteToFilterWithHash(uint32_t key, uint64_t base_hash, int64_t count);

@@ -12,21 +12,29 @@ FrequentPart::FrequentPart(size_t buckets, size_t slots, int64_t evict_lambda,
                            uint64_t seed)
     : buckets_(std::max<size_t>(1, buckets)),
       slots_(std::max<size_t>(1, slots)),
+      stride_(simd::PaddedSlots(std::max<size_t>(1, slots))),
       evict_lambda_(evict_lambda),
       hash_(seed * 21000277 + 17) {
-  keys_.assign(buckets_ * slots_, 0);
-  counts_.assign(buckets_ * slots_, 0);
-  tainted_.assign(buckets_ * slots_, 0);
+  keys_.assign(buckets_ * stride_, 0);
+  counts_.assign(buckets_ * stride_, 0);
+  tainted_.assign(buckets_ * stride_, 0);
   ecnt_.assign(buckets_, 0);
   flags_.assign(buckets_, 0);
 }
 
 void FrequentPart::PrefetchBucket(uint64_t base_hash) const {
-  size_t base = BucketOfBase(base_hash) * slots_;
+  size_t base = BucketOfBase(base_hash) * stride_;
   PrefetchWrite(&keys_[base]);
   PrefetchWrite(&counts_[base]);
-  // A bucket's counts span slots_ × 8 bytes and may straddle a line.
-  PrefetchWrite(&counts_[base + slots_ - 1]);
+  // A bucket's counts span stride_ × 8 bytes and may straddle a line.
+  PrefetchWrite(&counts_[base + stride_ - 1]);
+}
+
+void FrequentPart::PrefetchBucketRead(uint64_t base_hash) const {
+  size_t base = BucketOfBase(base_hash) * stride_;
+  PrefetchRead(&keys_[base]);
+  PrefetchRead(&counts_[base]);
+  PrefetchRead(&counts_[base + stride_ - 1]);
 }
 
 FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
@@ -34,43 +42,48 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
                                                         int64_t count) {
   stats_.inserts.Inc();
   size_t bucket = BucketOfBase(base_hash);
-  size_t base = bucket * slots_;
-  size_t min_slot = base;
+  size_t base = bucket * stride_;
 
-  // One pass over the bucket: find the key, an empty slot, or the minimum.
-  // Entries use count != 0 as the liveness test so that difference tables
+  // Case 1 first: one vector compare over the bucket's key lane. The
+  // access tally mirrors the pre-SIMD slot walk (hit at slot s = s + 1
+  // probes, full miss = slots_ probes) so MemoryAccesses() stays
+  // backend-independent. Liveness is count != 0 so that difference tables
   // (negative counts) keep working.
-  size_t empty_slot = SIZE_MAX;
+  size_t hit = simd::FindLiveKey(&keys_[base], &counts_[base], stride_, key);
+  if (hit != SIZE_MAX) {
+    accesses_ += hit + 1;
+    size_t i = base + hit;
+    counts_[i] += count;
+    if (i != base && std::llabs(counts_[i]) > std::llabs(counts_[i - 1])) {
+      // Move-to-front: hot flows bubble toward the bucket head so their
+      // next hit costs fewer probes.
+      std::swap(keys_[i], keys_[i - 1]);
+      std::swap(counts_[i], counts_[i - 1]);
+      std::swap(tainted_[i], tainted_[i - 1]);
+    }
+    stats_.hits.Inc();
+    return {};
+  }
+  accesses_ += slots_;
+
+  size_t empty = simd::FindZeroCount(&counts_[base], stride_);
+  if (empty < slots_) {  // case 2 (a padding slot does not count as free)
+    size_t i = base + empty;
+    keys_[i] = key;
+    counts_[i] = count;
+    tainted_[i] = 0;
+    stats_.fills.Inc();
+    return {};
+  }
+
+  // Bucket full: scalar scan for the resident minimum |count|.
+  size_t min_slot = base;
   bool min_seen = false;
   for (size_t i = base; i < base + slots_; ++i) {
-    ++accesses_;
-    if (counts_[i] != 0 && keys_[i] == key) {
-      counts_[i] += count;  // case 1
-      if (counts_[i] == 0) counts_[i] = 0;  // exact cancellation frees slot
-      if (i != base && std::llabs(counts_[i]) > std::llabs(counts_[i - 1])) {
-        // Move-to-front: hot flows bubble toward the bucket head so their
-        // next hit costs fewer probes.
-        std::swap(keys_[i], keys_[i - 1]);
-        std::swap(counts_[i], counts_[i - 1]);
-        std::swap(tainted_[i], tainted_[i - 1]);
-      }
-      stats_.hits.Inc();
-      return {};
-    }
-    if (counts_[i] == 0) {
-      if (empty_slot == SIZE_MAX) empty_slot = i;
-    } else if (!min_seen ||
-               std::llabs(counts_[i]) < std::llabs(counts_[min_slot])) {
+    if (!min_seen || std::llabs(counts_[i]) < std::llabs(counts_[min_slot])) {
       min_slot = i;
       min_seen = true;
     }
-  }
-  if (empty_slot != SIZE_MAX) {  // case 2
-    keys_[empty_slot] = key;
-    counts_[empty_slot] = count;
-    tainted_[empty_slot] = 0;
-    stats_.fills.Inc();
-    return {};
   }
 
   accesses_ += 2;  // ecnt + flag
@@ -101,18 +114,6 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
   return result;
 }
 
-int64_t FrequentPart::Query(uint32_t key, bool* tainted) const {
-  size_t bucket = BucketOf(key);
-  size_t base = bucket * slots_;
-  for (size_t i = base; i < base + slots_; ++i) {
-    if (counts_[i] != 0 && keys_[i] == key) {
-      if (tainted != nullptr) *tainted = tainted_[i] != 0;
-      return counts_[i];
-    }
-  }
-  return 0;
-}
-
 bool FrequentPart::Contains(uint32_t key) const {
   bool tainted = false;
   return Query(key, &tainted) != 0;
@@ -120,18 +121,36 @@ bool FrequentPart::Contains(uint32_t key) const {
 
 std::vector<FrequentPart::Entry> FrequentPart::Entries() const {
   std::vector<Entry> entries;
-  for (size_t i = 0; i < keys_.size(); ++i) {
-    if (counts_[i] != 0) {
-      entries.push_back({keys_[i], counts_[i], tainted_[i] != 0});
+  for (size_t b = 0; b < buckets_; ++b) {
+    size_t base = b * stride_;
+    for (size_t s = 0; s < slots_; ++s) {
+      size_t i = base + s;
+      if (counts_[i] != 0) {
+        entries.push_back({keys_[i], counts_[i], tainted_[i] != 0});
+      }
     }
   }
   return entries;
 }
 
+// Serialization carries only the logical buckets_ × slots_ entries, in the
+// pre-padding layout — the byte stream is identical for every SIMD backend
+// (and to pre-stride builds; the pinned digest in serialization_fuzz_test
+// enforces this).
 void FrequentPart::SaveState(std::ostream& out) const {
-  WriteVec(out, keys_);
-  WriteVec(out, counts_);
-  WriteVec(out, tainted_);
+  std::vector<uint32_t> keys(buckets_ * slots_);
+  std::vector<int64_t> counts(buckets_ * slots_);
+  std::vector<uint8_t> tainted(buckets_ * slots_);
+  for (size_t b = 0; b < buckets_; ++b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      keys[b * slots_ + s] = keys_[b * stride_ + s];
+      counts[b * slots_ + s] = counts_[b * stride_ + s];
+      tainted[b * slots_ + s] = tainted_[b * stride_ + s];
+    }
+  }
+  WriteVec(out, keys);
+  WriteVec(out, counts);
+  WriteVec(out, tainted);
   WriteVec(out, ecnt_);
   WriteVec(out, flags_);
 }
@@ -146,29 +165,44 @@ bool FrequentPart::LoadState(std::istream& in) {
       !ReadVec(in, &ecnt) || !ReadVec(in, &flags)) {
     return false;
   }
-  if (keys.size() != keys_.size() || counts.size() != counts_.size() ||
-      tainted.size() != tainted_.size() || ecnt.size() != ecnt_.size() ||
+  if (keys.size() != buckets_ * slots_ || counts.size() != keys.size() ||
+      tainted.size() != keys.size() || ecnt.size() != ecnt_.size() ||
       flags.size() != flags_.size()) {
     return false;
   }
-  keys_ = std::move(keys);
-  counts_ = std::move(counts);
-  tainted_ = std::move(tainted);
+  keys_.assign(buckets_ * stride_, 0);
+  counts_.assign(buckets_ * stride_, 0);
+  tainted_.assign(buckets_ * stride_, 0);
+  for (size_t b = 0; b < buckets_; ++b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      keys_[b * stride_ + s] = keys[b * slots_ + s];
+      counts_[b * stride_ + s] = counts[b * slots_ + s];
+      tainted_[b * stride_ + s] = tainted[b * slots_ + s];
+    }
+  }
   ecnt_ = std::move(ecnt);
   flags_ = std::move(flags);
   return true;
 }
 
 void FrequentPart::CheckInvariants(InvariantMode mode) const {
-  DAVINCI_CHECK_EQ(keys_.size(), buckets_ * slots_);
-  DAVINCI_CHECK_EQ(counts_.size(), buckets_ * slots_);
-  DAVINCI_CHECK_EQ(tainted_.size(), buckets_ * slots_);
+  DAVINCI_CHECK_EQ(stride_, simd::PaddedSlots(slots_));
+  DAVINCI_CHECK_EQ(keys_.size(), buckets_ * stride_);
+  DAVINCI_CHECK_EQ(counts_.size(), buckets_ * stride_);
+  DAVINCI_CHECK_EQ(tainted_.size(), buckets_ * stride_);
   DAVINCI_CHECK_EQ(ecnt_.size(), buckets_);
   DAVINCI_CHECK_EQ(flags_.size(), buckets_);
   for (size_t b = 0; b < buckets_; ++b) {
     const std::string where = "bucket " + std::to_string(b);
     DAVINCI_CHECK_MSG(flags_[b] <= 1, where);
-    size_t base = b * slots_;
+    size_t base = b * stride_;
+    // Padding slots must stay permanently empty or the vector probe could
+    // surface a phantom entry.
+    for (size_t s = slots_; s < stride_; ++s) {
+      DAVINCI_CHECK_MSG(keys_[base + s] == 0 && counts_[base + s] == 0 &&
+                            tainted_[base + s] == 0,
+                        where + ": dirty padding slot " + std::to_string(s));
+    }
     bool full = true;
     bool all_positive = true;
     int64_t min_abs = 0;
@@ -243,7 +277,7 @@ void FrequentPart::OverwriteBucket(size_t bucket,
                                    bool flag) {
   DAVINCI_DCHECK_LT(bucket, buckets_);
   DAVINCI_DCHECK_LE(entries.size(), slots_);
-  size_t base = bucket * slots_;
+  size_t base = bucket * stride_;
   for (size_t s = 0; s < slots_; ++s) {
     if (s < entries.size()) {
       keys_[base + s] = entries[s].key;

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "common/simd.h"
 #include "core/config.h"
 #include "obs/health.h"
 
@@ -15,6 +16,14 @@
 // each with c (key, count) entries, an evict counter and an evict flag,
 // implementing Algorithm 1 of the paper. Frequent elements are stored
 // exactly; losers are evicted toward the element filter.
+//
+// Storage is SoA: one contiguous key lane, count lane and taint lane, each
+// laid out bucket-major with the per-bucket slot run padded to
+// simd::kKeyLaneStride entries, so the probe kernels in common/simd.h can
+// test every slot of a bucket with one vector compare. Padding slots are
+// permanently empty (key 0 / count 0) and invisible to every accessor;
+// serialization writes only the logical c slots per bucket, so the on-disk
+// format is identical across SIMD backends and pre-padding builds.
 
 namespace davinci {
 
@@ -58,10 +67,27 @@ class FrequentPart {
   // subsequent InsertWithHash with the same base hash starts warm.
   void PrefetchBucket(uint64_t base_hash) const;
 
+  // Read-prefetch variant for the batched query pipeline: pulls the key
+  // lane and count lane of the bucket `base_hash` maps to.
+  void PrefetchBucketRead(uint64_t base_hash) const;
+
   // Count of `key` if resident, 0 otherwise. `tainted` is set to the
   // entry's taint bit (true = the key may have residue in the element
   // filter / infrequent part); it is left untouched on a miss.
-  int64_t Query(uint32_t key, bool* tainted) const;
+  int64_t Query(uint32_t key, bool* tainted) const {
+    return QueryWithBase(HashFamily::BaseHash(key), key, tainted);
+  }
+
+  // Hot-path variant: `base_hash` must equal HashFamily::BaseHash(key),
+  // computed once by the caller (the batched query pipeline's form).
+  int64_t QueryWithBase(uint64_t base_hash, uint32_t key,
+                        bool* tainted) const {
+    size_t base = BucketOfBase(base_hash) * stride_;
+    size_t hit = simd::FindLiveKey(&keys_[base], &counts_[base], stride_, key);
+    if (hit == SIZE_MAX) return 0;
+    if (tainted != nullptr) *tainted = tainted_[base + hit] != 0;
+    return counts_[base + hit];
+  }
 
   bool Contains(uint32_t key) const;
 
@@ -71,7 +97,7 @@ class FrequentPart {
   bool BucketFlag(size_t bucket) const { return flags_[bucket]; }
   void SetBucketFlag(size_t bucket, bool flag) { flags_[bucket] = flag; }
   Entry EntryAt(size_t bucket, size_t slot) const {
-    size_t i = bucket * slots_ + slot;
+    size_t i = bucket * stride_ + slot;
     return {keys_[i], counts_[i], tainted_[i] != 0};
   }
   size_t BucketOf(uint32_t key) const {
@@ -116,11 +142,12 @@ class FrequentPart {
  private:
   size_t buckets_;
   size_t slots_;
+  size_t stride_;  // slots_ rounded up to simd::kKeyLaneStride
   int64_t evict_lambda_;
   HashFamily hash_;
-  std::vector<uint32_t> keys_;     // buckets_ × slots_
-  std::vector<int64_t> counts_;    // buckets_ × slots_ (0 = empty slot)
-  std::vector<uint8_t> tainted_;   // buckets_ × slots_
+  std::vector<uint32_t> keys_;     // buckets_ × stride_ (padding keys are 0)
+  std::vector<int64_t> counts_;    // buckets_ × stride_ (0 = empty slot)
+  std::vector<uint8_t> tainted_;   // buckets_ × stride_
   std::vector<uint32_t> ecnt_;     // per-bucket evict counters
   std::vector<uint8_t> flags_;     // per-bucket evict flags
   mutable uint64_t accesses_ = 0;

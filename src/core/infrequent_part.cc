@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cstdlib>
-#include <deque>
+#include <numeric>
+#include <thread>
 
 #include "common/prefetch.h"
 #include "common/serialize.h"
+#include "obs/stats.h"
 
 namespace davinci {
 
@@ -44,8 +46,7 @@ void InfrequentPart::Prefetch(uint64_t base_hash) const {
   }
 }
 
-int64_t InfrequentPart::FastQuery(uint32_t key) const {
-  uint64_t base_hash = HashFamily::BaseHash(key);
+int64_t InfrequentPart::FastQueryWithBase(uint64_t base_hash) const {
   std::vector<int64_t> estimates;
   estimates.reserve(rows_);
   for (size_t i = 0; i < rows_; ++i) {
@@ -58,13 +59,16 @@ int64_t InfrequentPart::FastQuery(uint32_t key) const {
 }
 
 std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
-    const ElementFilter* cross_filter) const {
+    const ElementFilter* cross_filter, size_t num_threads) const {
   stats_.decode_runs.Inc();
+  // Full-decode latency lands in the process-wide registry so benches can
+  // surface the 1-vs-N-thread speedup (see docs/OBSERVABILITY.md).
+  obs::ScopedLatencyTimer decode_timer(
+      &obs::StatsRegistry::Global().Histogram("ifp_decode"));
+
   std::vector<uint64_t> ids = ids_;
   std::vector<int64_t> counts = counts_;
   std::unordered_map<uint32_t, int64_t> flows;
-  std::deque<size_t> queue;
-  for (size_t i = 0; i < ids.size(); ++i) queue.push_back(i);
 
   auto validate = [&](uint32_t key) {
     if (cross_filter == nullptr) return true;
@@ -80,11 +84,12 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
     return false;
   };
 
-  // Tries to peel bucket `index` as the single element `candidate`.
-  auto try_candidate = [&](size_t index, uint64_t candidate) -> bool {
+  // Does `candidate` explain bucket `index` on its own? Pure function of
+  // the working arrays — the scan workers call it concurrently between
+  // peeling rounds, when nothing mutates.
+  auto is_consistent = [&](size_t index, uint64_t candidate) -> bool {
     if (candidate == 0 || candidate > UINT32_MAX) return false;
     uint32_t key = static_cast<uint32_t>(candidate);
-    // One mix of the candidate, reused for every row index and sign below.
     uint64_t base_hash = HashFamily::BaseHash(key);
     size_t row = index / width_;
     if (BucketIndexBase(row, base_hash) != index) return false;
@@ -93,9 +98,36 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
     int64_t count = SignBase(row, base_hash) * counts[index];
     uint64_t expected =
         MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
-    if (expected != ids[index]) return false;
+    return expected == ids[index];
+  };
+
+  // Read-only purity probe for the scan phase. Validates both e and p − e
+  // (Algorithm 5's two-sided check, needed for ζ = −1 rows and for
+  // negative counts after set difference). No telemetry, no filter check —
+  // those stay in the sequential phase.
+  auto looks_pure = [&](size_t index) -> bool {
+    if (ids[index] == 0 && counts[index] == 0) return false;
+    uint64_t count_mod = SignedMod(counts[index], kFermatPrime);
+    if (count_mod == 0) return false;
+    uint64_t e = MulMod(ids[index], ModInverse(count_mod, kFermatPrime),
+                        kFermatPrime);
+    return is_consistent(index, e) || is_consistent(index, kFermatPrime - e);
+  };
+
+  // Buckets touched by peels this round, each recorded once (in touch
+  // order, deduplicated by `pending`), to become the next round's work set.
+  std::vector<size_t> touched;
+  std::vector<uint8_t> pending(ids.size(), 0);
+
+  // Tries to peel bucket `index` as the single element `candidate`.
+  auto try_candidate = [&](size_t index, uint64_t candidate) -> bool {
+    if (!is_consistent(index, candidate)) return false;
+    uint32_t key = static_cast<uint32_t>(candidate);
     if (!validate(key)) return false;
 
+    uint64_t base_hash = HashFamily::BaseHash(key);
+    size_t row = index / width_;
+    int64_t count = SignBase(row, base_hash) * counts[index];
     flows[key] += count;
     uint64_t delta =
         MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
@@ -103,7 +135,10 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
       size_t j = BucketIndexBase(r, base_hash);
       ids[j] = SubMod(ids[j], delta, kFermatPrime);
       counts[j] -= SignBase(r, base_hash) * count;
-      queue.push_back(j);
+      if (!pending[j]) {
+        pending[j] = 1;
+        touched.push_back(j);
+      }
     }
     return true;
   };
@@ -114,28 +149,76 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
     if (count_mod == 0) return false;
     uint64_t e = MulMod(ids[index], ModInverse(count_mod, kFermatPrime),
                         kFermatPrime);
-    // Validate both e and p − e (Algorithm 5's two-sided check, needed for
-    // ζ = −1 rows and for negative counts after set difference).
     if (try_candidate(index, e)) return true;
     return try_candidate(index, kFermatPrime - e);
   };
 
-  // Two safety valves bound the peeling: `stale` stops when no progress is
-  // possible, and `peels` stops pathological false-positive cycles (peel /
-  // un-peel oscillations that can arise in overloaded sketches).
-  size_t stale = 0;
+  // Synchronized peeling rounds. Phase 1 scans the active buckets against
+  // a start-of-round snapshot (read-only, shardable across workers) and
+  // selects the pure-looking ones; phase 2 peels the selection
+  // sequentially in row-major order, re-deriving each candidate from the
+  // live arrays (an earlier peel in the same round may have changed — or
+  // newly purified — a later bucket; both outcomes are deterministic).
+  // Candidate selection depends only on the snapshot and application order
+  // only on the selection, so the decoded map is bit-identical for every
+  // `num_threads`. The `peels` valve stops pathological false-positive
+  // cycles that can arise in overloaded sketches.
+  const size_t threads = std::max<size_t>(1, std::min<size_t>(num_threads, 64));
+  std::vector<size_t> active(ids.size());
+  std::iota(active.begin(), active.end(), size_t{0});
+  std::vector<size_t> promising;
   size_t peels = 0;
   const size_t max_peels = ids.size() * 4 + 64;
-  while (!queue.empty() && stale < ids.size() * 4 &&
-         peels < max_peels) {
-    size_t index = queue.front();
-    queue.pop_front();
-    if (try_peel(index)) {
-      stale = 0;
-      ++peels;
+
+  while (!active.empty() && peels < max_peels) {
+    // Phase 1 — purity scan. Row-major sharding: each worker filters one
+    // contiguous range of `active`; concatenating per-worker results in
+    // shard order reproduces the sequential scan order exactly.
+    promising.clear();
+    constexpr size_t kMinShardBuckets = 512;
+    size_t workers = std::min(
+        threads, (active.size() + kMinShardBuckets - 1) / kMinShardBuckets);
+    if (workers <= 1) {
+      for (size_t index : active) {
+        if (looks_pure(index)) promising.push_back(index);
+      }
     } else {
-      ++stale;
+      std::vector<std::vector<size_t>> found(workers);
+      size_t chunk = (active.size() + workers - 1) / workers;
+      auto scan_shard = [&](size_t w) {
+        size_t begin = w * chunk;
+        size_t end = std::min(begin + chunk, active.size());
+        for (size_t i = begin; i < end; ++i) {
+          if (looks_pure(active[i])) found[w].push_back(active[i]);
+        }
+      };
+      std::vector<std::thread> pool;
+      pool.reserve(workers - 1);
+      for (size_t w = 1; w < workers; ++w) {
+        pool.emplace_back(scan_shard, w);
+      }
+      scan_shard(0);
+      for (std::thread& worker : pool) worker.join();
+      for (const std::vector<size_t>& shard : found) {
+        promising.insert(promising.end(), shard.begin(), shard.end());
+      }
     }
+    if (promising.empty()) break;
+
+    // Phase 2 — sequential peeling round.
+    touched.clear();
+    bool progress = false;
+    for (size_t index : promising) {
+      if (peels >= max_peels) break;
+      if (try_peel(index)) {
+        ++peels;
+        progress = true;
+      }
+    }
+    for (size_t index : touched) pending[index] = 0;
+    std::sort(touched.begin(), touched.end());
+    active.swap(touched);
+    if (!progress) break;
   }
   for (auto it = flows.begin(); it != flows.end();) {
     if (it->second == 0) {

@@ -43,13 +43,26 @@ class InfrequentPart {
   void Prefetch(uint64_t base_hash) const;
 
   // Median of sign-corrected mapped counters (no decode).
-  int64_t FastQuery(uint32_t key) const;
+  int64_t FastQuery(uint32_t key) const {
+    return FastQueryWithBase(HashFamily::BaseHash(key));
+  }
 
-  // Peels the sketch into flow -> signed count. If `cross_filter` is
-  // non-null, candidates must have |filter estimate| ≥ its threshold
-  // (the paper's double verification).
+  // Hot-path variant: `base_hash` must equal HashFamily::BaseHash(key).
+  int64_t FastQueryWithBase(uint64_t base_hash) const;
+
+  // Peels the sketch into flow -> signed count (Algorithm 5). If
+  // `cross_filter` is non-null, candidates must have |filter estimate| ≥
+  // its threshold (the paper's double verification).
+  //
+  // The peeling runs in synchronized rounds: a read-only purity scan over
+  // the active buckets (sharded row-major across `num_threads` workers)
+  // selects candidates from a start-of-round snapshot, then one sequential
+  // peeling pass applies them in ascending bucket order. Because candidate
+  // selection depends only on the snapshot and application order is fixed,
+  // the decoded map is bit-identical for every thread count — threads only
+  // change who scans, never what is peeled.
   std::unordered_map<uint32_t, int64_t> Decode(
-      const ElementFilter* cross_filter) const;
+      const ElementFilter* cross_filter, size_t num_threads = 1) const;
 
   void Merge(const InfrequentPart& other);
   void Subtract(const InfrequentPart& other);

@@ -44,6 +44,7 @@ void HealthSnapshot::Accumulate(const HealthSnapshot& other) {
   ifp.rows = std::max(ifp.rows, other.ifp.rows);
   ifp.width += other.ifp.width;
   ifp.empty_buckets += other.ifp.empty_buckets;
+  ifp.decode_threads = std::max(ifp.decode_threads, other.ifp.decode_threads);
   ifp.inserts += other.ifp.inserts;
   ifp.decode_runs += other.ifp.decode_runs;
   ifp.decoded_flows += other.ifp.decoded_flows;
@@ -77,7 +78,8 @@ void HealthSnapshot::WriteJson(std::ostream& out) const {
 
   out << ",\"ifp\":{\"rows\":" << ifp.rows << ",\"width\":" << ifp.width
       << ",\"empty_buckets\":" << ifp.empty_buckets << ",\"load\":"
-      << ifp.Load() << ",\"inserts\":" << ifp.inserts << ",\"decode_runs\":"
+      << ifp.Load() << ",\"decode_threads\":" << ifp.decode_threads
+      << ",\"inserts\":" << ifp.inserts << ",\"decode_runs\":"
       << ifp.decode_runs << ",\"decoded_flows\":" << ifp.decoded_flows
       << ",\"decode_rejected_by_filter\":" << ifp.decode_rejected_by_filter
       << "}";

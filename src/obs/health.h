@@ -77,6 +77,10 @@ struct IfpHealth {
   size_t rows = 0;
   size_t width = 0;  // buckets per row
   size_t empty_buckets = 0;
+  // Configured Decode() worker count (DaVinciConfig::decode_threads) —
+  // runtime tuning, not serialized sketch state; shard aggregation takes
+  // the max.
+  size_t decode_threads = 1;
   // Event counters.
   uint64_t inserts = 0;
   uint64_t decode_runs = 0;    // full Decode() invocations

@@ -1,0 +1,283 @@
+// Query-path equivalence: the SIMD probe kernels must match the scalar
+// reference slot-for-slot, QueryBatch must answer exactly what per-key
+// Query answers (including after Merge and Subtract), and the parallel
+// Fermat decode must be bit-identical for every thread count — on fresh,
+// overloaded, merged and subtracted sketches.
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/simd.h"
+#include "core/concurrent_davinci.h"
+#include "core/davinci_sketch.h"
+#include "core/element_filter.h"
+#include "core/infrequent_part.h"
+#include "test_seed.h"
+#include "workload/zipf.h"
+
+namespace davinci {
+namespace {
+
+std::vector<uint32_t> ZipfKeys(size_t n, uint64_t seed) {
+  ZipfGenerator zipf(50000, 1.05, seed);
+  std::vector<uint32_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(static_cast<uint32_t>(zipf.Next()));
+  }
+  return keys;
+}
+
+// ---- probe kernels vs the scalar reference ----
+
+TEST(ProbeKernelTest, FindLiveKeyMatchesScalarOnRandomLanes) {
+  const uint64_t seed = testing::TestSeed(1);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::mt19937_64 rng(seed);
+  // Small key space forces duplicates, stale keys over dead slots, and
+  // needle hits in every lane position.
+  std::uniform_int_distribution<uint32_t> key_dist(0, 9);
+  std::uniform_int_distribution<int> count_dist(-2, 2);
+  for (size_t slots : {size_t{1}, size_t{4}, size_t{7}, size_t{8},
+                       size_t{12}, size_t{16}}) {
+    size_t stride = simd::PaddedSlots(slots);
+    for (int trial = 0; trial < 2000; ++trial) {
+      std::vector<uint32_t> keys(stride, 0);
+      std::vector<int64_t> counts(stride, 0);
+      for (size_t i = 0; i < slots; ++i) {
+        keys[i] = key_dist(rng);
+        counts[i] = count_dist(rng);
+      }
+      uint32_t needle = key_dist(rng);
+      EXPECT_EQ(
+          simd::FindLiveKey(keys.data(), counts.data(), stride, needle),
+          simd::FindLiveKeyScalar(keys.data(), counts.data(), stride, needle))
+          << "slots=" << slots << " trial=" << trial;
+      EXPECT_EQ(simd::FindZeroCount(counts.data(), stride),
+                simd::FindZeroCountScalar(counts.data(), stride))
+          << "slots=" << slots << " trial=" << trial;
+    }
+  }
+}
+
+TEST(ProbeKernelTest, PaddingSlotsAreNeverLive) {
+  // A padding slot carries key 0 / count 0; probing for key 0 must never
+  // surface it, and the first-zero scan must land exactly on slot `slots`
+  // when the logical slots are all full.
+  for (size_t slots : {size_t{1}, size_t{7}, size_t{9}}) {
+    size_t stride = simd::PaddedSlots(slots);
+    std::vector<uint32_t> keys(stride, 0);
+    std::vector<int64_t> counts(stride, 0);
+    for (size_t i = 0; i < slots; ++i) {
+      keys[i] = static_cast<uint32_t>(i + 1);
+      counts[i] = 1;
+    }
+    EXPECT_EQ(simd::FindLiveKey(keys.data(), counts.data(), stride, 0),
+              SIZE_MAX);
+    EXPECT_EQ(simd::FindZeroCount(counts.data(), stride),
+              slots == stride ? SIZE_MAX : slots);
+  }
+}
+
+// ---- QueryBatch vs per-key Query ----
+
+void ExpectQueryBatchEquivalent(const DaVinciSketch& sketch,
+                                const std::vector<uint32_t>& probes) {
+  std::vector<int64_t> batch = sketch.QueryBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(batch[i], sketch.Query(probes[i]))
+        << "key=" << probes[i] << " at index " << i;
+  }
+}
+
+// Probe set: every inserted key plus keys the sketch never saw.
+std::vector<uint32_t> ProbeKeys(const std::vector<uint32_t>& inserted) {
+  std::vector<uint32_t> probes = inserted;
+  for (uint32_t key = 1000000; key < 1002000; ++key) probes.push_back(key);
+  return probes;
+}
+
+TEST(QueryBatchTest, MatchesSingleQueriesOnZipfWorkload) {
+  const uint64_t seed = testing::TestSeed(2);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  for (uint64_t s : {seed, seed + 17}) {
+    std::vector<uint32_t> keys = ZipfKeys(40000, s);
+    DaVinciSketch sketch(64 * 1024, s);
+    sketch.InsertBatch(keys);
+    ExpectQueryBatchEquivalent(sketch, ProbeKeys(keys));
+  }
+}
+
+TEST(QueryBatchTest, MatchesSingleQueriesOnNonBlockMultipleBatches) {
+  std::vector<uint32_t> keys = ZipfKeys(20000, 5);
+  DaVinciSketch sketch(64 * 1024, 5);
+  sketch.InsertBatch(keys);
+  // Batch lengths around the pipeline block width, plus empty.
+  for (size_t len : {size_t{0}, size_t{1}, size_t{63}, size_t{64},
+                     size_t{65}, size_t{1000}}) {
+    std::vector<uint32_t> probes(keys.begin(),
+                                 keys.begin() + static_cast<long>(len));
+    ExpectQueryBatchEquivalent(sketch, probes);
+  }
+}
+
+TEST(QueryBatchTest, MatchesSingleQueriesAfterMergeAndSubtract) {
+  const uint64_t seed = testing::TestSeed(3);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::vector<uint32_t> window_a = ZipfKeys(30000, seed);
+  std::vector<uint32_t> window_b = ZipfKeys(30000, seed + 1);
+
+  DaVinciSketch a(64 * 1024, 7);
+  a.InsertBatch(window_a);
+  DaVinciSketch b(64 * 1024, 7);
+  b.InsertBatch(window_b);
+
+  DaVinciSketch merged = a;
+  merged.Merge(b);
+  std::vector<uint32_t> probes = ProbeKeys(window_a);
+  probes.insert(probes.end(), window_b.begin(), window_b.end());
+  ExpectQueryBatchEquivalent(merged, probes);
+
+  // Subtraction produces negative counts in every part; the batch pipeline
+  // must keep answering what Query answers.
+  DaVinciSketch diff = a;
+  diff.Subtract(b);
+  ExpectQueryBatchEquivalent(diff, probes);
+}
+
+TEST(QueryBatchTest, ConcurrentShardedBatchMatchesSingleQueries) {
+  const uint64_t seed = testing::TestSeed(4);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::vector<uint32_t> keys = ZipfKeys(30000, seed);
+  ConcurrentDaVinci sharded(4, 256 * 1024, 7);
+  sharded.InsertBatch(keys);
+
+  std::vector<uint32_t> probes = ProbeKeys(keys);
+  std::vector<int64_t> batch = sharded.QueryBatch(probes);
+  ASSERT_EQ(batch.size(), probes.size());
+  for (size_t i = 0; i < probes.size(); ++i) {
+    ASSERT_EQ(batch[i], sharded.Query(probes[i])) << "key=" << probes[i];
+  }
+}
+
+// ---- parallel decode determinism ----
+
+// Decodes the same part with 1, 2, 4 and 7 worker threads and asserts the
+// recovered maps are identical (not approximately — element for element).
+void ExpectDecodeThreadInvariant(const InfrequentPart& ifp,
+                                 const ElementFilter* filter) {
+  auto reference = ifp.Decode(filter, 1);
+  for (size_t threads : {size_t{2}, size_t{4}, size_t{7}}) {
+    auto parallel = ifp.Decode(filter, threads);
+    ASSERT_EQ(parallel.size(), reference.size()) << "threads=" << threads;
+    for (const auto& [key, count] : reference) {
+      auto it = parallel.find(key);
+      ASSERT_TRUE(it != parallel.end())
+          << "threads=" << threads << " lost key " << key;
+      ASSERT_EQ(it->second, count) << "threads=" << threads << " key=" << key;
+    }
+  }
+}
+
+TEST(ParallelDecodeTest, BitIdenticalAcrossThreadCountsLightLoad) {
+  const uint64_t seed = testing::TestSeed(5);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  // ~40% load: everything decodes, all threads must find it all.
+  InfrequentPart ifp(3, 4096, /*use_signs=*/true, seed);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> key_dist(1, 1500);
+  std::uniform_int_distribution<int64_t> count_dist(1, 40);
+  for (int i = 0; i < 5000; ++i) {
+    ifp.Insert(key_dist(rng), count_dist(rng));
+  }
+  ExpectDecodeThreadInvariant(ifp, nullptr);
+}
+
+TEST(ParallelDecodeTest, BitIdenticalAcrossThreadCountsOverloaded) {
+  const uint64_t seed = testing::TestSeed(6);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  // Far beyond decodable load: peeling stalls partway and the max_peels /
+  // no-progress valves engage. The stopping point must not depend on the
+  // thread count either.
+  InfrequentPart ifp(3, 512, /*use_signs=*/true, seed);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> key_dist(1, 100000);
+  for (int i = 0; i < 20000; ++i) {
+    ifp.Insert(key_dist(rng), 1);
+  }
+  ExpectDecodeThreadInvariant(ifp, nullptr);
+}
+
+TEST(ParallelDecodeTest, BitIdenticalAfterMergeAndSubtract) {
+  const uint64_t seed = testing::TestSeed(7);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  InfrequentPart a(3, 4096, /*use_signs=*/true, 13);
+  InfrequentPart b(3, 4096, /*use_signs=*/true, 13);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> key_dist(1, 2000);
+  std::uniform_int_distribution<int64_t> count_dist(1, 30);
+  for (int i = 0; i < 3000; ++i) a.Insert(key_dist(rng), count_dist(rng));
+  for (int i = 0; i < 3000; ++i) b.Insert(key_dist(rng), count_dist(rng));
+
+  InfrequentPart merged = a;
+  merged.Merge(b);
+  ExpectDecodeThreadInvariant(merged, nullptr);
+
+  // Differences leave negative counters; the two-sided (e, p−e) candidate
+  // check runs on every peel.
+  InfrequentPart diff = a;
+  diff.Subtract(b);
+  ExpectDecodeThreadInvariant(diff, nullptr);
+}
+
+TEST(ParallelDecodeTest, BitIdenticalWithCrossFilterValidation) {
+  const uint64_t seed = testing::TestSeed(8);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  // Route keys through a real element filter so Decode's cross-validation
+  // path (threshold check per candidate) is active in every round.
+  ElementFilter ef(16 * 1024, {8, 16}, /*threshold=*/16, seed);
+  InfrequentPart ifp(3, 4096, /*use_signs=*/true, seed);
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<uint32_t> key_dist(1, 1200);
+  for (int i = 0; i < 60000; ++i) {
+    uint32_t key = key_dist(rng);
+    int64_t overflow = ef.InsertSigned(key, 1);
+    if (overflow != 0) ifp.Insert(key, overflow);
+  }
+  ExpectDecodeThreadInvariant(ifp, &ef);
+}
+
+TEST(ParallelDecodeTest, SketchAnswersAreThreadCountInvariant) {
+  const uint64_t seed = testing::TestSeed(9);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::vector<uint32_t> keys = ZipfKeys(40000, seed);
+
+  DaVinciConfig config = DaVinciConfig::FromMemory(64 * 1024, 7);
+  DaVinciSketch sequential(config);
+  config.decode_threads = 4;
+  DaVinciSketch parallel(config);
+  sequential.InsertBatch(keys);
+  parallel.InsertBatch(keys);
+
+  std::vector<uint32_t> probes = ProbeKeys(keys);
+  // Frequency answers (the decode cache feeds Query) and the decode-backed
+  // aggregate tasks must not depend on the worker count.
+  EXPECT_EQ(sequential.QueryBatch(probes), parallel.QueryBatch(probes));
+  EXPECT_EQ(sequential.HeavyHitters(100), parallel.HeavyHitters(100));
+  EXPECT_EQ(sequential.Distribution(), parallel.Distribution());
+  EXPECT_DOUBLE_EQ(sequential.EstimateEntropy(), parallel.EstimateEntropy());
+  ASSERT_EQ(sequential.DecodedFlows().size(), parallel.DecodedFlows().size());
+  for (const auto& [key, count] : sequential.DecodedFlows()) {
+    auto it = parallel.DecodedFlows().find(key);
+    ASSERT_TRUE(it != parallel.DecodedFlows().end()) << key;
+    ASSERT_EQ(it->second, count) << key;
+  }
+}
+
+}  // namespace
+}  // namespace davinci
