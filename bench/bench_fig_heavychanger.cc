@@ -20,7 +20,7 @@
 #include "baselines/mv_sketch.h"
 #include "baselines/univmon.h"
 #include "bench_common.h"
-#include "core/davinci_sketch.h"
+#include "core/extended_queries.h"
 
 namespace {
 

@@ -3,12 +3,18 @@
 // op-level numbers).
 //
 // Besides the console table, writes BENCH_micro_ops.json (per-sketch Mops
-// plus the final DaVinci HealthSnapshot) and BENCH_query_kernels.json
+// plus the final DaVinci HealthSnapshot), BENCH_query_kernels.json
 // (scalar-vs-SIMD probe throughput, single-vs-batch query throughput and
-// 1-vs-4-thread decode latency) for the CI bench-regression gate.
+// 1-vs-4-thread decode latency) and BENCH_epoch_engine.json (snapshot
+// acquisition, CoW clone tallies, epoch rotation rate and RCU read
+// throughput) for the CI bench-regression gates.
 
+#include <atomic>
+#include <memory>
 #include <random>
+#include <span>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -24,7 +30,9 @@
 #include "baselines/space_saving.h"
 #include "bench_common.h"
 #include "common/simd.h"
+#include "core/concurrent_davinci.h"
 #include "core/davinci_sketch.h"
+#include "core/epoch_manager.h"
 #include "core/infrequent_part.h"
 #include "workload/trace.h"
 
@@ -298,6 +306,88 @@ void WriteQueryKernelsJson() {
   json.Write();
 }
 
+// Direct timings for BENCH_epoch_engine.json: snapshot acquisition cost,
+// CoW clone tallies, epoch rotation rate, memoized window-merge reuse and
+// RCU read throughput with and without a racing writer.
+void WriteEpochEngineJson() {
+  davinci::bench::BenchJson json("epoch_engine");
+  const auto& keys = Keys();
+
+  // Snapshot acquisition is O(1): the view shares the parts' CoW buffers,
+  // so the loop measures pointer bookkeeping, not counter copies.
+  davinci::obs::CowTally::ResetForTesting();
+  davinci::DaVinciSketch sketch = MakeSketch<davinci::DaVinciSketch>();
+  sketch.InsertBatch(keys);
+  constexpr size_t kSnapshots = 200000;
+  std::shared_ptr<const davinci::SketchView> view;
+  davinci::Timer timer;
+  for (size_t i = 0; i < kSnapshots; ++i) {
+    view = sketch.Snapshot();
+    benchmark::DoNotOptimize(view);
+  }
+  json.Metric("snapshot_acquire_mops",
+              davinci::ThroughputMpps(kSnapshots, timer.ElapsedSeconds()));
+  // One write against the outstanding view triggers the lazy clones.
+  sketch.Insert(1, 1);
+  json.Count("cow_clones", davinci::obs::CowTally::Clones());
+  json.Count("cow_clone_bytes", davinci::obs::CowTally::CloneBytes());
+
+  // Rotation: seal (a move) + fresh sketch + one accumulator merge.
+  constexpr size_t kRotations = 64;
+  constexpr size_t kKeysPerEpoch = 4096;
+  davinci::EpochManager engine(8, 64 * 1024, 3);
+  timer.Restart();
+  for (size_t r = 0; r < kRotations; ++r) {
+    engine.InsertBatch(std::span<const uint32_t>(
+        keys.data() + (r % 16) * kKeysPerEpoch, kKeysPerEpoch));
+    engine.Advance();
+  }
+  double rotate_seconds = timer.ElapsedSeconds();
+  json.Metric("rotation_per_s", rotate_seconds > 0
+                                    ? static_cast<double>(kRotations) /
+                                          rotate_seconds
+                                    : 0.0);
+  for (int i = 0; i < 4; ++i) {
+    benchmark::DoNotOptimize(engine.MergedWindow());
+  }
+  json.Count("window_merge_reuse_hits", engine.window_merge_hits());
+  json.Count("window_rebuild_merges", engine.window_rebuild_merges());
+
+  // RCU read path: Query throughput against the published views, first
+  // uncontended, then with a writer republishing shard views throughout.
+  davinci::ConcurrentDaVinci shared(4, kBytes, 5);
+  shared.InsertBatch(keys);
+  constexpr int kReadRounds = 2;
+  int64_t sink = 0;
+  auto read_pass = [&shared, &keys] {
+    int64_t total = 0;
+    for (uint32_t key : keys) total += shared.Query(key);
+    return total;
+  };
+  timer.Restart();
+  for (int r = 0; r < kReadRounds; ++r) sink += read_pass();
+  json.Metric("read_uncontended_mops",
+              davinci::ThroughputMpps(kReadRounds * keys.size(),
+                                      timer.ElapsedSeconds()));
+  std::atomic<bool> stop{false};
+  std::thread writer([&shared, &keys, &stop] {
+    size_t i = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      shared.Insert(keys[i % keys.size()], 1);
+      ++i;
+    }
+  });
+  timer.Restart();
+  for (int r = 0; r < kReadRounds; ++r) sink += read_pass();
+  json.Metric("read_under_contention_mops",
+              davinci::ThroughputMpps(kReadRounds * keys.size(),
+                                      timer.ElapsedSeconds()));
+  stop.store(true, std::memory_order_release);
+  writer.join();
+  benchmark::DoNotOptimize(sink);
+  json.Write();
+}
+
 // Captures items_per_second per benchmark while still printing the normal
 // console table, keyed by a JSON-friendly name.
 class MopsCapture : public benchmark::ConsoleReporter {
@@ -377,5 +467,6 @@ int main(int argc, char** argv) {
   json.Write();
 
   WriteQueryKernelsJson();
+  WriteEpochEngineJson();
   return 0;
 }

@@ -7,9 +7,15 @@ fails when any compared value dropped by more than --max-regression
 (default 25%). Higher-is-better semantics: values above baseline always
 pass.
 
+--min KEY=VALUE adds an absolute floor on the CURRENT file, independent
+of the baseline — for behavioral counters that must simply be non-zero
+(e.g. window_merge_reuse_hits, proving the epoch engine served window
+queries from its memoized merges) rather than within a tolerance band.
+
 Usage:
     scripts/check_bench_regression.py BASELINE CURRENT \
-        [--key insert_batch_mops] [--max-regression 0.25]
+        [--key insert_batch_mops] [--max-regression 0.25] \
+        [--min window_merge_reuse_hits=1]
 
 Only the standard library is used, so the script runs anywhere python3
 does (the CI bench-regression job calls it on the runner).
@@ -36,8 +42,21 @@ def main() -> int:
         default=0.25,
         help="allowed fractional drop vs baseline (default 0.25)",
     )
+    parser.add_argument(
+        "--min",
+        action="append",
+        dest="floors",
+        metavar="KEY=VALUE",
+        help="absolute floor on a CURRENT key (repeatable)",
+    )
     args = parser.parse_args()
     keys = args.keys or ["insert_batch_mops"]
+    floors = []
+    for spec in args.floors or []:
+        key, sep, value = spec.partition("=")
+        if not sep:
+            parser.error(f"--min expects KEY=VALUE, got {spec!r}")
+        floors.append((key, float(value)))
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -65,6 +84,16 @@ def main() -> int:
                 f"{key}: {now:.3f} < {floor:.3f} "
                 f"({args.max_regression:.0%} below baseline {base:.3f})"
             )
+
+    for key, floor in floors:
+        if key not in current:
+            failures.append(f"{key}: missing from {args.current}")
+            continue
+        now = float(current[key])
+        verdict = "OK" if now >= floor else "BELOW FLOOR"
+        print(f"{verdict} {key}: current={now:.3f} min={floor:.3f}")
+        if now < floor:
+            failures.append(f"{key}: {now:.3f} < absolute floor {floor:.3f}")
 
     if failures:
         print("bench regression gate FAILED:", file=sys.stderr)

@@ -5,38 +5,48 @@
 
 #include "common/prefetch.h"
 #include "common/serialize.h"
+#include "obs/stats.h"
 
 namespace davinci {
 
-TowerSketch::TowerSketch(size_t memory_bytes, uint64_t seed, Options options) {
+TowerSketch::TowerSketch(size_t memory_bytes, uint64_t seed, Options options)
+    : store_(std::make_shared<Storage>()) {
   size_t num_levels = options.level_bits.empty() ? 1 : options.level_bits.size();
   size_t bytes_per_level = std::max<size_t>(1, memory_bytes / num_levels);
   levels_.resize(num_levels);
+  store_->counters.resize(num_levels);
   for (size_t i = 0; i < num_levels; ++i) {
     Level& level = levels_[i];
     level.bits = options.level_bits.empty() ? 32 : options.level_bits[i];
     level.cap = (level.bits >= 63) ? INT64_MAX
                                    : ((int64_t{1} << level.bits) - 1);
-    size_t width = std::max<size_t>(1, bytes_per_level * 8 /
-                                           static_cast<size_t>(level.bits));
-    level.counters.assign(width, 0);
+    level.width = std::max<size_t>(1, bytes_per_level * 8 /
+                                          static_cast<size_t>(level.bits));
+    store_->counters[i].assign(level.width, 0);
     level.hash = HashFamily(seed * 131 + i + 1);
   }
+}
+
+void TowerSketch::CloneStore() {
+  store_ = std::make_shared<Storage>(*store_);
+  obs::CowTally::RecordClone(store_->ByteSize());
 }
 
 size_t TowerSketch::MemoryBytes() const {
   size_t bits = 0;
   for (const Level& level : levels_) {
-    bits += level.counters.size() * static_cast<size_t>(level.bits);
+    bits += level.width * static_cast<size_t>(level.bits);
   }
   return (bits + 7) / 8;
 }
 
 void TowerSketch::Insert(uint32_t key, int64_t count) {
   uint64_t base_hash = HashFamily::BaseHash(key);
-  for (Level& level : levels_) {
+  Storage& st = Mut();
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
     ++accesses_;
-    int64_t& c = level.counters[IndexIn(level, base_hash)];
+    int64_t& c = st.counters[i][IndexIn(level, base_hash)];
     c = std::min(c + count, level.cap);
   }
 }
@@ -46,10 +56,12 @@ int64_t TowerSketch::Query(uint32_t key) const {
 }
 
 int64_t TowerSketch::QueryWithHash(uint64_t base_hash) const {
+  const Storage& st = *store_;
   int64_t best = 0;
   bool found = false;
-  for (const Level& level : levels_) {
-    int64_t c = level.counters[IndexIn(level, base_hash)];
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
+    int64_t c = st.counters[i][IndexIn(level, base_hash)];
     if (c < level.cap) {
       if (!found || c < best) best = c;
       found = true;
@@ -60,8 +72,9 @@ int64_t TowerSketch::QueryWithHash(uint64_t base_hash) const {
 }
 
 void TowerSketch::PrefetchCounters(uint64_t base_hash) const {
-  for (const Level& level : levels_) {
-    PrefetchWrite(&level.counters[IndexIn(level, base_hash)]);
+  const Storage& st = *store_;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    PrefetchWrite(&st.counters[i][IndexIn(levels_[i], base_hash)]);
   }
 }
 
@@ -76,9 +89,11 @@ int64_t TowerSketch::InsertCappedWithHash(uint64_t base_hash, int64_t count,
   }
   int64_t absorbed = std::min(count, cap - current);
   int64_t target = current + absorbed;
-  for (Level& level : levels_) {
+  Storage& st = Mut();
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
     ++accesses_;
-    int64_t& c = level.counters[IndexIn(level, base_hash)];
+    int64_t& c = st.counters[i][IndexIn(level, base_hash)];
     c = std::min(std::max(c, target), level.cap);
   }
   return count - absorbed;
@@ -93,19 +108,23 @@ int64_t TowerSketch::InsertCappedDownWithHash(uint64_t base_hash,
   }
   int64_t absorbed = std::min(magnitude, cap + current);
   int64_t target = current - absorbed;
-  for (Level& level : levels_) {
+  Storage& st = Mut();
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
     ++accesses_;
-    int64_t& c = level.counters[IndexIn(level, base_hash)];
+    int64_t& c = st.counters[i][IndexIn(level, base_hash)];
     c = std::max(std::min(c, target), -level.cap);
   }
   return magnitude - absorbed;
 }
 
 int64_t TowerSketch::QuerySignedWithHash(uint64_t base_hash) const {
+  const Storage& st = *store_;
   int64_t best = 0;
   bool found = false;
-  for (const Level& level : levels_) {
-    int64_t c = level.counters[IndexIn(level, base_hash)];
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const Level& level = levels_[i];
+    int64_t c = st.counters[i][IndexIn(level, base_hash)];
     if (c < level.cap && c > -level.cap) {
       if (!found || std::llabs(c) < std::llabs(best)) best = c;
       found = true;
@@ -115,65 +134,72 @@ int64_t TowerSketch::QuerySignedWithHash(uint64_t base_hash) const {
 }
 
 void TowerSketch::Merge(const TowerSketch& other) {
+  Storage& st = Mut();
   for (size_t i = 0; i < levels_.size(); ++i) {
-    Level& level = levels_[i];
-    const Level& src = other.levels_[i];
-    for (size_t j = 0; j < level.counters.size(); ++j) {
-      level.counters[j] = std::min(level.counters[j] + src.counters[j],
-                                   level.cap);
+    const Level& level = levels_[i];
+    std::vector<int64_t>& dst = st.counters[i];
+    const std::vector<int64_t>& src = other.store_->counters[i];
+    for (size_t j = 0; j < dst.size(); ++j) {
+      dst[j] = std::min(dst[j] + src[j], level.cap);
     }
   }
 }
 
 void TowerSketch::Subtract(const TowerSketch& other) {
+  Storage& st = Mut();
   for (size_t i = 0; i < levels_.size(); ++i) {
-    Level& level = levels_[i];
-    const Level& src = other.levels_[i];
-    for (size_t j = 0; j < level.counters.size(); ++j) {
-      level.counters[j] -= src.counters[j];
+    std::vector<int64_t>& dst = st.counters[i];
+    const std::vector<int64_t>& src = other.store_->counters[i];
+    for (size_t j = 0; j < dst.size(); ++j) {
+      dst[j] -= src[j];
     }
   }
 }
 
 void TowerSketch::SaveState(std::ostream& out) const {
-  for (const Level& level : levels_) {
-    WriteVec(out, level.counters);
+  const Storage& st = *store_;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    WriteVec(out, st.counters[i]);
   }
 }
 
 bool TowerSketch::LoadState(std::istream& in) {
-  for (Level& level : levels_) {
+  Storage& st = Mut();
+  for (size_t i = 0; i < levels_.size(); ++i) {
     std::vector<int64_t> counters;
-    if (!ReadVec(in, &counters) ||
-        counters.size() != level.counters.size()) {
+    if (!ReadVec(in, &counters) || counters.size() != levels_[i].width) {
       return false;
     }
-    level.counters = std::move(counters);
+    st.counters[i] = std::move(counters);
   }
   return true;
 }
 
 void TowerSketch::CheckInvariants(InvariantMode mode) const {
   DAVINCI_CHECK(!levels_.empty());
+  const Storage& st = *store_;
+  DAVINCI_CHECK_EQ(st.counters.size(), levels_.size());
   for (size_t i = 0; i < levels_.size(); ++i) {
     const Level& level = levels_[i];
+    const std::vector<int64_t>& counters = st.counters[i];
     DAVINCI_CHECK_MSG(level.bits > 0 && level.bits <= 64,
                       "level " + std::to_string(i));
     DAVINCI_CHECK_MSG(level.cap > 0, "level " + std::to_string(i));
-    DAVINCI_CHECK_MSG(!level.counters.empty(), "level " + std::to_string(i));
+    DAVINCI_CHECK_MSG(!counters.empty(), "level " + std::to_string(i));
+    DAVINCI_CHECK_EQ(counters.size(), level.width);
     if (i > 0) {
       // Tower shape: going up, counters get wider (larger saturation cap)
       // and scarcer. Queries depend on this — a level saturating before
       // the one above it is what makes "smallest unsaturated" sound.
       DAVINCI_CHECK_LE(levels_[i - 1].cap, level.cap);
-      DAVINCI_CHECK_LE(level.counters.size(), levels_[i - 1].counters.size());
+      DAVINCI_CHECK_LE(level.width, levels_[i - 1].width);
     }
     if (mode == InvariantMode::kAdditive) {
-      for (size_t j = 0; j < level.counters.size(); ++j) {
+      for (size_t j = 0; j < counters.size(); ++j) {
         DAVINCI_CHECK_MSG(
-            level.counters[j] >= 0 && level.counters[j] <= level.cap,
+            counters[j] >= 0 && counters[j] <= level.cap,
             "level " + std::to_string(i) + " counter " + std::to_string(j) +
-                " = " + std::to_string(level.counters[j]));
+                " = " + std::to_string(counters[j]));
       }
     }
   }
@@ -181,7 +207,7 @@ void TowerSketch::CheckInvariants(InvariantMode mode) const {
 
 size_t TowerSketch::SaturatedSlots(size_t level) const {
   size_t saturated = 0;
-  for (int64_t c : levels_[level].counters) {
+  for (int64_t c : store_->counters[level]) {
     if (c >= levels_[level].cap) ++saturated;
   }
   return saturated;
@@ -189,7 +215,7 @@ size_t TowerSketch::SaturatedSlots(size_t level) const {
 
 size_t TowerSketch::ZeroSlots(size_t level) const {
   size_t zeros = 0;
-  for (int64_t c : levels_[level].counters) {
+  for (int64_t c : store_->counters[level]) {
     if (c == 0) ++zeros;
   }
   return zeros;

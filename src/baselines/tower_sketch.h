@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,11 @@
 // (set difference) can go negative; MemoryBytes() accounts the design
 // widths (level i uses `level_bits[i]`-bit counters), which is what the
 // paper's memory axes measure.
+//
+// The counter arrays live behind a shared_ptr so copies share storage in
+// O(1) (copy-on-write): the write path clones lazily, only when a snapshot
+// still references the buffers (DESIGN.md §10). Level geometry (widths,
+// caps, hash seeds) stays by value — it never changes after construction.
 
 namespace davinci {
 
@@ -77,12 +83,12 @@ class TowerSketch : public FrequencySketch {
   void Subtract(const TowerSketch& other);
 
   size_t num_levels() const { return levels_.size(); }
-  size_t LevelWidth(size_t level) const { return levels_[level].counters.size(); }
+  size_t LevelWidth(size_t level) const { return levels_[level].width; }
   int64_t CounterValue(size_t level, size_t index) const {
-    return levels_[level].counters[index];
+    return store_->counters[level][index];
   }
   const std::vector<int64_t>& LevelValues(size_t level) const {
-    return levels_[level].counters;
+    return store_->counters[level];
   }
   size_t LevelIndex(size_t level, uint32_t key) const {
     return LevelIndexWithBase(level, HashFamily::BaseHash(key));
@@ -112,21 +118,46 @@ class TowerSketch : public FrequencySketch {
   void SaveState(std::ostream& out) const;
   bool LoadState(std::istream& in);
 
+  // Identity of the shared counter storage — two TowerSketches return the
+  // same pointer iff they still share buffers (CoW test hook).
+  const void* StorageId() const { return store_.get(); }
+
  private:
   struct Level {
     int bits = 8;
     int64_t cap = 255;
     HashFamily hash;
-    std::vector<int64_t> counters;
+    size_t width = 1;  // counter count at this level (fixed geometry)
+  };
+
+  struct Storage {
+    // counters[level][index]; widths mirror levels_[level].width.
+    std::vector<std::vector<int64_t>> counters;
+    size_t ByteSize() const {
+      size_t bytes = 0;
+      for (const auto& level : counters) {
+        bytes += level.size() * sizeof(int64_t);
+      }
+      return bytes;
+    }
   };
 
   // Divide-free per-level counter index from a precomputed base hash.
   static size_t IndexIn(const Level& level, uint64_t base_hash) {
     return HashFamily::FastReduce(level.hash.RehashBase(base_hash),
-                                  level.counters.size());
+                                  level.width);
   }
 
+  // Write-path storage access: clones iff a snapshot still shares the
+  // buffers (see FrequentPart::Mut for the refcount reasoning).
+  Storage& Mut() {
+    if (store_.use_count() > 1) CloneStore();
+    return *store_;
+  }
+  void CloneStore();
+
   std::vector<Level> levels_;
+  std::shared_ptr<Storage> store_;
   mutable uint64_t accesses_ = 0;
 };
 

@@ -11,6 +11,7 @@ ConcurrentDaVinci::ConcurrentDaVinci(size_t shards, size_t total_bytes,
   size_t per_shard = std::max<size_t>(8 * 1024, total_bytes / shards_.size());
   for (Shard& shard : shards_) {
     shard.sketch = std::make_unique<DaVinciSketch>(per_shard, seed);
+    Publish(shard);
   }
 }
 
@@ -18,6 +19,7 @@ void ConcurrentDaVinci::Insert(uint32_t key, int64_t count) {
   Shard& shard = shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.sketch->Insert(key, count);
+  Publish(shard);
 }
 
 void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys,
@@ -44,6 +46,7 @@ void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys,
       {
         std::lock_guard<std::mutex> lock(shards_[s].mutex);
         shards_[s].sketch->InsertBatch(shard_keys[s], shard_counts[s]);
+        Publish(shards_[s]);
       }
       shard_keys[s].clear();
       shard_counts[s].clear();
@@ -63,8 +66,11 @@ void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys) {
 
 int64_t ConcurrentDaVinci::Query(uint32_t key) const {
   const Shard& shard = shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return shard.sketch->Query(key);
+  shard.read_queries.Inc();
+  // One acquire load pins the shard's current immutable view; no lock.
+  std::shared_ptr<const SketchView> view =
+      shard.view.load(std::memory_order_acquire);
+  return view->Query(key);
 }
 
 std::vector<int64_t> ConcurrentDaVinci::QueryBatch(
@@ -90,10 +96,10 @@ std::vector<int64_t> ConcurrentDaVinci::QueryBatch(
     }
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shard_keys[s].empty()) continue;
-      {
-        std::lock_guard<std::mutex> lock(shards_[s].mutex);
-        answers = shards_[s].sketch->QueryBatch(shard_keys[s]);
-      }
+      shards_[s].read_queries.Inc(shard_keys[s].size());
+      std::shared_ptr<const SketchView> view =
+          shards_[s].view.load(std::memory_order_acquire);
+      answers = view->QueryBatch(shard_keys[s]);
       for (size_t i = 0; i < answers.size(); ++i) {
         out[shard_pos[s][i]] = answers[i];
       }
@@ -108,18 +114,46 @@ double ConcurrentDaVinci::EstimateCardinality() const {
   // Shards partition the key space, so cardinalities add.
   double total = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    total += shard.sketch->EstimateCardinality();
+    std::shared_ptr<const SketchView> view =
+        shard.view.load(std::memory_order_acquire);
+    total += view->EstimateCardinality();
   }
   return total;
 }
 
+std::vector<std::pair<uint32_t, int64_t>> ConcurrentDaVinci::HeavyHitters(
+    int64_t threshold) const {
+  // Shards partition the key space, so each flow lives in exactly one
+  // shard and the per-shard lists concatenate without dedup.
+  std::vector<std::pair<uint32_t, int64_t>> out;
+  for (const Shard& shard : shards_) {
+    shard.read_queries.Inc();
+    std::shared_ptr<const SketchView> view =
+        shard.view.load(std::memory_order_acquire);
+    std::vector<std::pair<uint32_t, int64_t>> found =
+        view->HeavyHitters(threshold);
+    out.insert(out.end(), found.begin(), found.end());
+  }
+  return out;
+}
+
+std::vector<std::shared_ptr<const SketchView>> ConcurrentDaVinci::SnapshotAll()
+    const {
+  std::vector<std::shared_ptr<const SketchView>> views;
+  views.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    views.push_back(shard.view.load(std::memory_order_acquire));
+  }
+  return views;
+}
+
 DaVinciSketch ConcurrentDaVinci::Snapshot() const {
-  std::lock_guard<std::mutex> first_lock(shards_[0].mutex);
-  DaVinciSketch merged = *shards_[0].sketch;
-  for (size_t s = 1; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mutex);
-    merged.Merge(*shards_[s].sketch);
+  std::vector<std::shared_ptr<const SketchView>> views = SnapshotAll();
+  // The copy shares the first view's CoW buffers; Merge then clones what
+  // it mutates. The views pin their state, so no locks are needed.
+  DaVinciSketch merged = views[0]->sketch();
+  for (size_t s = 1; s < views.size(); ++s) {
+    merged.Merge(views[s]->sketch());
   }
   return merged;
 }
@@ -133,6 +167,9 @@ void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
       std::lock_guard<std::mutex> lock(shard.mutex);
       shard.sketch->CollectStats(&one);
     }
+    // The lock-free read paths never touch the live sketch's counters;
+    // fold in the shard's read-side tally.
+    one.queries += shard.read_queries.value();
     out->Accumulate(one);
   }
 }
@@ -143,6 +180,7 @@ void ConcurrentDaVinci::Merge(const ConcurrentDaVinci& other) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::scoped_lock lock(shards_[s].mutex, other.shards_[s].mutex);
     shards_[s].sketch->Merge(*other.shards_[s].sketch);
+    Publish(shards_[s]);
   }
 }
 
@@ -151,6 +189,9 @@ void ConcurrentDaVinci::CheckInvariants(InvariantMode mode) const {
   const DaVinciConfig& reference = shards_[0].sketch->config();
   for (size_t s = 0; s < shards_.size(); ++s) {
     std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    DAVINCI_CHECK_MSG(
+        shards_[s].view.load(std::memory_order_acquire) != nullptr,
+        "shard " + std::to_string(s) + " has no published view");
     const DaVinciSketch& sketch = *shards_[s].sketch;
     const DaVinciConfig& config = sketch.config();
     DAVINCI_CHECK_EQ(config.seed, reference.seed);

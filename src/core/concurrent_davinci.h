@@ -1,6 +1,7 @@
 #ifndef DAVINCI_CORE_CONCURRENT_DAVINCI_H_
 #define DAVINCI_CORE_CONCURRENT_DAVINCI_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -9,12 +10,21 @@
 
 #include "core/davinci_sketch.h"
 
-// A sharded, thread-safe wrapper: keys are partitioned across S
-// independently-locked DaVinci Sketches by a shard hash, so concurrent
-// writers rarely contend. Aggregate queries either sum per-shard answers
-// (cardinality, frequency) or operate on a merged snapshot (the remaining
-// tasks). The shards share seeds, so snapshots of two ConcurrentDaVinci
-// instances remain mergeable.
+// A sharded, thread-safe wrapper: keys are partitioned across S DaVinci
+// Sketches by a shard hash, so concurrent writers rarely contend.
+//
+// RCU-style read path (DESIGN.md §10): each shard publishes an immutable
+// SketchView through an atomic shared_ptr after every mutation. Readers
+// (`Query`, `QueryBatch`, `EstimateCardinality`, `HeavyHitters`,
+// `SnapshotAll`) load the current view with one acquire and never touch a
+// mutex — a reader observes either the state before or after any given
+// write, never a torn middle, and is never blocked by a writer. Writers
+// keep the per-shard mutex, mutate the live sketch (cloning any CoW buffer
+// a view still shares), and publish a fresh view before unlocking.
+//
+// Aggregate queries either sum per-shard answers (cardinality, frequency)
+// or operate on a merged snapshot (the remaining tasks). The shards share
+// seeds, so snapshots of two ConcurrentDaVinci instances remain mergeable.
 
 namespace davinci {
 
@@ -34,15 +44,23 @@ class ConcurrentDaVinci {
                    std::span<const int64_t> counts);
   void InsertBatch(std::span<const uint32_t> keys);  // count 1 per key
 
+  // Lock-free point query against the shard's published view.
   int64_t Query(uint32_t key) const;
 
   // Batched point queries: groups each block of keys by shard (remembering
-  // every key's position in `keys`), takes each shard's lock once per
-  // block, and scatters the per-shard DaVinciSketch::QueryBatch answers
-  // back into result order. Answer-equivalent to `for (i) Query(keys[i])`.
+  // every key's position in `keys`), runs each group against that shard's
+  // published view — lock-free — and scatters the answers back into
+  // result order. Answer-equivalent to `for (i) Query(keys[i])`.
   std::vector<int64_t> QueryBatch(std::span<const uint32_t> keys) const;
 
+  // Lock-free: sums each published view's estimate (shards partition the
+  // key space, so cardinalities add).
   double EstimateCardinality() const;
+
+  // Lock-free: concatenates each published view's heavy hitters (shards
+  // partition the key space, so no flow spans two shards).
+  std::vector<std::pair<uint32_t, int64_t>> HeavyHitters(
+      int64_t threshold) const;
 
   // Union with another sharded sketch built with the same shard count and
   // seed: merges shard-by-shard, holding the pair of shard locks via
@@ -52,8 +70,14 @@ class ConcurrentDaVinci {
   // merge land in whichever side their shard has already been merged from.
   void Merge(const ConcurrentDaVinci& other);
 
-  // A single-threaded snapshot merging every shard (shards hash-partition
-  // the key space, so the merge sees each flow exactly once).
+  // A coherent per-shard vector of the currently-published views, one
+  // atomic load per shard and no locks. Each view is individually a
+  // consistent image of its shard; the vector is the serving primitive for
+  // merged-task queries (union, inner product, ...).
+  std::vector<std::shared_ptr<const SketchView>> SnapshotAll() const;
+
+  // A single merged sketch built from SnapshotAll() — lock-free (shards
+  // hash-partition the key space, so the merge sees each flow once).
   DaVinciSketch Snapshot() const;
 
   // Aggregated health telemetry: collects every shard's snapshot under its
@@ -66,19 +90,41 @@ class ConcurrentDaVinci {
 
   // Aborts (DAVINCI_CHECK) on a violated structural invariant: every
   // shard's sketch passes its own audit, the shards share one geometry
-  // and seed (Snapshot's Merge requires it), and each shard holds only
-  // keys the shard hash routes to it. Takes every shard lock in turn, so
-  // it is safe to call while writers are active.
+  // and seed (Snapshot's Merge requires it), each shard holds only keys
+  // the shard hash routes to it, and each shard has a published view.
+  // Takes every shard lock in turn, so it is safe to call while writers
+  // are active.
   void CheckInvariants(InvariantMode mode) const;
+
+  // Acquires and returns shard `shard`'s writer lock (test hook: the
+  // lock-free-read tests hold a shard lock hostage and assert reads still
+  // complete). While held, writers to that shard block; readers must not.
+  std::unique_lock<std::mutex> LockShardForTesting(size_t shard) const {
+    return std::unique_lock<std::mutex>(shards_[shard].mutex);
+  }
 
  private:
   struct Shard {
     mutable std::mutex mutex;
     std::unique_ptr<DaVinciSketch> sketch;
+    // RCU publication point: the immutable view readers run against.
+    // Stored with release after every mutation, loaded with acquire by
+    // readers; never null once the constructor finishes.
+    std::atomic<std::shared_ptr<const SketchView>> view;
+    // Read-side query tally (the lock-free paths bypass the live sketch's
+    // counters, which only writers touch).
+    mutable obs::SharedEventCounter read_queries;
   };
 
   size_t ShardOf(uint32_t key) const {
     return shard_hash_.BucketFast(key, shards_.size());
+  }
+
+  // Publishes a fresh view of the shard's live sketch. Caller must hold
+  // `shard.mutex` (the mutex orders the CoW refcount increment inside
+  // Snapshot() against other writers).
+  static void Publish(Shard& shard) {
+    shard.view.store(shard.sketch->Snapshot(), std::memory_order_release);
   }
 
   HashFamily shard_hash_;

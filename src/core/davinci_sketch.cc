@@ -24,6 +24,30 @@ DaVinciSketch::DaVinciSketch(const DaVinciConfig& config)
 DaVinciSketch::DaVinciSketch(size_t bytes, uint64_t seed)
     : DaVinciSketch(DaVinciConfig::FromMemory(bytes, seed)) {}
 
+// Memberwise except decode_cache_, which stays cold: the cache is the one
+// member a shared SketchView still writes (under its once_flag) after
+// publication, so reading other.decode_cache_ here would race that lazy
+// decode (davinci_sketch.h documents the contract).
+DaVinciSketch::DaVinciSketch(const DaVinciSketch& other)
+    : config_(other.config_),
+      fp_(other.fp_),
+      ef_(other.ef_),
+      ifp_(other.ifp_),
+      inserts_(other.inserts_),
+      queries_(other.queries_) {}
+
+DaVinciSketch& DaVinciSketch::operator=(const DaVinciSketch& other) {
+  if (this == &other) return *this;
+  config_ = other.config_;
+  fp_ = other.fp_;
+  ef_ = other.ef_;
+  ifp_ = other.ifp_;
+  decode_cache_.reset();
+  inserts_ = other.inserts_;
+  queries_ = other.queries_;
+  return *this;
+}
+
 size_t DaVinciSketch::MemoryBytes() const {
   return fp_.MemoryBytes() + ef_.MemoryBytes() + ifp_.MemoryBytes();
 }
@@ -148,10 +172,10 @@ void DaVinciSketch::InsertBatch(std::span<const uint32_t> keys) {
 
 const std::unordered_map<uint32_t, int64_t>& DaVinciSketch::DecodedFlows()
     const {
-  if (!decode_cache_.has_value()) {
-    decode_cache_ =
+  if (decode_cache_ == nullptr) {
+    decode_cache_ = std::make_shared<const std::unordered_map<uint32_t, int64_t>>(
         ifp_.Decode(config_.decode_cross_validation ? &ef_ : nullptr,
-                    config_.decode_threads);
+                    config_.decode_threads));
   }
   return *decode_cache_;
 }
@@ -469,7 +493,7 @@ void DaVinciSketch::CheckInvariants(InvariantMode mode) const {
   fp_.CheckInvariants(mode);
   ef_.CheckInvariants(mode);
   ifp_.CheckInvariants(mode);
-  if (decode_cache_.has_value()) {
+  if (decode_cache_ != nullptr) {
     for (const auto& [key, count] : *decode_cache_) {
       DAVINCI_CHECK_MSG(count != 0,
                         "decode cache holds zero-count flow " +
@@ -507,6 +531,48 @@ bool DaVinciSketch::Load(std::istream& in, DaVinciSketch* sketch) {
   }
   *sketch = std::move(loaded);
   return true;
+}
+
+std::shared_ptr<const SketchView> DaVinciSketch::Snapshot() const {
+  // The DaVinciSketch copy here is O(parts), not O(counters): each part's
+  // flat storage is CoW-shared. The view starts with a cold decode cache
+  // (the copy constructor never propagates it) and materializes its own
+  // under a once_flag on first demand.
+  return std::make_shared<const SketchView>(*this);
+}
+
+void SketchView::Decoded() const {
+  std::call_once(decode_once_, [this] { (void)sketch_.DecodedFlows(); });
+}
+
+int64_t SketchView::Query(uint32_t key) const {
+  sketch_.queries_.Inc();
+  uint64_t base_hash = HashFamily::BaseHash(key);
+  bool tainted = false;
+  int64_t fp_count =
+      sketch_.fp_.QueryWithBase(base_hash, key, &tainted);
+  if (fp_count != 0 && !tainted) {
+    return fp_count;  // exact — no decode, no shared mutable state touched
+  }
+  // The tail reads the decode cache; materialize it exactly once so the
+  // concurrent readers below only ever see a const map.
+  Decoded();
+  return sketch_.ResolveQuery(key, base_hash, fp_count, tainted);
+}
+
+std::vector<int64_t> SketchView::QueryBatch(
+    std::span<const uint32_t> keys) const {
+  // DaVinciSketch::QueryBatch materializes the decode cache up front; the
+  // call_once here makes that materialization race-free across readers,
+  // after which the batch pipeline is a pure read.
+  Decoded();
+  return sketch_.QueryBatch(keys);
+}
+
+std::vector<std::pair<uint32_t, int64_t>> SketchView::HeavyHitters(
+    int64_t threshold) const {
+  Decoded();
+  return sketch_.HeavyHitters(threshold);
 }
 
 double DaVinciSketch::InnerProduct(const DaVinciSketch& a,

@@ -4,7 +4,8 @@
 #include <cstdint>
 #include <iosfwd>
 #include <map>
-#include <optional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -33,8 +34,15 @@
 // Two sketches built with the same DaVinciConfig (same seed!) are linear:
 // Merge computes the union and Subtract the (signed) difference, after
 // which every query keeps working on the result.
+//
+// Snapshot() returns an immutable SketchView in O(1): the three parts'
+// flat buffers are copy-on-write (shared until the live sketch next
+// mutates them), so acquiring a snapshot never copies counter state and
+// writers never block on readers (DESIGN.md §10).
 
 namespace davinci {
+
+class SketchView;
 
 class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
  public:
@@ -43,6 +51,17 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   // Convenience: split `bytes` across the three parts with the default
   // 25/50/25 plan.
   DaVinciSketch(size_t bytes, uint64_t seed);
+
+  // Copies share the parts' CoW buffers in O(1) but start with a COLD
+  // decode cache: the cache pointer is the one member a shared SketchView
+  // still writes (under its once_flag) after publication, so a copy that
+  // read it would race the view's lazy decode. Nothing loses a warm cache
+  // in practice — every write path invalidates it anyway. Moves transfer
+  // the cache; they require exclusive ownership like any other mutation.
+  DaVinciSketch(const DaVinciSketch& other);
+  DaVinciSketch& operator=(const DaVinciSketch& other);
+  DaVinciSketch(DaVinciSketch&&) = default;
+  DaVinciSketch& operator=(DaVinciSketch&&) = default;
 
   std::string Name() const override { return "DaVinci"; }
   size_t MemoryBytes() const override;
@@ -94,6 +113,16 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   // Cardinality of the inner join, decomposed into the nine FF..EE terms.
   static double InnerProduct(const DaVinciSketch& a, const DaVinciSketch& b);
 
+  // ---- snapshots ----
+  // O(1) immutable snapshot: the view shares the parts' CoW buffers with
+  // the live sketch, so no counter state is copied now and the live
+  // sketch's next write to a shared buffer clones it instead of mutating
+  // the view's copy. The caller must externally synchronize Snapshot()
+  // with concurrent writes to *this* sketch (ConcurrentDaVinci does so
+  // under its shard mutex); once returned, the view is safe to read from
+  // any number of threads with no further synchronization.
+  std::shared_ptr<const SketchView> Snapshot() const;
+
   // ---- persistence ----
   // Binary serialization: the config is written first, then the raw state
   // of the three parts. Load reconstructs an identical sketch (same seeds,
@@ -124,6 +153,10 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   const std::unordered_map<uint32_t, int64_t>& DecodedFlows() const;
 
  private:
+  // SketchView drives the FP-probe fast path + ResolveQuery tail directly
+  // (materializing the decode cache exactly once via its own once_flag).
+  friend class SketchView;
+
   // Shared tail of Query/QueryBatch: combines an already-computed FP probe
   // result with the EF/IFP shares per Algorithm 4. `base_hash` must equal
   // HashFamily::BaseHash(key); `fp_count`/`tainted` must come from the FP
@@ -142,12 +175,56 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   FrequentPart fp_;
   ElementFilter ef_;
   InfrequentPart ifp_;
-  mutable std::optional<std::unordered_map<uint32_t, int64_t>> decode_cache_;
+  // Per-instance immutable decode cache, built lazily by DecodedFlows().
+  // Deliberately NOT propagated by copies (see the copy constructor): a
+  // published SketchView fills it under a once_flag while other threads
+  // may be copying the view's sketch, so copies must not read it.
+  mutable std::shared_ptr<const std::unordered_map<uint32_t, int64_t>>
+      decode_cache_;
 
   // Telemetry (no-ops unless built with DAVINCI_STATS); queries_ is
-  // mutable because Query() is const.
+  // mutable because Query() is const, and relaxed-atomic because snapshot
+  // views run Query concurrently from many reader threads.
   obs::EventCounter inserts_;
-  mutable obs::EventCounter queries_;
+  mutable obs::SharedEventCounter queries_;
+};
+
+// An immutable, internally-synchronized view of a DaVinciSketch, produced
+// by DaVinciSketch::Snapshot(). The view owns a CoW copy of the sketch:
+// buffers stay shared with the live sketch until the live side writes, so
+// the view's answers are frozen at snapshot time ("bit-stable") no matter
+// what the writer does afterwards.
+//
+// Thread safety: every method is safe to call concurrently from any number
+// of threads. The only lazily-built state — the IFP decode cache — is
+// materialized through a once_flag; the pure FP fast path never waits on
+// it, so point queries that the frequent part settles stay decode-free.
+class SketchView {
+ public:
+  explicit SketchView(const DaVinciSketch& sketch) : sketch_(sketch) {}
+  SketchView(const SketchView&) = delete;
+  SketchView& operator=(const SketchView&) = delete;
+
+  int64_t Query(uint32_t key) const;
+  std::vector<int64_t> QueryBatch(std::span<const uint32_t> keys) const;
+  // Pure read over the EF bottom level + FP entries; never decodes.
+  double EstimateCardinality() const { return sketch_.EstimateCardinality(); }
+  std::vector<std::pair<uint32_t, int64_t>> HeavyHitters(
+      int64_t threshold) const;
+
+  // The frozen sketch itself, for merged-task queries (Merge a copy,
+  // InnerProduct, Save, ...). Callers must treat it as const.
+  const DaVinciSketch& sketch() const { return sketch_; }
+
+  size_t MemoryBytes() const { return sketch_.MemoryBytes(); }
+
+ private:
+  // Materializes the decode cache exactly once (thread-safe); afterwards
+  // every DecodedFlows() call inside the query tail is a const read.
+  void Decoded() const;
+
+  DaVinciSketch sketch_;
+  mutable std::once_flag decode_once_;
 };
 
 }  // namespace davinci

@@ -61,6 +61,10 @@ class ElementFilter {
 
   const TowerSketch& tower() const { return tower_; }
 
+  // Identity of the underlying tower's shared counter storage (CoW test
+  // hook — see TowerSketch::StorageId).
+  const void* StorageId() const { return tower_.StorageId(); }
+
   void SaveState(std::ostream& out) const { tower_.SaveState(out); }
   bool LoadState(std::istream& in) { return tower_.LoadState(in); }
 

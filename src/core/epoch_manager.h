@@ -1,0 +1,141 @@
+#ifndef DAVINCI_CORE_EPOCH_MANAGER_H_
+#define DAVINCI_CORE_EPOCH_MANAGER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/davinci_sketch.h"
+
+// EpochManager: the one window lifecycle every temporal feature sits on
+// (DESIGN.md §10). It owns epoch rotation — Advance() seals the current
+// epoch (a zero-copy move into an immutable shared_ptr) and opens a fresh
+// same-seed sketch — and retains a ring of up to W−1 sealed epochs plus
+// the live one, so the window covers the last W epochs exactly like the
+// original SlidingDaVinci deque.
+//
+// Window queries are answered by LAZY INCREMENTAL MERGE with memoized
+// prefix merges, using the classic two-stack sliding-window aggregation
+// (DaVinci merge is associative in value but NOT invertible — λ-vote
+// eviction loses information — so a subtract-the-expired-epoch scheme is
+// unsound):
+//
+//  - back accumulator: a running left-fold merge of the most recently
+//    sealed epochs, extended by one Merge per Advance();
+//  - front suffix stack: for the oldest segment, entry i memoizes the
+//    merge of epoch i with everything newer in the segment. Expiring the
+//    oldest epoch is a pop; when the stack runs dry the back segment is
+//    flipped into it (one Merge per epoch, amortized O(1) per Advance).
+//
+// MergedWindow() then combines at most two memoized aggregates and the
+// live epoch — constant merge work per call regardless of W, with sealed
+// epochs never re-merged (the `window_merge_hits` telemetry counts how
+// many sealed epochs each query served from the memo).
+//
+// Not internally synchronized: like DaVinciSketch, callers serialize
+// writes; wrap in ConcurrentDaVinci-style locking if needed.
+
+namespace davinci {
+
+class EpochManager {
+ public:
+  // The window spans `window_epochs` epochs of `bytes_per_epoch` each; all
+  // epochs share `seed`, so they stay mergeable.
+  EpochManager(size_t window_epochs, size_t bytes_per_epoch, uint64_t seed);
+
+  // ---- write path (live epoch) ----
+  void Insert(uint32_t key, int64_t count = 1);
+  void InsertBatch(std::span<const uint32_t> keys,
+                   std::span<const int64_t> counts);
+  void InsertBatch(std::span<const uint32_t> keys);  // count 1 per key
+
+  // Seals the current epoch into the ring and opens a fresh same-seed
+  // sketch; the oldest epoch expires once the window would exceed W.
+  void Advance();
+
+  // ---- window queries ----
+  // Frequency over the whole window (sum of per-epoch estimates).
+  int64_t Query(uint32_t key) const;
+  // Frequency in the live epoch only.
+  int64_t QueryCurrentEpoch(uint32_t key) const;
+  // One merged sketch covering the window, for the remaining tasks (heavy
+  // hitters, cardinality, distribution, entropy, joins). Constant merge
+  // work per call via the memoized aggregates.
+  DaVinciSketch MergedWindow() const;
+
+  // Heavy changers of the newest epoch against the merged remainder of
+  // the window (the paper's two-window semantics, Algorithm 4 task 3).
+  // With set_legacy_heavy_changers(true), compares against the single
+  // oldest epoch instead (the pre-epoch-engine behavior; default off).
+  std::vector<std::pair<uint32_t, int64_t>> HeavyChangers(
+      int64_t delta) const;
+  void set_legacy_heavy_changers(bool legacy) {
+    legacy_heavy_changers_ = legacy;
+  }
+
+  // ---- introspection ----
+  const DaVinciSketch& live() const { return live_; }
+  size_t window_epochs() const { return max_epochs_; }
+  size_t sealed_epochs() const {
+    return front_stack_.size() + back_epochs_.size();
+  }
+  size_t epochs_in_window() const { return sealed_epochs() + 1; }
+  uint64_t rotations() const { return rotations_; }
+  uint64_t window_merge_hits() const { return window_merge_hits_; }
+  uint64_t window_rebuild_merges() const { return rebuild_merges_; }
+
+  // Design bytes of the W window epochs (the memoized aggregates are
+  // derived caches and not counted, matching the pre-engine accounting).
+  size_t MemoryBytes() const;
+
+  // Aborts (DAVINCI_CHECK) on a violated structural invariant: the window
+  // never holds more than W epochs, every epoch and memoized aggregate
+  // passes its own sketch audit, and the memo covers exactly the sealed
+  // epochs.
+  void CheckInvariants(InvariantMode mode) const;
+
+  // Accumulates every window epoch's HealthSnapshot (shards counts
+  // epochs, as in ConcurrentDaVinci) and fills the `epoch` section with
+  // rotation/memoization/CoW telemetry.
+  void CollectStats(obs::HealthSnapshot* out) const;
+
+ private:
+  struct FrontEntry {
+    std::shared_ptr<const DaVinciSketch> epoch;
+    // Merge of `epoch` with every newer epoch in the front segment.
+    std::shared_ptr<const DaVinciSketch> agg;
+  };
+
+  // Pops the oldest epoch, flipping the back segment into the suffix
+  // stack first if the stack is dry.
+  void Expire();
+  void Flip();
+  // Merged remainder of the window excluding the live epoch; requires
+  // sealed_epochs() > 0. Bumps window_merge_hits_.
+  DaVinciSketch MergedSealed() const;
+
+  size_t max_epochs_;
+  size_t bytes_per_epoch_;
+  uint64_t seed_;
+  bool legacy_heavy_changers_ = false;
+
+  DaVinciSketch live_;
+  uint64_t live_inserts_ = 0;  // lets MergedWindow skip merging an empty live
+  // Oldest segment, top (back()) = oldest epoch in the window.
+  std::vector<FrontEntry> front_stack_;
+  // Newest sealed segment in seal order (front() = oldest of the segment).
+  std::deque<std::shared_ptr<const DaVinciSketch>> back_epochs_;
+  // Left-fold merge of back_epochs_; null iff back_epochs_ is empty.
+  std::shared_ptr<DaVinciSketch> back_agg_;
+
+  uint64_t rotations_ = 0;
+  uint64_t rebuild_merges_ = 0;
+  mutable uint64_t window_merge_hits_ = 0;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_CORE_EPOCH_MANAGER_H_

@@ -5,6 +5,7 @@
 
 #include "common/prefetch.h"
 #include "common/serialize.h"
+#include "obs/stats.h"
 
 namespace davinci {
 
@@ -14,33 +15,42 @@ FrequentPart::FrequentPart(size_t buckets, size_t slots, int64_t evict_lambda,
       slots_(std::max<size_t>(1, slots)),
       stride_(simd::PaddedSlots(std::max<size_t>(1, slots))),
       evict_lambda_(evict_lambda),
-      hash_(seed * 21000277 + 17) {
-  keys_.assign(buckets_ * stride_, 0);
-  counts_.assign(buckets_ * stride_, 0);
-  tainted_.assign(buckets_ * stride_, 0);
-  ecnt_.assign(buckets_, 0);
-  flags_.assign(buckets_, 0);
+      hash_(seed * 21000277 + 17),
+      store_(std::make_shared<Storage>()) {
+  store_->keys.assign(buckets_ * stride_, 0);
+  store_->counts.assign(buckets_ * stride_, 0);
+  store_->tainted.assign(buckets_ * stride_, 0);
+  store_->ecnt.assign(buckets_, 0);
+  store_->flags.assign(buckets_, 0);
+}
+
+void FrequentPart::CloneStore() {
+  store_ = std::make_shared<Storage>(*store_);
+  obs::CowTally::RecordClone(store_->ByteSize());
 }
 
 void FrequentPart::PrefetchBucket(uint64_t base_hash) const {
+  const Storage& s = *store_;
   size_t base = BucketOfBase(base_hash) * stride_;
-  PrefetchWrite(&keys_[base]);
-  PrefetchWrite(&counts_[base]);
+  PrefetchWrite(&s.keys[base]);
+  PrefetchWrite(&s.counts[base]);
   // A bucket's counts span stride_ × 8 bytes and may straddle a line.
-  PrefetchWrite(&counts_[base + stride_ - 1]);
+  PrefetchWrite(&s.counts[base + stride_ - 1]);
 }
 
 void FrequentPart::PrefetchBucketRead(uint64_t base_hash) const {
+  const Storage& s = *store_;
   size_t base = BucketOfBase(base_hash) * stride_;
-  PrefetchRead(&keys_[base]);
-  PrefetchRead(&counts_[base]);
-  PrefetchRead(&counts_[base + stride_ - 1]);
+  PrefetchRead(&s.keys[base]);
+  PrefetchRead(&s.counts[base]);
+  PrefetchRead(&s.counts[base + stride_ - 1]);
 }
 
 FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
                                                         uint64_t base_hash,
                                                         int64_t count) {
   stats_.inserts.Inc();
+  Storage& st = Mut();
   size_t bucket = BucketOfBase(base_hash);
   size_t base = bucket * stride_;
 
@@ -49,29 +59,30 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
   // probes, full miss = slots_ probes) so MemoryAccesses() stays
   // backend-independent. Liveness is count != 0 so that difference tables
   // (negative counts) keep working.
-  size_t hit = simd::FindLiveKey(&keys_[base], &counts_[base], stride_, key);
+  size_t hit = simd::FindLiveKey(&st.keys[base], &st.counts[base], stride_, key);
   if (hit != SIZE_MAX) {
     accesses_ += hit + 1;
     size_t i = base + hit;
-    counts_[i] += count;
-    if (i != base && std::llabs(counts_[i]) > std::llabs(counts_[i - 1])) {
+    st.counts[i] += count;
+    if (i != base &&
+        std::llabs(st.counts[i]) > std::llabs(st.counts[i - 1])) {
       // Move-to-front: hot flows bubble toward the bucket head so their
       // next hit costs fewer probes.
-      std::swap(keys_[i], keys_[i - 1]);
-      std::swap(counts_[i], counts_[i - 1]);
-      std::swap(tainted_[i], tainted_[i - 1]);
+      std::swap(st.keys[i], st.keys[i - 1]);
+      std::swap(st.counts[i], st.counts[i - 1]);
+      std::swap(st.tainted[i], st.tainted[i - 1]);
     }
     stats_.hits.Inc();
     return {};
   }
   accesses_ += slots_;
 
-  size_t empty = simd::FindZeroCount(&counts_[base], stride_);
+  size_t empty = simd::FindZeroCount(&st.counts[base], stride_);
   if (empty < slots_) {  // case 2 (a padding slot does not count as free)
     size_t i = base + empty;
-    keys_[i] = key;
-    counts_[i] = count;
-    tainted_[i] = 0;
+    st.keys[i] = key;
+    st.counts[i] = count;
+    st.tainted[i] = 0;
     stats_.fills.Inc();
     return {};
   }
@@ -80,28 +91,29 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
   size_t min_slot = base;
   bool min_seen = false;
   for (size_t i = base; i < base + slots_; ++i) {
-    if (!min_seen || std::llabs(counts_[i]) < std::llabs(counts_[min_slot])) {
+    if (!min_seen ||
+        std::llabs(st.counts[i]) < std::llabs(st.counts[min_slot])) {
       min_slot = i;
       min_seen = true;
     }
   }
 
   accesses_ += 2;  // ecnt + flag
-  ecnt_[bucket] += 1;
-  if (static_cast<int64_t>(ecnt_[bucket]) >
-      evict_lambda_ * std::llabs(counts_[min_slot])) {
+  st.ecnt[bucket] += 1;
+  if (static_cast<int64_t>(st.ecnt[bucket]) >
+      evict_lambda_ * std::llabs(st.counts[min_slot])) {
     // Case 3: evict the resident minimum toward the element filter. The
     // newcomer had earlier rejections routed to the filter, so it is
     // tainted.
     InsertResult result;
     result.action = InsertResult::Action::kEvicted;
-    result.overflow_key = keys_[min_slot];
-    result.overflow_count = counts_[min_slot];
-    keys_[min_slot] = key;
-    counts_[min_slot] = count;
-    tainted_[min_slot] = 1;
-    flags_[bucket] = 1;
-    ecnt_[bucket] = 0;
+    result.overflow_key = st.keys[min_slot];
+    result.overflow_count = st.counts[min_slot];
+    st.keys[min_slot] = key;
+    st.counts[min_slot] = count;
+    st.tainted[min_slot] = 1;
+    st.flags[bucket] = 1;
+    st.ecnt[bucket] = 0;
     stats_.evictions.Inc();
     return result;
   }
@@ -120,13 +132,14 @@ bool FrequentPart::Contains(uint32_t key) const {
 }
 
 std::vector<FrequentPart::Entry> FrequentPart::Entries() const {
+  const Storage& st = *store_;
   std::vector<Entry> entries;
   for (size_t b = 0; b < buckets_; ++b) {
     size_t base = b * stride_;
     for (size_t s = 0; s < slots_; ++s) {
       size_t i = base + s;
-      if (counts_[i] != 0) {
-        entries.push_back({keys_[i], counts_[i], tainted_[i] != 0});
+      if (st.counts[i] != 0) {
+        entries.push_back({st.keys[i], st.counts[i], st.tainted[i] != 0});
       }
     }
   }
@@ -138,21 +151,22 @@ std::vector<FrequentPart::Entry> FrequentPart::Entries() const {
 // (and to pre-stride builds; the pinned digest in serialization_fuzz_test
 // enforces this).
 void FrequentPart::SaveState(std::ostream& out) const {
+  const Storage& st = *store_;
   std::vector<uint32_t> keys(buckets_ * slots_);
   std::vector<int64_t> counts(buckets_ * slots_);
   std::vector<uint8_t> tainted(buckets_ * slots_);
   for (size_t b = 0; b < buckets_; ++b) {
     for (size_t s = 0; s < slots_; ++s) {
-      keys[b * slots_ + s] = keys_[b * stride_ + s];
-      counts[b * slots_ + s] = counts_[b * stride_ + s];
-      tainted[b * slots_ + s] = tainted_[b * stride_ + s];
+      keys[b * slots_ + s] = st.keys[b * stride_ + s];
+      counts[b * slots_ + s] = st.counts[b * stride_ + s];
+      tainted[b * slots_ + s] = st.tainted[b * stride_ + s];
     }
   }
   WriteVec(out, keys);
   WriteVec(out, counts);
   WriteVec(out, tainted);
-  WriteVec(out, ecnt_);
-  WriteVec(out, flags_);
+  WriteVec(out, st.ecnt);
+  WriteVec(out, st.flags);
 }
 
 bool FrequentPart::LoadState(std::istream& in) {
@@ -166,41 +180,43 @@ bool FrequentPart::LoadState(std::istream& in) {
     return false;
   }
   if (keys.size() != buckets_ * slots_ || counts.size() != keys.size() ||
-      tainted.size() != keys.size() || ecnt.size() != ecnt_.size() ||
-      flags.size() != flags_.size()) {
+      tainted.size() != keys.size() || ecnt.size() != buckets_ ||
+      flags.size() != buckets_) {
     return false;
   }
-  keys_.assign(buckets_ * stride_, 0);
-  counts_.assign(buckets_ * stride_, 0);
-  tainted_.assign(buckets_ * stride_, 0);
+  Storage& st = Mut();
+  st.keys.assign(buckets_ * stride_, 0);
+  st.counts.assign(buckets_ * stride_, 0);
+  st.tainted.assign(buckets_ * stride_, 0);
   for (size_t b = 0; b < buckets_; ++b) {
     for (size_t s = 0; s < slots_; ++s) {
-      keys_[b * stride_ + s] = keys[b * slots_ + s];
-      counts_[b * stride_ + s] = counts[b * slots_ + s];
-      tainted_[b * stride_ + s] = tainted[b * slots_ + s];
+      st.keys[b * stride_ + s] = keys[b * slots_ + s];
+      st.counts[b * stride_ + s] = counts[b * slots_ + s];
+      st.tainted[b * stride_ + s] = tainted[b * slots_ + s];
     }
   }
-  ecnt_ = std::move(ecnt);
-  flags_ = std::move(flags);
+  st.ecnt = std::move(ecnt);
+  st.flags = std::move(flags);
   return true;
 }
 
 void FrequentPart::CheckInvariants(InvariantMode mode) const {
+  const Storage& st = *store_;
   DAVINCI_CHECK_EQ(stride_, simd::PaddedSlots(slots_));
-  DAVINCI_CHECK_EQ(keys_.size(), buckets_ * stride_);
-  DAVINCI_CHECK_EQ(counts_.size(), buckets_ * stride_);
-  DAVINCI_CHECK_EQ(tainted_.size(), buckets_ * stride_);
-  DAVINCI_CHECK_EQ(ecnt_.size(), buckets_);
-  DAVINCI_CHECK_EQ(flags_.size(), buckets_);
+  DAVINCI_CHECK_EQ(st.keys.size(), buckets_ * stride_);
+  DAVINCI_CHECK_EQ(st.counts.size(), buckets_ * stride_);
+  DAVINCI_CHECK_EQ(st.tainted.size(), buckets_ * stride_);
+  DAVINCI_CHECK_EQ(st.ecnt.size(), buckets_);
+  DAVINCI_CHECK_EQ(st.flags.size(), buckets_);
   for (size_t b = 0; b < buckets_; ++b) {
     const std::string where = "bucket " + std::to_string(b);
-    DAVINCI_CHECK_MSG(flags_[b] <= 1, where);
+    DAVINCI_CHECK_MSG(st.flags[b] <= 1, where);
     size_t base = b * stride_;
     // Padding slots must stay permanently empty or the vector probe could
     // surface a phantom entry.
     for (size_t s = slots_; s < stride_; ++s) {
-      DAVINCI_CHECK_MSG(keys_[base + s] == 0 && counts_[base + s] == 0 &&
-                            tainted_[base + s] == 0,
+      DAVINCI_CHECK_MSG(st.keys[base + s] == 0 && st.counts[base + s] == 0 &&
+                            st.tainted[base + s] == 0,
                         where + ": dirty padding slot " + std::to_string(s));
     }
     bool full = true;
@@ -209,24 +225,24 @@ void FrequentPart::CheckInvariants(InvariantMode mode) const {
     bool min_seen = false;
     for (size_t s = 0; s < slots_; ++s) {
       size_t i = base + s;
-      DAVINCI_CHECK_MSG(tainted_[i] <= 1, where);
-      if (counts_[i] == 0) {
+      DAVINCI_CHECK_MSG(st.tainted[i] <= 1, where);
+      if (st.counts[i] == 0) {
         full = false;
         continue;
       }
-      DAVINCI_CHECK_MSG(BucketOf(keys_[i]) == b,
+      DAVINCI_CHECK_MSG(BucketOf(st.keys[i]) == b,
                         where + ": resident key " +
-                            std::to_string(keys_[i]) + " hashes elsewhere");
+                            std::to_string(st.keys[i]) + " hashes elsewhere");
       for (size_t t = s + 1; t < slots_; ++t) {
-        DAVINCI_CHECK_MSG(counts_[base + t] == 0 || keys_[base + t] != keys_[i],
-                          where + ": duplicate key " +
-                              std::to_string(keys_[i]));
+        DAVINCI_CHECK_MSG(
+            st.counts[base + t] == 0 || st.keys[base + t] != st.keys[i],
+            where + ": duplicate key " + std::to_string(st.keys[i]));
       }
       if (mode == InvariantMode::kAdditive) {
-        DAVINCI_CHECK_MSG(counts_[i] > 0, where + ": nonpositive count");
+        DAVINCI_CHECK_MSG(st.counts[i] > 0, where + ": nonpositive count");
       }
-      if (counts_[i] < 0) all_positive = false;
-      int64_t abs = std::llabs(counts_[i]);
+      if (st.counts[i] < 0) all_positive = false;
+      int64_t abs = std::llabs(st.counts[i]);
       if (!min_seen || abs < min_abs) {
         min_abs = abs;
         min_seen = true;
@@ -234,13 +250,13 @@ void FrequentPart::CheckInvariants(InvariantMode mode) const {
     }
     if (mode == InvariantMode::kAdditive) {
       if (!full) {
-        DAVINCI_CHECK_MSG(ecnt_[b] == 0,
+        DAVINCI_CHECK_MSG(st.ecnt[b] == 0,
                           where + ": evict counter moved while a slot was "
                                   "free");
       } else if (all_positive && min_seen) {
         DAVINCI_CHECK_MSG(
-            static_cast<int64_t>(ecnt_[b]) <= evict_lambda_ * min_abs,
-            where + ": ecnt " + std::to_string(ecnt_[b]) +
+            static_cast<int64_t>(st.ecnt[b]) <= evict_lambda_ * min_abs,
+            where + ": ecnt " + std::to_string(st.ecnt[b]) +
                 " exceeds lambda*min " +
                 std::to_string(evict_lambda_ * min_abs));
       }
@@ -249,19 +265,20 @@ void FrequentPart::CheckInvariants(InvariantMode mode) const {
 }
 
 void FrequentPart::CollectStats(obs::FpHealth* out) const {
+  const Storage& st = *store_;
   out->buckets = buckets_;
   out->slots = slots_;
   out->live_slots = 0;
-  for (int64_t count : counts_) {
+  for (int64_t count : st.counts) {
     if (count != 0) ++out->live_slots;
   }
   out->flagged_buckets = 0;
-  for (uint8_t flag : flags_) {
+  for (uint8_t flag : st.flags) {
     if (flag != 0) ++out->flagged_buckets;
   }
   out->ecnt_sum = 0;
   out->ecnt_max = 0;
-  for (uint32_t ecnt : ecnt_) {
+  for (uint32_t ecnt : st.ecnt) {
     out->ecnt_sum += ecnt;
     if (ecnt > out->ecnt_max) out->ecnt_max = ecnt;
   }
@@ -277,20 +294,21 @@ void FrequentPart::OverwriteBucket(size_t bucket,
                                    bool flag) {
   DAVINCI_DCHECK_LT(bucket, buckets_);
   DAVINCI_DCHECK_LE(entries.size(), slots_);
+  Storage& st = Mut();
   size_t base = bucket * stride_;
   for (size_t s = 0; s < slots_; ++s) {
     if (s < entries.size()) {
-      keys_[base + s] = entries[s].key;
-      counts_[base + s] = entries[s].count;
-      tainted_[base + s] = entries[s].tainted ? 1 : 0;
+      st.keys[base + s] = entries[s].key;
+      st.counts[base + s] = entries[s].count;
+      st.tainted[base + s] = entries[s].tainted ? 1 : 0;
     } else {
-      keys_[base + s] = 0;
-      counts_[base + s] = 0;
-      tainted_[base + s] = 0;
+      st.keys[base + s] = 0;
+      st.counts[base + s] = 0;
+      st.tainted[base + s] = 0;
     }
   }
-  flags_[bucket] = flag ? 1 : 0;
-  ecnt_[bucket] = 0;
+  st.flags[bucket] = flag ? 1 : 0;
+  st.ecnt[bucket] = 0;
 }
 
 }  // namespace davinci

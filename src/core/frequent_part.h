@@ -24,6 +24,12 @@
 // permanently empty (key 0 / count 0) and invisible to every accessor;
 // serialization writes only the logical c slots per bucket, so the on-disk
 // format is identical across SIMD backends and pre-padding builds.
+//
+// The flat arrays live behind a shared_ptr so copies share storage in O(1)
+// (copy-on-write): the write path clones the arrays lazily, only when a
+// snapshot still references them (DESIGN.md §10). With no snapshot
+// outstanding a mutation costs one relaxed use_count load on top of the
+// pre-CoW code.
 
 namespace davinci {
 
@@ -82,11 +88,13 @@ class FrequentPart {
   // computed once by the caller (the batched query pipeline's form).
   int64_t QueryWithBase(uint64_t base_hash, uint32_t key,
                         bool* tainted) const {
+    const Storage& s = *store_;
     size_t base = BucketOfBase(base_hash) * stride_;
-    size_t hit = simd::FindLiveKey(&keys_[base], &counts_[base], stride_, key);
+    size_t hit = simd::FindLiveKey(&s.keys[base], &s.counts[base], stride_,
+                                   key);
     if (hit == SIZE_MAX) return 0;
-    if (tainted != nullptr) *tainted = tainted_[base + hit] != 0;
-    return counts_[base + hit];
+    if (tainted != nullptr) *tainted = s.tainted[base + hit] != 0;
+    return s.counts[base + hit];
   }
 
   bool Contains(uint32_t key) const;
@@ -94,11 +102,14 @@ class FrequentPart {
   // Direct structural access (merge, heavy hitters, cardinality).
   size_t num_buckets() const { return buckets_; }
   size_t num_slots() const { return slots_; }
-  bool BucketFlag(size_t bucket) const { return flags_[bucket]; }
-  void SetBucketFlag(size_t bucket, bool flag) { flags_[bucket] = flag; }
+  bool BucketFlag(size_t bucket) const { return store_->flags[bucket]; }
+  void SetBucketFlag(size_t bucket, bool flag) {
+    Mut().flags[bucket] = flag;
+  }
   Entry EntryAt(size_t bucket, size_t slot) const {
+    const Storage& s = *store_;
     size_t i = bucket * stride_ + slot;
-    return {keys_[i], counts_[i], tainted_[i] != 0};
+    return {s.keys[i], s.counts[i], s.tainted[i] != 0};
   }
   size_t BucketOf(uint32_t key) const {
     return hash_.BucketFast(key, buckets_);
@@ -139,17 +150,41 @@ class FrequentPart {
                        DaVinciConfig::kFpBucketOverheadBytes);
   }
 
+  // Identity of the shared flat storage — two FrequentParts return the
+  // same pointer iff they still share buffers (CoW test hook; not part of
+  // the measurement API).
+  const void* StorageId() const { return store_.get(); }
+
  private:
+  struct Storage {
+    std::vector<uint32_t> keys;     // buckets_ × stride_ (padding keys are 0)
+    std::vector<int64_t> counts;    // buckets_ × stride_ (0 = empty slot)
+    std::vector<uint8_t> tainted;   // buckets_ × stride_
+    std::vector<uint32_t> ecnt;     // per-bucket evict counters
+    std::vector<uint8_t> flags;     // per-bucket evict flags
+    size_t ByteSize() const {
+      return keys.size() * sizeof(uint32_t) +
+             counts.size() * sizeof(int64_t) + tainted.size() +
+             ecnt.size() * sizeof(uint32_t) + flags.size();
+    }
+  };
+
+  // Write-path storage access: clones iff a snapshot still shares the
+  // buffers. Refcount increments only happen while the owner is externally
+  // synchronized with writes, so a concurrent *release* by a reader can at
+  // worst cause one spurious clone — never a missed one.
+  Storage& Mut() {
+    if (store_.use_count() > 1) CloneStore();
+    return *store_;
+  }
+  void CloneStore();
+
   size_t buckets_;
   size_t slots_;
   size_t stride_;  // slots_ rounded up to simd::kKeyLaneStride
   int64_t evict_lambda_;
   HashFamily hash_;
-  std::vector<uint32_t> keys_;     // buckets_ × stride_ (padding keys are 0)
-  std::vector<int64_t> counts_;    // buckets_ × stride_ (0 = empty slot)
-  std::vector<uint8_t> tainted_;   // buckets_ × stride_
-  std::vector<uint32_t> ecnt_;     // per-bucket evict counters
-  std::vector<uint8_t> flags_;     // per-bucket evict flags
+  std::shared_ptr<Storage> store_;
   mutable uint64_t accesses_ = 0;
 
   // Telemetry (no-ops unless built with DAVINCI_STATS).

@@ -15,43 +15,52 @@ InfrequentPart::InfrequentPart(size_t rows, size_t buckets_per_row,
                                bool use_signs, uint64_t seed)
     : rows_(std::max<size_t>(1, rows)),
       width_(std::max<size_t>(1, buckets_per_row)),
-      use_signs_(use_signs) {
+      use_signs_(use_signs),
+      store_(std::make_shared<Storage>()) {
   hashes_.reserve(rows_);
   signs_.reserve(rows_);
   for (size_t i = 0; i < rows_; ++i) {
     hashes_.emplace_back(seed * 23000407 + i);
     signs_.emplace_back(seed * 23000407 + i + 424242);
   }
-  ids_.assign(rows_ * width_, 0);
-  counts_.assign(rows_ * width_, 0);
+  store_->ids.assign(rows_ * width_, 0);
+  store_->counts.assign(rows_ * width_, 0);
+}
+
+void InfrequentPart::CloneStore() {
+  store_ = std::make_shared<Storage>(*store_);
+  obs::CowTally::RecordClone(store_->ByteSize());
 }
 
 void InfrequentPart::InsertWithHash(uint32_t key, uint64_t base_hash,
                                     int64_t count) {
   stats_.inserts.Inc();
+  Storage& st = Mut();
   uint64_t delta = MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
   for (size_t i = 0; i < rows_; ++i) {
     ++accesses_;
     size_t j = BucketIndexBase(i, base_hash);
-    ids_[j] = AddMod(ids_[j], delta, kFermatPrime);
-    counts_[j] += SignBase(i, base_hash) * count;
+    st.ids[j] = AddMod(st.ids[j], delta, kFermatPrime);
+    st.counts[j] += SignBase(i, base_hash) * count;
   }
 }
 
 void InfrequentPart::Prefetch(uint64_t base_hash) const {
+  const Storage& st = *store_;
   for (size_t i = 0; i < rows_; ++i) {
     size_t j = BucketIndexBase(i, base_hash);
-    PrefetchWrite(&ids_[j]);
-    PrefetchWrite(&counts_[j]);
+    PrefetchWrite(&st.ids[j]);
+    PrefetchWrite(&st.counts[j]);
   }
 }
 
 int64_t InfrequentPart::FastQueryWithBase(uint64_t base_hash) const {
+  const Storage& st = *store_;
   std::vector<int64_t> estimates;
   estimates.reserve(rows_);
   for (size_t i = 0; i < rows_; ++i) {
     estimates.push_back(SignBase(i, base_hash) *
-                        counts_[BucketIndexBase(i, base_hash)]);
+                        st.counts[BucketIndexBase(i, base_hash)]);
   }
   std::nth_element(estimates.begin(), estimates.begin() + estimates.size() / 2,
                    estimates.end());
@@ -66,8 +75,8 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
   obs::ScopedLatencyTimer decode_timer(
       &obs::StatsRegistry::Global().Histogram("ifp_decode"));
 
-  std::vector<uint64_t> ids = ids_;
-  std::vector<int64_t> counts = counts_;
+  std::vector<uint64_t> ids = store_->ids;
+  std::vector<int64_t> counts = store_->counts;
   std::unordered_map<uint32_t, int64_t> flows;
 
   auto validate = [&](uint32_t key) {
@@ -232,16 +241,20 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
 }
 
 void InfrequentPart::Merge(const InfrequentPart& other) {
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    ids_[i] = AddMod(ids_[i], other.ids_[i], kFermatPrime);
-    counts_[i] += other.counts_[i];
+  Storage& st = Mut();
+  const Storage& src = *other.store_;
+  for (size_t i = 0; i < st.ids.size(); ++i) {
+    st.ids[i] = AddMod(st.ids[i], src.ids[i], kFermatPrime);
+    st.counts[i] += src.counts[i];
   }
 }
 
 void InfrequentPart::Subtract(const InfrequentPart& other) {
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    ids_[i] = SubMod(ids_[i], other.ids_[i], kFermatPrime);
-    counts_[i] -= other.counts_[i];
+  Storage& st = Mut();
+  const Storage& src = *other.store_;
+  for (size_t i = 0; i < st.ids.size(); ++i) {
+    st.ids[i] = SubMod(st.ids[i], src.ids[i], kFermatPrime);
+    st.counts[i] -= src.counts[i];
   }
 }
 
@@ -252,8 +265,8 @@ double InfrequentPart::InnerProduct(const InfrequentPart& a,
   for (size_t i = 0; i < a.rows_; ++i) {
     double dot = 0.0;
     for (size_t j = 0; j < a.width_; ++j) {
-      dot += static_cast<double>(a.counts_[i * a.width_ + j]) *
-             static_cast<double>(b.counts_[i * b.width_ + j]);
+      dot += static_cast<double>(a.store_->counts[i * a.width_ + j]) *
+             static_cast<double>(b.store_->counts[i * b.width_ + j]);
     }
     row_dots.push_back(dot);
   }
@@ -263,25 +276,27 @@ double InfrequentPart::InnerProduct(const InfrequentPart& a,
 }
 
 void InfrequentPart::SaveState(std::ostream& out) const {
-  WriteVec(out, ids_);
-  WriteVec(out, counts_);
+  WriteVec(out, store_->ids);
+  WriteVec(out, store_->counts);
 }
 
 bool InfrequentPart::LoadState(std::istream& in) {
   std::vector<uint64_t> ids;
   std::vector<int64_t> counts;
   if (!ReadVec(in, &ids) || !ReadVec(in, &counts)) return false;
-  if (ids.size() != ids_.size() || counts.size() != counts_.size()) {
+  if (ids.size() != rows_ * width_ || counts.size() != rows_ * width_) {
     return false;
   }
-  ids_ = std::move(ids);
-  counts_ = std::move(counts);
+  Storage& st = Mut();
+  st.ids = std::move(ids);
+  st.counts = std::move(counts);
   return true;
 }
 
 void InfrequentPart::CheckInvariants(InvariantMode mode) const {
-  DAVINCI_CHECK_EQ(ids_.size(), rows_ * width_);
-  DAVINCI_CHECK_EQ(counts_.size(), rows_ * width_);
+  const Storage& st = *store_;
+  DAVINCI_CHECK_EQ(st.ids.size(), rows_ * width_);
+  DAVINCI_CHECK_EQ(st.counts.size(), rows_ * width_);
   DAVINCI_CHECK_EQ(hashes_.size(), rows_);
   DAVINCI_CHECK_EQ(signs_.size(), rows_);
   uint64_t row0_id_sum = 0;
@@ -291,13 +306,13 @@ void InfrequentPart::CheckInvariants(InvariantMode mode) const {
     int64_t count_sum = 0;
     for (size_t j = 0; j < width_; ++j) {
       size_t i = row * width_ + j;
-      DAVINCI_CHECK_MSG(ids_[i] < kFermatPrime,
+      DAVINCI_CHECK_MSG(st.ids[i] < kFermatPrime,
                         "row " + std::to_string(row) + " bucket " +
                             std::to_string(j) + ": iID outside the field");
-      id_sum = AddMod(id_sum, ids_[i], kFermatPrime);
-      count_sum += counts_[i];
+      id_sum = AddMod(id_sum, st.ids[i], kFermatPrime);
+      count_sum += st.counts[i];
       if (mode == InvariantMode::kAdditive && !use_signs_) {
-        DAVINCI_CHECK_MSG(counts_[i] >= 0,
+        DAVINCI_CHECK_MSG(st.counts[i] >= 0,
                           "row " + std::to_string(row) + " bucket " +
                               std::to_string(j) + ": negative icnt");
       }
@@ -325,9 +340,10 @@ void InfrequentPart::CollectStats(obs::IfpHealth* out) const {
 }
 
 size_t InfrequentPart::EmptyBuckets() const {
+  const Storage& st = *store_;
   size_t empty = 0;
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    if (ids_[i] == 0 && counts_[i] == 0) ++empty;
+  for (size_t i = 0; i < st.ids.size(); ++i) {
+    if (st.ids[i] == 0 && st.counts[i] == 0) ++empty;
   }
   return empty;
 }

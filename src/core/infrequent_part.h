@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -23,6 +24,10 @@
 //    the element filter,
 //  - linear merge/subtract for union and difference, and
 //  - an unbiased inner-product estimate between identically-seeded parts.
+//
+// The {iID, icnt} lanes live behind a shared_ptr so copies share storage
+// in O(1) (copy-on-write): the write path clones lazily, only when a
+// snapshot still references the buffers (DESIGN.md §10).
 
 namespace davinci {
 
@@ -75,10 +80,10 @@ class InfrequentPart {
   size_t rows() const { return rows_; }
   size_t width() const { return width_; }
   size_t EmptyBuckets() const;
-  size_t TotalBuckets() const { return ids_.size(); }
+  size_t TotalBuckets() const { return rows_ * width_; }
 
   size_t MemoryBytes() const {
-    return ids_.size() * DaVinciConfig::kIfpBucketBytes;
+    return rows_ * width_ * DaVinciConfig::kIfpBucketBytes;
   }
   // Raw state round-trip (geometry must already match).
   void SaveState(std::ostream& out) const;
@@ -100,6 +105,10 @@ class InfrequentPart {
 
   uint64_t memory_accesses() const { return accesses_; }
 
+  // Identity of the shared {iID, icnt} storage — two InfrequentParts
+  // return the same pointer iff they still share buffers (CoW test hook).
+  const void* StorageId() const { return store_.get(); }
+
  private:
   size_t BucketIndexBase(size_t row, uint64_t base_hash) const {
     return row * width_ + hashes_[row].BucketFastWithBase(base_hash, width_);
@@ -114,22 +123,41 @@ class InfrequentPart {
     return SignBase(row, HashFamily::BaseHash(key));
   }
 
+  struct Storage {
+    std::vector<uint64_t> ids;    // Σ count·key mod p, rows_ × width_
+    std::vector<int64_t> counts;  // Σ ζ(key)·count (signed)
+    size_t ByteSize() const {
+      return ids.size() * sizeof(uint64_t) + counts.size() * sizeof(int64_t);
+    }
+  };
+
+  // Write-path storage access: clones iff a snapshot still shares the
+  // buffers (see FrequentPart::Mut for the refcount reasoning).
+  Storage& Mut() {
+    if (store_.use_count() > 1) CloneStore();
+    return *store_;
+  }
+  void CloneStore();
+
   size_t rows_;
   size_t width_;
   bool use_signs_;
   std::vector<HashFamily> hashes_;
   std::vector<SignHash> signs_;
-  std::vector<uint64_t> ids_;    // Σ count·key mod p, rows_ × width_
-  std::vector<int64_t> counts_;  // Σ ζ(key)·count (signed)
+  std::shared_ptr<Storage> store_;
   mutable uint64_t accesses_ = 0;
 
   // Telemetry (no-ops unless built with DAVINCI_STATS). Mutable: Decode()
-  // is logically const but accounts its peeling outcomes.
+  // is logically const but accounts its peeling outcomes. The decode
+  // tallies are SharedEventCounter because a published SketchView runs its
+  // lazy decode concurrently with other readers copying or inspecting the
+  // same part (DESIGN.md §10); `inserts` stays plain — writes happen only
+  // under the owner's synchronization.
   struct Counters {
     obs::EventCounter inserts;
-    obs::EventCounter decode_runs;
-    obs::EventCounter decoded_flows;
-    obs::EventCounter decode_rejected_by_filter;
+    obs::SharedEventCounter decode_runs;
+    obs::SharedEventCounter decoded_flows;
+    obs::SharedEventCounter decode_rejected_by_filter;
   };
   mutable Counters stats_;
 };

@@ -49,6 +49,15 @@ void HealthSnapshot::Accumulate(const HealthSnapshot& other) {
   ifp.decode_runs += other.ifp.decode_runs;
   ifp.decoded_flows += other.ifp.decoded_flows;
   ifp.decode_rejected_by_filter += other.ifp.decode_rejected_by_filter;
+
+  epoch.window_epochs = std::max(epoch.window_epochs, other.epoch.window_epochs);
+  epoch.epochs_in_window += other.epoch.epochs_in_window;
+  epoch.rotations += other.epoch.rotations;
+  epoch.window_merge_hits += other.epoch.window_merge_hits;
+  epoch.window_rebuild_merges += other.epoch.window_rebuild_merges;
+  epoch.cow_clones = std::max(epoch.cow_clones, other.epoch.cow_clones);
+  epoch.cow_clone_bytes =
+      std::max(epoch.cow_clone_bytes, other.epoch.cow_clone_bytes);
 }
 
 void HealthSnapshot::WriteJson(std::ostream& out) const {
@@ -83,6 +92,13 @@ void HealthSnapshot::WriteJson(std::ostream& out) const {
       << ifp.decode_runs << ",\"decoded_flows\":" << ifp.decoded_flows
       << ",\"decode_rejected_by_filter\":" << ifp.decode_rejected_by_filter
       << "}";
+
+  out << ",\"epoch\":{\"window_epochs\":" << epoch.window_epochs
+      << ",\"epochs_in_window\":" << epoch.epochs_in_window
+      << ",\"rotations\":" << epoch.rotations << ",\"window_merge_hits\":"
+      << epoch.window_merge_hits << ",\"window_rebuild_merges\":"
+      << epoch.window_rebuild_merges << ",\"cow_clones\":" << epoch.cow_clones
+      << ",\"cow_clone_bytes\":" << epoch.cow_clone_bytes << "}";
 
   out << "}";
 }

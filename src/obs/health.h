@@ -97,6 +97,26 @@ struct IfpHealth {
   }
 };
 
+// Epoch engine (EpochManager: rotation + memoized window merges, see
+// DESIGN.md §10). All fields are structural/rotation-granularity counters,
+// live regardless of DAVINCI_STATS; zero when the snapshot came from a
+// plain sketch.
+struct EpochHealth {
+  size_t window_epochs = 0;     // configured W
+  size_t epochs_in_window = 0;  // sealed + live currently covered
+  uint64_t rotations = 0;       // Advance() calls
+  // Sealed epochs answered from a memoized suffix/accumulator merge
+  // instead of being re-merged (summed per window query).
+  uint64_t window_merge_hits = 0;
+  // Merges spent maintaining the memo (per-Advance accumulation + the
+  // amortized suffix rebuilds).
+  uint64_t window_rebuild_merges = 0;
+  // Process-wide CowTally readings at collect time (max on Accumulate —
+  // the tally is global, summing would double count).
+  uint64_t cow_clones = 0;
+  uint64_t cow_clone_bytes = 0;
+};
+
 struct HealthSnapshot {
   bool stats_enabled = kStatsEnabled;
   size_t shards = 1;  // > 1 when collected from a ConcurrentDaVinci
@@ -106,6 +126,7 @@ struct HealthSnapshot {
   FpHealth fp;
   EfHealth ef;
   IfpHealth ifp;
+  EpochHealth epoch;
 
   // Shard aggregation: sums capacities, scans and counters; takes the max
   // of ecnt_max; merges tower levels element-wise (shards share geometry).

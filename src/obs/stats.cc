@@ -60,6 +60,29 @@ uint64_t LatencyHistogram::PercentileNanos(double p) const {
   return MaxNanos();
 }
 
+namespace {
+std::atomic<uint64_t> g_cow_clones{0};
+std::atomic<uint64_t> g_cow_clone_bytes{0};
+}  // namespace
+
+void CowTally::RecordClone(size_t bytes) {
+  g_cow_clones.fetch_add(1, std::memory_order_relaxed);
+  g_cow_clone_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+uint64_t CowTally::Clones() {
+  return g_cow_clones.load(std::memory_order_relaxed);
+}
+
+uint64_t CowTally::CloneBytes() {
+  return g_cow_clone_bytes.load(std::memory_order_relaxed);
+}
+
+void CowTally::ResetForTesting() {
+  g_cow_clones.store(0, std::memory_order_relaxed);
+  g_cow_clone_bytes.store(0, std::memory_order_relaxed);
+}
+
 StatsRegistry& StatsRegistry::Global() {
   static StatsRegistry* registry = new StatsRegistry();
   return *registry;

@@ -48,6 +48,26 @@ class EventCounter {
  private:
   uint64_t value_ = 0;
 };
+// Relaxed-atomic event tally for counters bumped on *shared* read paths
+// (DaVinciSketch query tallies on published snapshots, ConcurrentDaVinci
+// lock-free reads). Copying reads the value — a snapshot starts with the
+// live sketch's tally and diverges independently. Stats-off builds compile
+// it away exactly like EventCounter.
+class SharedEventCounter {
+ public:
+  SharedEventCounter() = default;
+  SharedEventCounter(const SharedEventCounter& other)
+      : value_(other.value()) {}
+  SharedEventCounter& operator=(const SharedEventCounter& other) {
+    value_.store(other.value(), std::memory_order_relaxed);
+    return *this;
+  }
+  void Inc(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
 #else
 inline constexpr bool kStatsEnabled = false;
 
@@ -57,7 +77,28 @@ class EventCounter {
   void Inc(uint64_t = 1) {}
   uint64_t value() const { return 0; }
 };
+
+class SharedEventCounter {
+ public:
+  void Inc(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+};
 #endif
+
+// Process-wide tally of copy-on-write buffer clones (see DESIGN.md §10):
+// every time a part's write path clones its storage because a snapshot
+// still shares it, the clone's byte size lands here. Always compiled —
+// clones happen at whole-buffer granularity, never per key — so tests can
+// assert "no snapshot outstanding → no clone" in every build mode, and
+// benches can report snapshot write amplification.
+class CowTally {
+ public:
+  static void RecordClone(size_t bytes);
+  static uint64_t Clones();
+  static uint64_t CloneBytes();
+  // Zeroes both tallies (test/bench-only; racing writers may be mid-count).
+  static void ResetForTesting();
+};
 
 // Lock-free log-scale histogram: bucket i counts samples whose value's
 // bit-length is i, so bucket boundaries grow by powers of two (resolution

@@ -128,6 +128,55 @@ TEST(ConcurrentStressTest, MergeRacingInsertsAndQueries) {
   EXPECT_GT(target.EstimateCardinality(), 0.0);
 }
 
+TEST(ConcurrentStressTest, SnapshotViewsRacingWriters) {
+  // RCU leg: readers pin SnapshotAll() views and keep reading them while
+  // writers race ahead and republish. Runs everywhere; the tsan CI leg
+  // sets DAVINCI_STRESS_SNAPSHOTS=1 for a longer soak.
+  const char* soak_env = std::getenv("DAVINCI_STRESS_SNAPSHOTS");
+  const bool soak = soak_env != nullptr && *soak_env != '\0';
+  const size_t keys_per_writer = soak ? 30000 : 8000;
+  ConcurrentDaVinci sketch(4, 256 * 1024, 23);
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&sketch, t, keys_per_writer] {
+      std::vector<uint32_t> keys = ThreadKeys(t, keys_per_writer, 23);
+      size_t half = keys.size() / 2;
+      for (size_t i = 0; i < half; ++i) sketch.Insert(keys[i]);
+      sketch.InsertBatch(
+          std::span<const uint32_t>(keys.data() + half, keys.size() - half));
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    threads.emplace_back([&sketch, &done, t] {
+      std::mt19937_64 rng(7000 + static_cast<uint64_t>(t));
+      std::uniform_int_distribution<uint32_t> dist(1, 300000);
+      while (!done.load(std::memory_order_acquire)) {
+        // Pin a coherent serving set, then read it while writers move on:
+        // each view must stay internally consistent (CoW) even though the
+        // shard has long since republished.
+        auto views = sketch.SnapshotAll();
+        int64_t total = 0;
+        for (const auto& view : views) {
+          total += view->Query(dist(rng));
+          EXPECT_GT(view->MemoryBytes(), 0u);
+        }
+        EXPECT_LT(std::llabs(total), int64_t{1} << 40);
+        for (const auto& view : views) {
+          EXPECT_GE(view->EstimateCardinality(), 0.0);
+          (void)view->HeavyHitters(1 << 20);
+        }
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) threads[static_cast<size_t>(t)].join();
+  done.store(true, std::memory_order_release);
+  for (size_t t = 2; t < threads.size(); ++t) threads[t].join();
+
+  sketch.CheckInvariants(InvariantMode::kAdditive);
+}
+
 TEST(ConcurrentStressTest, CrossMergeDoesNotDeadlock) {
   // Two instances merging into each other concurrently: std::scoped_lock's
   // deadlock-avoidance must hold even with writers active on both.
