@@ -9,6 +9,7 @@
 // acquisition, CoW clone tallies, epoch rotation rate and RCU read
 // throughput) for the CI bench-regression gates.
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <random>
@@ -232,12 +233,28 @@ void BM_Decode(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 
+// Best-of-N wall time for `rounds` invocations of `pass` (minimum over
+// repeats, the standard noise-rejection estimator for short kernels: any
+// scheduling hiccup only ever inflates a measurement).
+template <typename Fn>
+double BestOfSeconds(int repeats, Fn&& pass) {
+  double best = -1.0;
+  for (int r = 0; r < repeats; ++r) {
+    davinci::Timer timer;
+    pass();
+    double seconds = timer.ElapsedSeconds();
+    if (best < 0 || seconds < best) best = seconds;
+  }
+  return best;
+}
+
 // Direct timings for BENCH_query_kernels.json (independent of the
 // benchmark framework's iteration policy, so the JSON is cheap to
 // regenerate and deterministic in shape).
 void WriteQueryKernelsJson() {
   davinci::bench::BenchJson json("query_kernels");
   json.Str("simd_backend", davinci::simd::kBackend);
+  json.Count("hardware_threads", std::thread::hardware_concurrency());
 
   const ProbeFixture& f = Probes();
   constexpr int kProbeRounds = 200;
@@ -257,49 +274,79 @@ void WriteQueryKernelsJson() {
   json.Metric("probe_speedup",
               probe_scalar > 0 ? probe_simd / probe_scalar : 0.0);
 
+  // Single-query reference path, best-of-N over full trace passes.
   const auto& keys = Keys();
-  davinci::DaVinciSketch sketch = MakeSketch<davinci::DaVinciSketch>();
-  sketch.InsertBatch(keys);
-  constexpr int kQueryRounds = 3;
+  constexpr int kQueryRepeats = 5;
   int64_t sink = 0;
-  davinci::Timer timer;
-  for (int r = 0; r < kQueryRounds; ++r) {
-    for (uint32_t key : keys) sink += sketch.Query(key);
+  double single_seconds;
+  {
+    davinci::DaVinciSketch sketch = MakeSketch<davinci::DaVinciSketch>();
+    sketch.InsertBatch(keys);
+    single_seconds = BestOfSeconds(kQueryRepeats, [&] {
+      for (uint32_t key : keys) sink += sketch.Query(key);
+    });
   }
-  double query_single =
-      davinci::ThroughputMpps(kQueryRounds * keys.size(),
-                              timer.ElapsedSeconds());
-  timer.Restart();
-  for (int r = 0; r < kQueryRounds; ++r) {
-    std::vector<int64_t> answers = sketch.QueryBatch(keys);
-    sink += answers.empty() ? 0 : answers.back();
+  double query_single = davinci::ThroughputMpps(keys.size(), single_seconds);
+
+  // Adaptive-batch parameter sweep: time QueryBatch at each (block,
+  // prefetch distance) candidate and adopt the fastest. The chosen point
+  // lands in the JSON so a regression run shows not just the speedup but
+  // the tuning that produced it.
+  constexpr size_t kBlockGrid[] = {256, 1024, 2048};
+  constexpr size_t kDistGrid[] = {0, 8, 16, 32};
+  double best_seconds = -1.0;
+  size_t best_block = 0;
+  size_t best_dist = 0;
+  for (size_t block : kBlockGrid) {
+    for (size_t dist : kDistGrid) {
+      davinci::DaVinciConfig config =
+          davinci::DaVinciConfig::FromMemory(kBytes, 1);
+      config.batch_query_block = block;
+      config.batch_prefetch_distance = dist;
+      davinci::DaVinciSketch sketch(config);
+      sketch.InsertBatch(keys);
+      double seconds = BestOfSeconds(kQueryRepeats, [&] {
+        std::vector<int64_t> answers = sketch.QueryBatch(keys);
+        sink += answers.empty() ? 0 : answers.back();
+      });
+      if (best_seconds < 0 || seconds < best_seconds) {
+        best_seconds = seconds;
+        best_block = block;
+        best_dist = dist;
+      }
+    }
   }
-  double query_batch =
-      davinci::ThroughputMpps(kQueryRounds * keys.size(),
-                              timer.ElapsedSeconds());
   benchmark::DoNotOptimize(sink);
+  double query_batch = davinci::ThroughputMpps(keys.size(), best_seconds);
   json.Metric("query_single_mops", query_single);
   json.Metric("query_batch_mops", query_batch);
   json.Metric("query_batch_speedup",
               query_single > 0 ? query_batch / query_single : 0.0);
+  json.Count("batch_block_chosen", best_block);
+  json.Count("batch_prefetch_distance_chosen", best_dist);
 
+  // Decode scaling, default options (clamped to the host's cores): on a
+  // single-core host the 4-thread request honestly degrades to the
+  // sequential scan and the reported speedup sits at ~1.0 rather than
+  // manufacturing a parallel win the hardware cannot deliver.
   const davinci::InfrequentPart& ifp = DecodeFixture();
   constexpr int kDecodeReps = 3;
   auto time_decode_ms = [&](size_t threads) {
     size_t flows = 0;
-    davinci::Timer decode_timer;
-    for (int r = 0; r < kDecodeReps; ++r) {
+    double seconds = BestOfSeconds(kDecodeReps, [&] {
       flows += ifp.Decode(nullptr, threads).size();
-    }
-    double ms = decode_timer.ElapsedSeconds() * 1000.0 / kDecodeReps;
+    });
     benchmark::DoNotOptimize(flows);
-    return ms;
+    return seconds * 1000.0;
   };
   double decode_1t = time_decode_ms(1);
   double decode_4t = time_decode_ms(4);
+  unsigned hw = std::thread::hardware_concurrency();
   json.Metric("decode_1t_ms", decode_1t);
   json.Metric("decode_4t_ms", decode_4t);
   json.Metric("decode_speedup_4t", decode_4t > 0 ? decode_1t / decode_4t : 0.0);
+  json.Count("decode_threads_effective",
+             std::min<size_t>(4, hw == 0 ? 1 : hw));
   // Every Decode above landed in the process-wide ifp_decode histogram.
   json.Histogram("ifp_decode",
                  davinci::obs::StatsRegistry::Global().Histogram("ifp_decode"));
@@ -354,36 +401,95 @@ void WriteEpochEngineJson() {
   json.Count("window_rebuild_merges", engine.window_rebuild_merges());
 
   // RCU read path: Query throughput against the published views, first
-  // uncontended, then with a writer republishing shard views throughout.
+  // uncontended, then with a writer batching its view publications at the
+  // serving-style interval (interval 1 would re-clone ~200KB of CoW
+  // buffers per insert, trashing the reader's cache along with the
+  // writer's throughput — see DESIGN.md §10).
+  constexpr size_t kPublishInterval = 1024;
+  json.Count("publish_interval", kPublishInterval);
+  json.Count("hardware_threads", std::thread::hardware_concurrency());
   davinci::ConcurrentDaVinci shared(4, kBytes, 5);
   shared.InsertBatch(keys);
-  constexpr int kReadRounds = 2;
+  constexpr int kReadRounds = 5;
   int64_t sink = 0;
   auto read_pass = [&shared, &keys] {
     int64_t total = 0;
     for (uint32_t key : keys) total += shared.Query(key);
     return total;
   };
-  timer.Restart();
-  for (int r = 0; r < kReadRounds; ++r) sink += read_pass();
+  // Best-of-N per full trace pass, matching the query-kernel timings: a
+  // scheduling hiccup can only inflate a pass, never shrink it.
+  double uncontended_seconds =
+      BestOfSeconds(kReadRounds, [&] { sink += read_pass(); });
   json.Metric("read_uncontended_mops",
-              davinci::ThroughputMpps(kReadRounds * keys.size(),
-                                      timer.ElapsedSeconds()));
+              davinci::ThroughputMpps(keys.size(), uncontended_seconds));
+  shared.SetPublishInterval(kPublishInterval);
   std::atomic<bool> stop{false};
-  std::thread writer([&shared, &keys, &stop] {
+  std::atomic<uint64_t> writer_ops{0};
+  std::thread writer([&shared, &keys, &stop, &writer_ops] {
     size_t i = 0;
     while (!stop.load(std::memory_order_acquire)) {
       shared.Insert(keys[i % keys.size()], 1);
-      ++i;
+      if ((++i & 1023) == 0) {
+        writer_ops.fetch_add(1024, std::memory_order_relaxed);
+      }
     }
   });
   timer.Restart();
-  for (int r = 0; r < kReadRounds; ++r) sink += read_pass();
+  double contended_seconds =
+      BestOfSeconds(kReadRounds, [&] { sink += read_pass(); });
+  double contended_window = timer.ElapsedSeconds();
   json.Metric("read_under_contention_mops",
-              davinci::ThroughputMpps(kReadRounds * keys.size(),
-                                      timer.ElapsedSeconds()));
+              davinci::ThroughputMpps(keys.size(), contended_seconds));
   stop.store(true, std::memory_order_release);
   writer.join();
+  // Write-side face of the same contest: inserts the racing writer
+  // retired per second. Publication batching is what keeps this from
+  // collapsing into per-insert CoW clones.
+  json.Metric("contended_writer_mops",
+              davinci::ThroughputMpps(
+                  writer_ops.load(std::memory_order_relaxed),
+                  contended_window));
+  shared.FlushViews();
+
+  // Whole-system mixed read/write scaling: one writer thread streaming
+  // Inserts (publishing every kPublishInterval) against 1/2/4/8 reader
+  // threads running batched queries over the published views. Reported
+  // per point: aggregate reader Mops. On a host with fewer cores than
+  // readers + writer the curve honestly flattens or droops — the
+  // hardware_threads count above tells the regression gate which regime
+  // produced the numbers.
+  for (size_t readers : {1u, 2u, 4u, 8u}) {
+    std::atomic<bool> mixed_stop{false};
+    std::thread mixed_writer([&shared, &keys, &mixed_stop] {
+      size_t i = 0;
+      while (!mixed_stop.load(std::memory_order_acquire)) {
+        shared.Insert(keys[i % keys.size()], 1);
+        ++i;
+      }
+    });
+    constexpr int kMixedRounds = 2;
+    std::vector<std::thread> pool;
+    pool.reserve(readers);
+    timer.Restart();
+    for (size_t t = 0; t < readers; ++t) {
+      pool.emplace_back([&shared, &keys] {
+        int64_t total = 0;
+        for (int r = 0; r < kMixedRounds; ++r) {
+          std::vector<int64_t> answers = shared.QueryBatch(keys);
+          total += answers.empty() ? 0 : answers.back();
+        }
+        benchmark::DoNotOptimize(total);
+      });
+    }
+    for (std::thread& thread : pool) thread.join();
+    double seconds = timer.ElapsedSeconds();
+    mixed_stop.store(true, std::memory_order_release);
+    mixed_writer.join();
+    json.Metric("mixed_read_mops_" + std::to_string(readers) + "t",
+                davinci::ThroughputMpps(
+                    readers * kMixedRounds * keys.size(), seconds));
+  }
   benchmark::DoNotOptimize(sink);
   json.Write();
 }

@@ -12,10 +12,20 @@ of the baseline — for behavioral counters that must simply be non-zero
 (e.g. window_merge_reuse_hits, proving the epoch engine served window
 queries from its memoized merges) rather than within a tolerance band.
 
+--min-multicore KEY=VALUE is the same floor but applied only when the
+CURRENT file's `hardware_threads` count is at least --multicore-threads
+(default 4). This is how parallel-scaling gates stay honest: a speedup
+like decode_speedup_4t legitimately sits at ~1.0 on a single-core host
+(the decoder falls back to the sequential scan rather than timeslicing
+four workers on one core), so the floor only binds where the hardware
+can actually deliver the win. A current file without `hardware_threads`
+never triggers these floors.
+
 Usage:
     scripts/check_bench_regression.py BASELINE CURRENT \
         [--key insert_batch_mops] [--max-regression 0.25] \
-        [--min window_merge_reuse_hits=1]
+        [--min window_merge_reuse_hits=1] \
+        [--min-multicore decode_speedup_4t=1.2] [--multicore-threads 4]
 
 Only the standard library is used, so the script runs anywhere python3
 does (the CI bench-regression job calls it on the runner).
@@ -49,14 +59,37 @@ def main() -> int:
         metavar="KEY=VALUE",
         help="absolute floor on a CURRENT key (repeatable)",
     )
+    parser.add_argument(
+        "--min-multicore",
+        action="append",
+        dest="multicore_floors",
+        metavar="KEY=VALUE",
+        help=(
+            "absolute floor applied only when the CURRENT file's "
+            "hardware_threads >= --multicore-threads (repeatable)"
+        ),
+    )
+    parser.add_argument(
+        "--multicore-threads",
+        type=int,
+        default=4,
+        help="hardware_threads needed to arm --min-multicore floors "
+        "(default 4)",
+    )
     args = parser.parse_args()
     keys = args.keys or ["insert_batch_mops"]
-    floors = []
-    for spec in args.floors or []:
-        key, sep, value = spec.partition("=")
-        if not sep:
-            parser.error(f"--min expects KEY=VALUE, got {spec!r}")
-        floors.append((key, float(value)))
+
+    def parse_floors(specs, flag):
+        floors = []
+        for spec in specs or []:
+            key, sep, value = spec.partition("=")
+            if not sep:
+                parser.error(f"{flag} expects KEY=VALUE, got {spec!r}")
+            floors.append((key, float(value)))
+        return floors
+
+    floors = parse_floors(args.floors, "--min")
+    multicore_floors = parse_floors(args.multicore_floors, "--min-multicore")
 
     with open(args.baseline) as f:
         baseline = json.load(f)
@@ -84,6 +117,18 @@ def main() -> int:
                 f"{key}: {now:.3f} < {floor:.3f} "
                 f"({args.max_regression:.0%} below baseline {base:.3f})"
             )
+
+    if multicore_floors:
+        hardware_threads = int(current.get("hardware_threads", 0))
+        if hardware_threads >= args.multicore_threads:
+            floors = floors + multicore_floors
+        else:
+            for key, floor in multicore_floors:
+                print(
+                    f"SKIP {key} (multicore floor {floor:.3f}): "
+                    f"hardware_threads={hardware_threads} < "
+                    f"{args.multicore_threads}"
+                )
 
     for key, floor in floors:
         if key not in current:

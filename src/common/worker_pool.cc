@@ -1,0 +1,82 @@
+#include "common/worker_pool.h"
+
+namespace davinci {
+
+WorkerPool::WorkerPool(size_t extra_workers) {
+  threads_.reserve(extra_workers);
+  for (size_t i = 0; i < extra_workers; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  round_start_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void WorkerPool::DrainShards() {
+  for (;;) {
+    size_t shard;
+    const std::function<void(size_t)>* task;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (next_shard_ >= shards_) return;
+      shard = next_shard_++;
+      ++in_flight_;
+      task = task_;
+    }
+    (*task)(shard);
+    bool last;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      last = next_shard_ >= shards_ && in_flight_ == 0;
+    }
+    if (last) round_done_.notify_all();
+  }
+}
+
+void WorkerPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      round_start_.wait(lock, [&] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) return;
+      seen_generation = generation_;
+    }
+    DrainShards();
+  }
+}
+
+void WorkerPool::Run(size_t shards, const std::function<void(size_t)>& fn) {
+  if (shards == 0) return;
+  if (threads_.empty() || shards == 1) {
+    for (size_t s = 0; s < shards; ++s) fn(s);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = &fn;
+    shards_ = shards;
+    next_shard_ = 0;
+    in_flight_ = 0;
+    ++generation_;
+  }
+  round_start_.notify_all();
+  // The caller works too — on a machine with exactly `extra_workers + 1`
+  // cores every core runs shards, none sits blocked.
+  DrainShards();
+  std::unique_lock<std::mutex> lock(mutex_);
+  round_done_.wait(lock,
+                   [&] { return next_shard_ >= shards_ && in_flight_ == 0; });
+  task_ = nullptr;
+}
+
+}  // namespace davinci

@@ -1,0 +1,68 @@
+#ifndef DAVINCI_COMMON_WORKER_POOL_H_
+#define DAVINCI_COMMON_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+// A small persistent fork/join pool for round-synchronized parallel scans
+// (the IFP peeling decode runs tens of purity-scan rounds per call; paying
+// a thread spawn + join per round — the PR 4 design — cost more than the
+// scan it parallelized). Threads are created once, parked on a condition
+// variable between rounds, and torn down by the destructor.
+//
+// The pool runs *shard-indexed* work: Run(shards, fn) invokes fn(s) exactly
+// once for each s in [0, shards) and returns when all calls finished. The
+// caller's thread executes shard 0 (and any shard left unclaimed), so a
+// pool constructed with `extra_workers == 0` degrades to a plain loop and a
+// machine with one core never context-switches for correctness. Shard
+// claiming is dynamic, so fn must not care which thread runs which shard —
+// decode's determinism comes from sharding by contiguous range and
+// concatenating results in shard order, not from thread identity.
+
+namespace davinci {
+
+class WorkerPool {
+ public:
+  // Spawns `extra_workers` helper threads (0 is valid: everything runs on
+  // the calling thread).
+  explicit WorkerPool(size_t extra_workers);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  // Executes fn(0) .. fn(shards-1), each exactly once, across the helper
+  // threads and the calling thread; blocks until every shard completed.
+  // Not reentrant: one Run at a time per pool (decode's rounds are
+  // strictly sequential, which is the point).
+  void Run(size_t shards, const std::function<void(size_t)>& fn);
+
+  size_t extra_workers() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+  // Claims and runs shards until none remain; returns when the round's
+  // shard counter is exhausted. Caller must NOT hold `mutex_`.
+  void DrainShards();
+
+  std::mutex mutex_;
+  std::condition_variable round_start_;
+  std::condition_variable round_done_;
+  // Round state, all guarded by mutex_ (the pool synchronizes rounds with
+  // plain locking — rounds are milliseconds, the lock is nanoseconds).
+  const std::function<void(size_t)>* task_ = nullptr;
+  size_t next_shard_ = 0;
+  size_t shards_ = 0;
+  size_t in_flight_ = 0;  // shards claimed but not finished
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_WORKER_POOL_H_

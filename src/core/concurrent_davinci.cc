@@ -15,11 +15,23 @@ ConcurrentDaVinci::ConcurrentDaVinci(size_t shards, size_t total_bytes,
   }
 }
 
+void ConcurrentDaVinci::SetPublishInterval(size_t interval) {
+  DAVINCI_CHECK_MSG(interval >= 1, "publish interval must be >= 1");
+  publish_interval_.store(interval, std::memory_order_relaxed);
+}
+
+void ConcurrentDaVinci::FlushViews() {
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.unpublished > 0) Publish(shard);
+  }
+}
+
 void ConcurrentDaVinci::Insert(uint32_t key, int64_t count) {
   Shard& shard = shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
   shard.sketch->Insert(key, count);
-  Publish(shard);
+  CountMutations(shard, 1);
 }
 
 void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys,
@@ -46,7 +58,7 @@ void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys,
       {
         std::lock_guard<std::mutex> lock(shards_[s].mutex);
         shards_[s].sketch->InsertBatch(shard_keys[s], shard_counts[s]);
-        Publish(shards_[s]);
+        CountMutations(shards_[s], shard_keys[s].size());
       }
       shard_keys[s].clear();
       shard_counts[s].clear();
@@ -172,6 +184,7 @@ void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
     one.queries += shard.read_queries.value();
     out->Accumulate(one);
   }
+  out->tuning.publish_interval = publish_interval();
 }
 
 void ConcurrentDaVinci::Merge(const ConcurrentDaVinci& other) {

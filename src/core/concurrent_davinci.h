@@ -14,13 +14,25 @@
 // Sketches by a shard hash, so concurrent writers rarely contend.
 //
 // RCU-style read path (DESIGN.md §10): each shard publishes an immutable
-// SketchView through an atomic shared_ptr after every mutation. Readers
-// (`Query`, `QueryBatch`, `EstimateCardinality`, `HeavyHitters`,
-// `SnapshotAll`) load the current view with one acquire and never touch a
-// mutex — a reader observes either the state before or after any given
-// write, never a torn middle, and is never blocked by a writer. Writers
-// keep the per-shard mutex, mutate the live sketch (cloning any CoW buffer
-// a view still shares), and publish a fresh view before unlocking.
+// SketchView through an atomic shared_ptr. Readers (`Query`, `QueryBatch`,
+// `EstimateCardinality`, `HeavyHitters`, `SnapshotAll`) load the current
+// view with one acquire and never touch a mutex — a reader observes either
+// the state before or after any given write, never a torn middle, and is
+// never blocked by a writer. Writers keep the per-shard mutex, mutate the
+// live sketch (cloning any CoW buffer a view still shares), and publish a
+// fresh view before unlocking.
+//
+// Publication frequency is tunable (SetPublishInterval): at the default
+// interval of 1 every mutation publishes, so a read always reflects every
+// completed write (read-your-writes). Raising the interval publishes every
+// Nth mutation per shard instead, which bounds the dominant write-side
+// cost under concurrent readers — each publish leaves a view sharing the
+// live sketch's CoW buffers, so the *next* mutation re-clones them
+// (~200KB/publish at default geometry). Readers then serve a view at most
+// N-1 mutations stale; FlushViews() force-publishes any shard with
+// unpublished writes (call after quiescing writers to make reads exact
+// again). Staleness only ever hides suffixes of the write stream — a view
+// is always a prefix-consistent image of its shard.
 //
 // Aggregate queries either sum per-shard answers (cardinality, frequency)
 // or operate on a merged snapshot (the remaining tasks). The shards share
@@ -32,6 +44,21 @@ class ConcurrentDaVinci {
  public:
   // `total_bytes` is divided evenly across `shards`.
   ConcurrentDaVinci(size_t shards, size_t total_bytes, uint64_t seed);
+
+  // Publish a fresh view every `interval` mutations per shard (default 1:
+  // publish-per-mutation, read-your-writes). Serving deployments with hot
+  // writers raise this to amortize the snapshot/CoW-reclone cost across a
+  // batch of writes at the price of bounded read staleness. Safe to call
+  // while writers run; takes effect on each shard's next mutation.
+  void SetPublishInterval(size_t interval);
+  size_t publish_interval() const {
+    return publish_interval_.load(std::memory_order_relaxed);
+  }
+
+  // Force-publishes every shard with unpublished mutations (no-op at
+  // interval 1). After writers quiesce, this makes the lock-free read
+  // paths exact again.
+  void FlushViews();
 
   void Insert(uint32_t key, int64_t count = 1);
 
@@ -104,16 +131,26 @@ class ConcurrentDaVinci {
   }
 
  private:
-  struct Shard {
+  // Whole-struct alignment keeps any two shards off a shared cache line:
+  // reader threads hammer `view` (acquire load + refcount bump) while
+  // writer threads spin adjacent shards' mutexes, and at the default
+  // alignment shard s's view slot and shard s+1's mutex land on one line
+  // and ping-pong it between cores.
+  struct alignas(128) Shard {
     mutable std::mutex mutex;
     std::unique_ptr<DaVinciSketch> sketch;
+    // Mutations since the last publish; guarded by `mutex`.
+    size_t unpublished = 0;
     // RCU publication point: the immutable view readers run against.
-    // Stored with release after every mutation, loaded with acquire by
-    // readers; never null once the constructor finishes.
+    // Stored with release by writers (every mutation at interval 1, every
+    // Nth otherwise), loaded with acquire by readers; never null once the
+    // constructor finishes.
     std::atomic<std::shared_ptr<const SketchView>> view;
     // Read-side query tally (the lock-free paths bypass the live sketch's
-    // counters, which only writers touch).
-    mutable obs::SharedEventCounter read_queries;
+    // counters, which only writers touch). Own cache line: readers bump it
+    // on every query, and sharing a line with `view` would drag the
+    // publication slot into every increment's ownership transfer.
+    alignas(64) mutable obs::SharedEventCounter read_queries;
   };
 
   size_t ShardOf(uint32_t key) const {
@@ -125,10 +162,20 @@ class ConcurrentDaVinci {
   // Snapshot() against other writers).
   static void Publish(Shard& shard) {
     shard.view.store(shard.sketch->Snapshot(), std::memory_order_release);
+    shard.unpublished = 0;
+  }
+
+  // Tallies `mutations` fresh mutations against the shard and publishes
+  // once the tally reaches the publish interval. Caller holds the mutex.
+  void CountMutations(Shard& shard, size_t mutations) {
+    shard.unpublished += mutations;
+    if (shard.unpublished >= publish_interval_.load(std::memory_order_relaxed))
+      Publish(shard);
   }
 
   HashFamily shard_hash_;
   std::vector<Shard> shards_;
+  std::atomic<size_t> publish_interval_{1};
 };
 
 }  // namespace davinci

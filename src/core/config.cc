@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "common/check.h"
 #include "common/serialize.h"
 
 namespace davinci {
+
+void DaVinciConfig::Validate() const {
+  DAVINCI_CHECK_MSG(decode_threads >= 1 && decode_threads <= 64,
+                    "decode_threads must be in [1, 64]");
+  DAVINCI_CHECK_MSG(batch_query_min_keys >= 1,
+                    "batch_query_min_keys must be >= 1");
+  DAVINCI_CHECK_MSG(
+      batch_query_block >= 64 && batch_query_block <= 2048,
+      "batch_query_block must be in [64, 2048]");
+  DAVINCI_CHECK_MSG(batch_prefetch_distance < batch_query_block,
+                    "batch_prefetch_distance must be < batch_query_block");
+  DAVINCI_CHECK_MSG(decode_min_buckets_per_worker >= 1,
+                    "decode_min_buckets_per_worker must be >= 1");
+}
 
 DaVinciConfig DaVinciConfig::FromMemory(size_t total_bytes, uint64_t seed) {
   return FromMemorySplit(total_bytes, 0.25, 0.50, seed);

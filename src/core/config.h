@@ -34,7 +34,36 @@ struct DaVinciConfig {
   // InfrequentPart::Decode). 1 = today's sequential behavior.
   size_t decode_threads = 1;
 
+  // --- Query-path tuning (runtime-only, never serialized; the answers are
+  // identical for every setting — these move only the clock). All four are
+  // surfaced in HealthSnapshot and the bench JSONs so a tuned deployment is
+  // reproducible; Validate() pins their legal ranges. ---
+
+  // Batches shorter than this skip the batched pipeline and run the plain
+  // per-key query loop: below the threshold the pipeline's hash staging and
+  // prefetch issue cost more than the misses they hide.
+  size_t batch_query_min_keys = 32;
+  // Chunk width of the batched query pipeline: base hashes are staged for
+  // one chunk at a time (bounds the stack scratch — max 2048 — and keeps
+  // the staged hashes L1-resident while the probe pass consumes them).
+  size_t batch_query_block = 1024;
+  // How many keys ahead of the probe cursor the FP bucket lines are
+  // read-prefetched. 0 disables prefetch — the right setting when the
+  // frequent part fits in cache and speculative loads only burn bandwidth.
+  size_t batch_prefetch_distance = 16;
+  // Decode sharding granularity: a purity-scan round splits across a
+  // second (or further) worker only while every worker keeps at least this
+  // many active buckets. Below the threshold the round runs sequentially —
+  // the fork/join latency exceeds the scan it would parallelize.
+  size_t decode_min_buckets_per_worker = 4096;
+
   uint64_t seed = 1;
+
+  // Aborts (DAVINCI_CHECK) on an out-of-range tuning knob. Called by the
+  // DaVinciSketch constructor, so a sketch can only exist over a sane
+  // config. Bounds, not equalities: every value inside them answers
+  // queries identically.
+  void Validate() const;
 
   // Memory accounting constants (bytes of design state):
   //   FP bucket: c·(4B key + 4B count + taint bit) + 4B ecnt + 1B flag

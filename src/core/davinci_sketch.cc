@@ -19,7 +19,9 @@ DaVinciSketch::DaVinciSketch(const DaVinciConfig& config)
       ef_(config.ef_bytes, config.ef_level_bits, config.promotion_threshold,
           config.seed),
       ifp_(config.ifp_rows, config.ifp_buckets_per_row, config.use_sign_hash,
-           config.seed) {}
+           config.seed) {
+  config_.Validate();
+}
 
 DaVinciSketch::DaVinciSketch(size_t bytes, uint64_t seed)
     : DaVinciSketch(DaVinciConfig::FromMemory(bytes, seed)) {}
@@ -173,9 +175,12 @@ void DaVinciSketch::InsertBatch(std::span<const uint32_t> keys) {
 const std::unordered_map<uint32_t, int64_t>& DaVinciSketch::DecodedFlows()
     const {
   if (decode_cache_ == nullptr) {
+    InfrequentPart::DecodeOptions options;
+    options.num_threads = config_.decode_threads;
+    options.min_buckets_per_worker = config_.decode_min_buckets_per_worker;
     decode_cache_ = std::make_shared<const std::unordered_map<uint32_t, int64_t>>(
         ifp_.Decode(config_.decode_cross_validation ? &ef_ : nullptr,
-                    config_.decode_threads));
+                    options));
   }
   return *decode_cache_;
 }
@@ -214,57 +219,85 @@ std::vector<int64_t> DaVinciSketch::QueryBatch(
   std::vector<int64_t> out(keys.size());
   if (keys.empty()) return out;
   queries_.Inc(keys.size());
-  // Materialize the decode cache before the pipeline starts so no block
+  const size_t n = keys.size();
+
+  // Adaptive fallthrough: below the threshold the staged pipeline's hash
+  // buffering and prefetch issue cost more than the misses they hide, so
+  // short batches run the plain per-key tail (same answers — the pipeline
+  // only reorders reads).
+  if (n < config_.batch_query_min_keys) {
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t base_hash = HashFamily::BaseHash(keys[i]);
+      bool tainted = false;
+      int64_t fp_count = fp_.QueryWithBase(base_hash, keys[i], &tainted);
+      out[i] = ResolveQuery(keys[i], base_hash, fp_count, tainted);
+    }
+    return out;
+  }
+
+  // Materialize the decode cache before the pipeline starts so no chunk
   // stalls on a full peel mid-flight.
   (void)DecodedFlows();
 
-  // Double-buffered stage A, as in InsertBatch: while block k's FP probes
-  // run, block k+1's base hashes are computed and its bucket key/count
-  // lanes are already traveling up the cache hierarchy.
-  uint64_t hash_buf[2][kInsertBlock];
-  const size_t n = keys.size();
-  auto stage_a = [&](size_t start, uint64_t* hashes) {
-    size_t len = std::min(kInsertBlock, n - start);
-    for (size_t i = 0; i < len; ++i) {
-      hashes[i] = HashFamily::BaseHash(keys[start + i]);
-      fp_.PrefetchBucketRead(hashes[i]);
-    }
-  };
-
-  // Keys whose FP probe did not settle the answer; their EF counters are
-  // prefetched at probe time and resolved at the end of the block.
+  // Chunked two-pass pipeline. Pass 1 stages a chunk's base hashes in one
+  // tight loop (one multiply-mix per key, no interleaved bucket work);
+  // pass 2 probes with the staged hashes, read-prefetching the FP bucket
+  // lanes a fixed key distance ahead of the probe cursor. Keys the FP does
+  // not settle are buffered and resolved at chunk end, their EF counters
+  // prefetched the moment the probe misses — the rest of the chunk's FP
+  // work hides the filter fetch.
+  constexpr size_t kMaxQueryBlock = 2048;  // DaVinciConfig::Validate() cap
+  const size_t block = std::min(config_.batch_query_block, kMaxQueryBlock);
+  const size_t dist = std::min(config_.batch_prefetch_distance, block - 1);
+  uint64_t hashes[kMaxQueryBlock];
   struct PendingKey {
     size_t index;
     uint64_t base_hash;
     int64_t fp_count;
   };
-  PendingKey pending[kInsertBlock];
+  PendingKey pending[kMaxQueryBlock];
 
-  stage_a(0, hash_buf[0]);
-  for (size_t start = 0, parity = 0; start < n;
-       start += kInsertBlock, parity ^= 1) {
-    if (start + kInsertBlock < n) {
-      stage_a(start + kInsertBlock, hash_buf[parity ^ 1]);
-    }
-    const uint64_t* hashes = hash_buf[parity];
-    size_t len = std::min(kInsertBlock, n - start);
-
-    // Stage B: FP probes. An untainted hit is final; everything else needs
-    // the element filter, whose counters start their fetch here.
-    size_t num_pending = 0;
+  for (size_t start = 0; start < n; start += block) {
+    const size_t len = std::min(block, n - start);
     for (size_t i = 0; i < len; ++i) {
-      bool tainted = false;
-      int64_t fp_count =
-          fp_.QueryWithBase(hashes[i], keys[start + i], &tainted);
-      if (fp_count != 0 && !tainted) {
-        out[start + i] = fp_count;
-        continue;
-      }
-      ef_.Prefetch(hashes[i]);
-      pending[num_pending++] = {start + i, hashes[i], fp_count};
+      hashes[i] = HashFamily::BaseHash(keys[start + i]);
+    }
+    // Warm the first `dist` buckets so the probe loop's steady-state
+    // prefetch distance holds from its first iteration.
+    for (size_t i = 0; i < std::min(dist, len); ++i) {
+      fp_.PrefetchBucketRead(hashes[i]);
     }
 
-    // Stage C: resolve the pending keys through EF / decoded map / IFP.
+    size_t num_pending = 0;
+    if (dist > 0) {
+      for (size_t i = 0; i < len; ++i) {
+        if (i + dist < len) fp_.PrefetchBucketRead(hashes[i + dist]);
+        bool tainted = false;
+        int64_t fp_count =
+            fp_.QueryWithBase(hashes[i], keys[start + i], &tainted);
+        if (fp_count != 0 && !tainted) {
+          out[start + i] = fp_count;
+          continue;
+        }
+        ef_.Prefetch(hashes[i]);
+        pending[num_pending++] = {start + i, hashes[i], fp_count};
+      }
+    } else {
+      // Prefetch disabled (FP resident in cache): the probe loop runs with
+      // zero speculative loads.
+      for (size_t i = 0; i < len; ++i) {
+        bool tainted = false;
+        int64_t fp_count =
+            fp_.QueryWithBase(hashes[i], keys[start + i], &tainted);
+        if (fp_count != 0 && !tainted) {
+          out[start + i] = fp_count;
+          continue;
+        }
+        pending[num_pending++] = {start + i, hashes[i], fp_count};
+      }
+    }
+
+    // Resolve the pending keys through EF / decoded map / IFP.
     for (size_t i = 0; i < num_pending; ++i) {
       const PendingKey& p = pending[i];
       out[p.index] =
@@ -512,6 +545,11 @@ void DaVinciSketch::CollectStats(obs::HealthSnapshot* out) const {
   ifp_.CollectStats(&out->ifp);
   // The IFP itself is decode-thread agnostic; the knob lives in the config.
   out->ifp.decode_threads = config_.decode_threads;
+  out->tuning.batch_query_min_keys = config_.batch_query_min_keys;
+  out->tuning.batch_query_block = config_.batch_query_block;
+  out->tuning.batch_prefetch_distance = config_.batch_prefetch_distance;
+  out->tuning.decode_min_buckets_per_worker =
+      config_.decode_min_buckets_per_worker;
 }
 
 void DaVinciSketch::Save(std::ostream& out) const {

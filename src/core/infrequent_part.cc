@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <memory>
 #include <numeric>
 #include <thread>
 
 #include "common/prefetch.h"
 #include "common/serialize.h"
+#include "common/worker_pool.h"
 #include "obs/stats.h"
 
 namespace davinci {
@@ -68,7 +70,7 @@ int64_t InfrequentPart::FastQueryWithBase(uint64_t base_hash) const {
 }
 
 std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
-    const ElementFilter* cross_filter, size_t num_threads) const {
+    const ElementFilter* cross_filter, const DecodeOptions& options) const {
   stats_.decode_runs.Inc();
   // Full-decode latency lands in the process-wide registry so benches can
   // surface the 1-vs-N-thread speedup (see docs/OBSERVABILITY.md).
@@ -172,21 +174,33 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
   // only on the selection, so the decoded map is bit-identical for every
   // `num_threads`. The `peels` valve stops pathological false-positive
   // cycles that can arise in overloaded sketches.
-  const size_t threads = std::max<size_t>(1, std::min<size_t>(num_threads, 64));
+  size_t threads =
+      std::max<size_t>(1, std::min<size_t>(options.num_threads, 64));
+  if (options.clamp_to_hardware) {
+    size_t hardware = std::thread::hardware_concurrency();
+    if (hardware == 0) hardware = 1;
+    threads = std::min(threads, hardware);
+  }
+  const size_t granularity =
+      std::max<size_t>(1, options.min_buckets_per_worker);
   std::vector<size_t> active(ids.size());
   std::iota(active.begin(), active.end(), size_t{0});
   std::vector<size_t> promising;
   size_t peels = 0;
   const size_t max_peels = ids.size() * 4 + 64;
 
+  // Workers stay parked between rounds; the pool is built once, on the
+  // first round wide enough to split, and only then — a decode that never
+  // crosses the granularity threshold never starts a thread.
+  std::unique_ptr<WorkerPool> pool;
+
   while (!active.empty() && peels < max_peels) {
     // Phase 1 — purity scan. Row-major sharding: each worker filters one
     // contiguous range of `active`; concatenating per-worker results in
-    // shard order reproduces the sequential scan order exactly.
+    // shard order reproduces the sequential scan order exactly. A round
+    // splits only while every worker keeps >= granularity buckets.
     promising.clear();
-    constexpr size_t kMinShardBuckets = 512;
-    size_t workers = std::min(
-        threads, (active.size() + kMinShardBuckets - 1) / kMinShardBuckets);
+    size_t workers = std::min(threads, active.size() / granularity);
     if (workers <= 1) {
       for (size_t index : active) {
         if (looks_pure(index)) promising.push_back(index);
@@ -201,13 +215,8 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
           if (looks_pure(active[i])) found[w].push_back(active[i]);
         }
       };
-      std::vector<std::thread> pool;
-      pool.reserve(workers - 1);
-      for (size_t w = 1; w < workers; ++w) {
-        pool.emplace_back(scan_shard, w);
-      }
-      scan_shard(0);
-      for (std::thread& worker : pool) worker.join();
+      if (pool == nullptr) pool = std::make_unique<WorkerPool>(threads - 1);
+      pool->Run(workers, scan_shard);
       for (const std::vector<size_t>& shard : found) {
         promising.insert(promising.end(), shard.begin(), shard.end());
       }

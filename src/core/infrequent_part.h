@@ -55,19 +55,43 @@ class InfrequentPart {
   // Hot-path variant: `base_hash` must equal HashFamily::BaseHash(key).
   int64_t FastQueryWithBase(uint64_t base_hash) const;
 
+  // Tuning for the parallel peeling decode. Only the clock moves with
+  // these — the decoded map is bit-identical for every setting.
+  struct DecodeOptions {
+    // Worker threads for the purity scans (clamped to [1, 64]).
+    size_t num_threads = 1;
+    // A scan round splits across a second (or further) worker only while
+    // every worker keeps at least this many active buckets; below that the
+    // round runs fully sequentially (fork/join latency would exceed the
+    // scan). Matches DaVinciConfig::decode_min_buckets_per_worker.
+    size_t min_buckets_per_worker = 4096;
+    // Cap num_threads at std::thread::hardware_concurrency(): requesting 4
+    // workers on a 1-core host must not burn the win on context switches.
+    // Tests disable the clamp to exercise the pool on any machine.
+    bool clamp_to_hardware = true;
+  };
+
   // Peels the sketch into flow -> signed count (Algorithm 5). If
   // `cross_filter` is non-null, candidates must have |filter estimate| ≥
   // its threshold (the paper's double verification).
   //
   // The peeling runs in synchronized rounds: a read-only purity scan over
-  // the active buckets (sharded row-major across `num_threads` workers)
-  // selects candidates from a start-of-round snapshot, then one sequential
-  // peeling pass applies them in ascending bucket order. Because candidate
-  // selection depends only on the snapshot and application order is fixed,
-  // the decoded map is bit-identical for every thread count — threads only
-  // change who scans, never what is peeled.
+  // the active buckets (sharded row-major across a persistent worker pool,
+  // one contiguous range per worker) selects candidates from a
+  // start-of-round snapshot, then one sequential peeling pass applies them
+  // in ascending bucket order. Because candidate selection depends only on
+  // the snapshot and application order is fixed, the decoded map is
+  // bit-identical for every thread count — threads only change who scans,
+  // never what is peeled.
   std::unordered_map<uint32_t, int64_t> Decode(
-      const ElementFilter* cross_filter, size_t num_threads = 1) const;
+      const ElementFilter* cross_filter, const DecodeOptions& options) const;
+  // Convenience overload with default sharding granularity.
+  std::unordered_map<uint32_t, int64_t> Decode(
+      const ElementFilter* cross_filter, size_t num_threads = 1) const {
+    DecodeOptions options;
+    options.num_threads = num_threads;
+    return Decode(cross_filter, options);
+  }
 
   void Merge(const InfrequentPart& other);
   void Subtract(const InfrequentPart& other);

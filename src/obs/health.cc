@@ -58,6 +58,18 @@ void HealthSnapshot::Accumulate(const HealthSnapshot& other) {
   epoch.cow_clones = std::max(epoch.cow_clones, other.epoch.cow_clones);
   epoch.cow_clone_bytes =
       std::max(epoch.cow_clone_bytes, other.epoch.cow_clone_bytes);
+
+  tuning.batch_query_min_keys =
+      std::max(tuning.batch_query_min_keys, other.tuning.batch_query_min_keys);
+  tuning.batch_query_block =
+      std::max(tuning.batch_query_block, other.tuning.batch_query_block);
+  tuning.batch_prefetch_distance = std::max(
+      tuning.batch_prefetch_distance, other.tuning.batch_prefetch_distance);
+  tuning.decode_min_buckets_per_worker =
+      std::max(tuning.decode_min_buckets_per_worker,
+               other.tuning.decode_min_buckets_per_worker);
+  tuning.publish_interval =
+      std::max(tuning.publish_interval, other.tuning.publish_interval);
 }
 
 void HealthSnapshot::WriteJson(std::ostream& out) const {
@@ -99,6 +111,13 @@ void HealthSnapshot::WriteJson(std::ostream& out) const {
       << epoch.window_merge_hits << ",\"window_rebuild_merges\":"
       << epoch.window_rebuild_merges << ",\"cow_clones\":" << epoch.cow_clones
       << ",\"cow_clone_bytes\":" << epoch.cow_clone_bytes << "}";
+
+  out << ",\"tuning\":{\"batch_query_min_keys\":" << tuning.batch_query_min_keys
+      << ",\"batch_query_block\":" << tuning.batch_query_block
+      << ",\"batch_prefetch_distance\":" << tuning.batch_prefetch_distance
+      << ",\"decode_min_buckets_per_worker\":"
+      << tuning.decode_min_buckets_per_worker
+      << ",\"publish_interval\":" << tuning.publish_interval << "}";
 
   out << "}";
 }

@@ -7,16 +7,25 @@ namespace davinci::obs {
 
 namespace {
 
-// Bucket index = bit length of the sample (0 for a zero sample), so bucket
-// i covers [2^(i-1), 2^i).
+// Log-linear index (HDR style). Values below 8 get an exact bucket; any
+// wider value is keyed by its bit length (the log2 major bucket) plus the
+// three bits after the leading one (8 linear sub-buckets per major), so
+// bucket width never exceeds 1/8 of the bucket's lower bound.
 size_t BucketOf(uint64_t nanos) {
-  return static_cast<size_t>(std::bit_width(nanos));
+  if (nanos < 8) return static_cast<size_t>(nanos);
+  size_t msb = static_cast<size_t>(std::bit_width(nanos)) - 1;  // >= 3
+  size_t sub = static_cast<size_t>(nanos >> (msb - 3)) & 7;
+  return 8 + (msb - 3) * 8 + sub;
 }
 
+// Largest value BucketOf maps to `bucket` (saturating at UINT64_MAX for
+// the top buckets, whose nominal bound overflows 64 bits).
 uint64_t BucketUpperBound(size_t bucket) {
-  if (bucket == 0) return 0;
-  if (bucket >= 64) return UINT64_MAX;
-  return (uint64_t{1} << bucket) - 1;
+  if (bucket < 8) return bucket;
+  size_t major = (bucket - 8) / 8;  // msb - 3
+  uint64_t sub = (bucket - 8) % 8;
+  if (major >= 60) return UINT64_MAX;
+  return ((8 + sub + 1) << major) - 1;
 }
 
 }  // namespace
