@@ -1,0 +1,58 @@
+# Configure-time proof that the thread-safety annotations still bite.
+#
+# Annotations are only as good as the diagnostics they produce: if
+# DAVINCI_GUARDED_BY silently expanded to nothing under clang (a macro
+# guard typo, an attribute spelling the compiler stopped honoring), every
+# TSA CI leg would stay green while checking nothing. So the TSA build
+# compiles three probes with the same -Wthread-safety -Werror flags as the
+# real code and FATAL_ERRORs unless each lands on the expected side:
+#
+#   tests/negative/tsa_clean.cc            -> must COMPILE (toolchain sane)
+#   tests/negative/tsa_unlocked_access.cc  -> must FAIL (guarded field,
+#                                             no lock)
+#   tests/negative/tsa_missing_requires.cc -> must FAIL (REQUIRES callee,
+#                                             lock-free caller)
+#
+# Included only from the DAVINCI_TSA branch of the top-level CMakeLists —
+# the probes are meaningless without clang's analysis.
+
+function(davinci_tsa_probe source expect_compile)
+  # Per-probe result variable, unset first: try_compile caches its result
+  # and would silently skip every probe after the first (and every
+  # reconfigure) under a shared or stale name.
+  string(MAKE_C_IDENTIFIER "davinci_tsa_probe_ok_${source}" probe_var)
+  unset(${probe_var} CACHE)
+  try_compile(
+    ${probe_var}
+    ${CMAKE_BINARY_DIR}/tsa-negative-compile
+    ${PROJECT_SOURCE_DIR}/tests/negative/${source}
+    COMPILE_DEFINITIONS "-Wthread-safety -Werror"
+    CMAKE_FLAGS
+      "-DINCLUDE_DIRECTORIES=${PROJECT_SOURCE_DIR}/src"
+      "-DCMAKE_CXX_STANDARD=20"
+      "-DCMAKE_CXX_STANDARD_REQUIRED=ON"
+    OUTPUT_VARIABLE davinci_tsa_probe_output
+  )
+  set(davinci_tsa_probe_ok ${${probe_var}})
+  if(expect_compile AND NOT davinci_tsa_probe_ok)
+    message(FATAL_ERROR
+      "Thread-safety negative-compile harness: ${source} should compile "
+      "under -Wthread-safety -Werror but failed. The annotated wrappers "
+      "are broken.\n${davinci_tsa_probe_output}")
+  endif()
+  if(NOT expect_compile AND davinci_tsa_probe_ok)
+    message(FATAL_ERROR
+      "Thread-safety negative-compile harness: ${source} compiled under "
+      "-Wthread-safety -Werror but must NOT. The annotations have rotted "
+      "(the analysis no longer rejects a known locking violation).")
+  endif()
+  if(expect_compile)
+    message(STATUS "TSA probe ${source}: compiled (expected)")
+  else()
+    message(STATUS "TSA probe ${source}: rejected (expected)")
+  endif()
+endfunction()
+
+davinci_tsa_probe(tsa_clean.cc TRUE)
+davinci_tsa_probe(tsa_unlocked_access.cc FALSE)
+davinci_tsa_probe(tsa_missing_requires.cc FALSE)

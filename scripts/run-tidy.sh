@@ -8,11 +8,25 @@
 # -Wall -Wextra -Wshadow -Wconversion promoted to errors — over the same
 # sources, so the gate always has teeth.
 #
-# Usage: scripts/run-tidy.sh [extra clang-tidy args...]
-# Exit 0 iff every file is clean.
+# Baseline mode (clang-tidy path only): findings are normalized
+# (file + check + message, line numbers dropped so unrelated edits don't
+# shift the ledger) and diffed against scripts/tidy_baseline.txt. Only
+# NEW findings fail the gate — pre-existing debt is visible but frozen.
+# After paying down debt, or when accepting a finding as permanent,
+# refresh the ledger with:  scripts/run-tidy.sh --update-baseline
+#
+# Usage: scripts/run-tidy.sh [--update-baseline] [extra clang-tidy args...]
+# Exit 0 iff no new findings.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+BASELINE=scripts/tidy_baseline.txt
+UPDATE=0
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  UPDATE=1
+  shift
+fi
 
 mapfile -t sources < <(find src -name '*.cc' | sort)
 if [[ ${#sources[@]} -eq 0 ]]; then
@@ -20,13 +34,47 @@ if [[ ${#sources[@]} -eq 0 ]]; then
   exit 1
 fi
 
+# Normalize a clang-tidy diagnostic stream to stable baseline keys:
+#   src/core/foo.cc: warning: message text [check-name]
+normalize() {
+  grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' \
+    | sed -E "s#^$(pwd)/##; s#^([^:]+):[0-9]+:[0-9]+:#\1:#" \
+    | sort -u
+}
+
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "run-tidy: clang-tidy $(clang-tidy --version | grep -o 'version [0-9.]*' | head -1)"
   if [[ ! -f build-tidy/compile_commands.json ]]; then
     cmake --preset tidy >/dev/null
   fi
-  clang-tidy --quiet -p build-tidy "$@" "${sources[@]}"
-  echo "run-tidy: clean (${#sources[@]} files)"
+  raw=$(clang-tidy --quiet -p build-tidy "$@" "${sources[@]}" 2>/dev/null) || true
+  current=$(normalize <<<"$raw" || true)
+
+  if [[ $UPDATE -eq 1 ]]; then
+    {
+      echo "# clang-tidy findings accepted as pre-existing debt."
+      echo "# Regenerate with: scripts/run-tidy.sh --update-baseline"
+      [[ -n "$current" ]] && printf '%s\n' "$current"
+    } > "$BASELINE"
+    echo "run-tidy: baseline updated ($(grep -vc '^#' "$BASELINE" || true) entries)"
+    exit 0
+  fi
+
+  baseline=$(grep -v '^#' "$BASELINE" 2>/dev/null | sort -u || true)
+  new=$(comm -23 <(printf '%s\n' "$current" | sed '/^$/d') \
+                 <(printf '%s\n' "$baseline" | sed '/^$/d') || true)
+  fixed=$(comm -13 <(printf '%s\n' "$current" | sed '/^$/d') \
+                   <(printf '%s\n' "$baseline" | sed '/^$/d') || true)
+  if [[ -n "$fixed" ]]; then
+    echo "run-tidy: $(wc -l <<<"$fixed") baselined finding(s) no longer fire —"
+    echo "          consider scripts/run-tidy.sh --update-baseline"
+  fi
+  if [[ -n "$new" ]]; then
+    echo "run-tidy: NEW findings (not in $BASELINE):" >&2
+    printf '%s\n' "$new" >&2
+    exit 1
+  fi
+  echo "run-tidy: clean (${#sources[@]} files, no new findings)"
 else
   echo "run-tidy: clang-tidy not found; using strict g++ warning pass" >&2
   fail=0

@@ -17,7 +17,10 @@ TowerSketch::TowerSketch(size_t memory_bytes, uint64_t seed, Options options)
   store_->counters.resize(num_levels);
   for (size_t i = 0; i < num_levels; ++i) {
     Level& level = levels_[i];
-    level.bits = options.level_bits.empty() ? 32 : options.level_bits[i];
+    // Clamp before shifting: a hostile/garbage config (bits <= 0 or > 64)
+    // would otherwise make the cap shift UB and the width divide by zero.
+    int bits = options.level_bits.empty() ? 32 : options.level_bits[i];
+    level.bits = std::clamp(bits, 1, 64);
     level.cap = (level.bits >= 63) ? INT64_MAX
                                    : ((int64_t{1} << level.bits) - 1);
     level.width = std::max<size_t>(1, bytes_per_level * 8 /
@@ -169,6 +172,16 @@ bool TowerSketch::LoadState(std::istream& in) {
     std::vector<int64_t> counters;
     if (!ReadVec(in, &counters) || counters.size() != levels_[i].width) {
       return false;
+    }
+    // Range validation (tests/fuzz/fuzz_serialize.cc drives mutated images
+    // through here): the write paths saturate every cell to [-cap, cap],
+    // so anything outside is a corrupt image — and letting it in would put
+    // the arithmetic that trusts the cap (signed absorb/saturate math) on
+    // UB-capable inputs.
+    for (int64_t counter : counters) {
+      if (counter > levels_[i].cap || counter < -levels_[i].cap) {
+        return false;
+      }
     }
     st.counters[i] = std::move(counters);
   }

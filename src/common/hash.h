@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "common/sanitize.h"
+
 // Hash functions used throughout the library.
 //
 // The paper evaluates with "Bob Hash" (Bob Jenkins' lookup3). We provide a
@@ -19,7 +21,9 @@ namespace davinci {
 uint32_t BobHash(const void* data, size_t len, uint32_t seed);
 
 // SplitMix64 finalizer: a high-quality 64-bit mixer. Used to derive
-// per-row seeds and as the integer-key hash.
+// per-row seeds and as the integer-key hash. The adds and multiplies wrap
+// mod 2^64 by construction — that IS the mixing.
+DAVINCI_NO_SANITIZE_INTEGER
 constexpr uint64_t Mix64(uint64_t x) {
   x += 0x9e3779b97f4a7c15ULL;
   x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -38,7 +42,10 @@ constexpr uint64_t Mix64(uint64_t x) {
 class HashFamily {
  public:
   HashFamily() : seed_(0) {}
-  explicit HashFamily(uint64_t seed) : seed_(Mix64(seed + 0x5851f42d4c957f2dULL)) {}
+  // The seed offset wraps mod 2^64 by design (it only decorrelates seeds).
+  DAVINCI_NO_SANITIZE_INTEGER
+  explicit HashFamily(uint64_t seed)
+      : seed_(Mix64(seed + 0x5851f42d4c957f2dULL)) {}
 
   // Full 64-bit hash of `key`.
   uint64_t Hash(uint64_t key) const { return Mix64(key ^ seed_); }
@@ -51,7 +58,8 @@ class HashFamily {
   // Cheap per-row derivation from a precomputed BaseHash: one multiply
   // (murmur3 fmix constant) plus a xor-shift, keyed by this family's seed.
   // The multiply pushes entropy into the high bits, which is exactly what
-  // FastReduce consumes.
+  // FastReduce consumes — its wrap mod 2^64 is the mixing.
+  DAVINCI_NO_SANITIZE_INTEGER
   constexpr uint64_t RehashBase(uint64_t base_hash) const {
     uint64_t x = (base_hash ^ seed_) * 0xff51afd7ed558ccdULL;
     return x ^ (x >> 33);

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/check.h"
+#include "common/sanitize.h"
 
 // Modular arithmetic over a 64-bit prime, used by the counting Fermat
 // sketch (the DaVinci infrequent part) and by FlowRadar/LossRadar-style
@@ -45,6 +46,7 @@ inline uint64_t SignedMod(int64_t v, uint64_t p) {
 // Precondition (DCHECKed): a, b ∈ [0, p). Correct for any p up to 2^64−1:
 // `s < a` detects uint64 wraparound of `a + b`, and the following `s -= p`
 // wraps a second time, landing exactly on a + b − p.
+DAVINCI_NO_SANITIZE_INTEGER
 inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t p) {
   DAVINCI_DCHECK(a < p && b < p);
   uint64_t s = a + b;
@@ -55,6 +57,30 @@ inline uint64_t AddMod(uint64_t a, uint64_t b, uint64_t p) {
 inline uint64_t SubMod(uint64_t a, uint64_t b, uint64_t p) {
   DAVINCI_DCHECK(a < p && b < p);
   return a >= b ? a - b : a + (p - b);
+}
+
+// Two's-complement wrapping int64 arithmetic, defined for EVERY input
+// (signed overflow is UB; the uint64 round-trip is exact mod 2^64 since
+// C++20). The IFP bucket cells (`icnt`) and the peeling decode use these:
+// a corrupted or adversarial Load image can put arbitrary values in the
+// cells, and the decode must stay UB-free on them so validation gets the
+// chance to reject the garbage (tests/fuzz/fuzz_decode.cc drives this).
+inline int64_t WrapAdd(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) +
+                              static_cast<uint64_t>(b));
+}
+
+inline int64_t WrapSub(int64_t a, int64_t b) {
+  return static_cast<int64_t>(static_cast<uint64_t>(a) -
+                              static_cast<uint64_t>(b));
+}
+
+inline int64_t WrapNeg(int64_t a) { return WrapSub(0, a); }
+
+// sign(±1) · v with a wrapping negation (−INT64_MIN is UB, its wrap is
+// INT64_MIN again — exactly what the decode's self-inverse algebra needs).
+inline int64_t SignApply(int sign, int64_t v) {
+  return sign >= 0 ? v : WrapNeg(v);
 }
 
 }  // namespace davinci

@@ -1,0 +1,19 @@
+#ifndef DAVINCI_COMMON_SANITIZE_H_
+#define DAVINCI_COMMON_SANITIZE_H_
+
+// Marks a function whose unsigned arithmetic wraps BY DESIGN (hash mixing,
+// modular-arithmetic carry tricks), so clang's `-fsanitize=integer` group —
+// which flags well-defined unsigned wraparound as a lint — skips it. The
+// core `undefined` sanitizers still run inside these functions; GCC doesn't
+// implement the integer group, so the attribute is clang-only. Every use
+// must sit next to a comment saying why the wrap is intentional
+// (docs/STATIC_ANALYSIS.md).
+#if defined(__clang__)
+#define DAVINCI_NO_SANITIZE_INTEGER \
+  __attribute__((no_sanitize("unsigned-integer-overflow", \
+                             "unsigned-shift-base")))
+#else
+#define DAVINCI_NO_SANITIZE_INTEGER
+#endif
+
+#endif  // DAVINCI_COMMON_SANITIZE_H_

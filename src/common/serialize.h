@@ -40,6 +40,14 @@ void WriteVec(std::ostream& out, const std::vector<T>& values) {
 // hostile stream from forcing a giant allocation.
 inline constexpr uint64_t kMaxSerializedElements = uint64_t{1} << 28;
 
+// Magnitude cap on any loaded per-flow/per-cell count (2^60). Honest
+// sketches sit many orders of magnitude below this; rejecting larger
+// values at Load time means every downstream combination — ResolveQuery's
+// FP + EF + IFP three-term sum, a heavy-changer delta — stays well inside
+// int64, so a hostile image can corrupt *answers* at worst, never trip
+// undefined behavior (tests/fuzz/fuzz_serialize.cc leans on this).
+inline constexpr int64_t kMaxLoadedCount = int64_t{1} << 60;
+
 template <typename T>
 bool ReadVec(std::istream& in, std::vector<T>* values) {
   static_assert(std::is_trivially_copyable_v<T>);

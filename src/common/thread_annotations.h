@@ -1,0 +1,168 @@
+#ifndef DAVINCI_COMMON_THREAD_ANNOTATIONS_H_
+#define DAVINCI_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <mutex>
+#include <utility>
+
+// Clang Thread Safety Analysis annotations (docs/STATIC_ANALYSIS.md).
+//
+// Every locking contract in the concurrency surface — which fields a mutex
+// guards, which functions require it, which must be called without it — is
+// written in these macros instead of prose, so `clang++ -Wthread-safety
+// -Werror` (the `tsa` preset / CI leg) rejects any code that breaks the
+// protocol at compile time. On GCC (which has no thread-safety analysis)
+// every macro expands to nothing and the wrappers below cost exactly one
+// std::mutex; the annotated build is the same program.
+//
+// The analysis only understands annotated capability types, not
+// std::mutex/std::unique_lock (libstdc++ ships them unannotated), so the
+// concurrency surface uses the `Mutex` / `MutexLock` wrappers below. A
+// `std::unique_lock` returned across a call boundary is invisible to the
+// analysis — that is why ConcurrentDaVinci exposes an annotated mutex
+// reference for tests instead of a lock object (see ShardMutexForTesting).
+
+#if defined(__clang__)
+#define DAVINCI_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define DAVINCI_THREAD_ANNOTATION__(x)  // no-op on GCC and friends
+#endif
+
+// Type annotations ---------------------------------------------------------
+
+// Marks a type as a capability ("mutex" in diagnostics).
+#define DAVINCI_CAPABILITY(x) DAVINCI_THREAD_ANNOTATION__(capability(x))
+
+// Marks an RAII type whose constructor acquires and destructor releases.
+#define DAVINCI_SCOPED_CAPABILITY DAVINCI_THREAD_ANNOTATION__(scoped_lockable)
+
+// Field annotations --------------------------------------------------------
+
+// The field may only be read or written while holding `x`.
+#define DAVINCI_GUARDED_BY(x) DAVINCI_THREAD_ANNOTATION__(guarded_by(x))
+
+// The data pointed to may only be accessed while holding `x`.
+#define DAVINCI_PT_GUARDED_BY(x) DAVINCI_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Function annotations -----------------------------------------------------
+
+// Caller must hold the capability (exclusively) when calling.
+#define DAVINCI_REQUIRES(...) \
+  DAVINCI_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+
+// Function acquires the capability and holds it on return.
+#define DAVINCI_ACQUIRE(...) \
+  DAVINCI_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+
+// Function releases the capability (caller must hold it).
+#define DAVINCI_RELEASE(...) \
+  DAVINCI_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+
+// Function acquires the capability iff it returns `b`.
+#define DAVINCI_TRY_ACQUIRE(b, ...) \
+  DAVINCI_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+
+// Caller must NOT hold the capability (the function acquires it itself, or
+// would deadlock). The analysis enforces this only across annotated code,
+// which is exactly the surface we care about.
+#define DAVINCI_EXCLUDES(...) \
+  DAVINCI_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Function returns a reference to the capability named by `x`.
+#define DAVINCI_RETURN_CAPABILITY(x) \
+  DAVINCI_THREAD_ANNOTATION__(lock_returned(x))
+
+// Escape hatch: the function body is not analyzed (its declared contract
+// still is, for callers). Used only where the acquisition order is computed
+// at runtime (MutexLockPair's address ordering) — never to silence a real
+// finding; docs/STATIC_ANALYSIS.md requires a comment at every use.
+#define DAVINCI_NO_THREAD_SAFETY_ANALYSIS \
+  DAVINCI_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace davinci {
+
+// An annotated mutex. Lower-case lock/unlock/try_lock keep it a standard
+// BasicLockable, so std::condition_variable_any can wait on it directly
+// (worker_pool.cc does) — the analysis sees the annotated methods, the
+// standard library sees a Lockable.
+class DAVINCI_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DAVINCI_ACQUIRE() { mu_.lock(); }
+  void unlock() DAVINCI_RELEASE() { mu_.unlock(); }
+  bool try_lock() DAVINCI_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock the analysis can follow (the annotated std::lock_guard).
+class DAVINCI_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DAVINCI_ACQUIRE(mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() DAVINCI_RELEASE() { mu_->unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+// MutexLock with an early-release valve, for scopes that must drop the
+// lock before their end (the hostage-lock tests release the shard writer
+// lock before asserting). Release() may be called at most once.
+class DAVINCI_SCOPED_CAPABILITY ReleasableMutexLock {
+ public:
+  explicit ReleasableMutexLock(Mutex* mu) DAVINCI_ACQUIRE(mu) : mu_(mu) {
+    mu_->lock();
+  }
+  ~ReleasableMutexLock() DAVINCI_RELEASE() {
+    if (mu_ != nullptr) mu_->unlock();
+  }
+
+  void Release() DAVINCI_RELEASE() {
+    mu_->unlock();
+    mu_ = nullptr;
+  }
+
+  ReleasableMutexLock(const ReleasableMutexLock&) = delete;
+  ReleasableMutexLock& operator=(const ReleasableMutexLock&) = delete;
+
+ private:
+  Mutex* mu_;
+};
+
+// Deadlock-free two-mutex scoped lock (the annotated std::scoped_lock):
+// acquires in address order, so two threads merging two ConcurrentDaVinci
+// instances into each other cannot deadlock. The constructor body is
+// excluded from analysis because the acquisition order is computed at
+// runtime — the ACQUIRE contract callers rely on is still enforced.
+class DAVINCI_SCOPED_CAPABILITY MutexLockPair {
+ public:
+  MutexLockPair(Mutex* a, Mutex* b)
+      DAVINCI_ACQUIRE(a, b) DAVINCI_NO_THREAD_SAFETY_ANALYSIS
+      : a_(a), b_(b) {
+    Mutex* first = std::less<Mutex*>()(a, b) ? a : b;
+    Mutex* second = first == a ? b : a;
+    first->lock();
+    second->lock();
+  }
+  ~MutexLockPair() DAVINCI_RELEASE() DAVINCI_NO_THREAD_SAFETY_ANALYSIS {
+    b_->unlock();
+    a_->unlock();
+  }
+
+  MutexLockPair(const MutexLockPair&) = delete;
+  MutexLockPair& operator=(const MutexLockPair&) = delete;
+
+ private:
+  Mutex* const a_;
+  Mutex* const b_;
+};
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_THREAD_ANNOTATIONS_H_

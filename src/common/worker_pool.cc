@@ -11,7 +11,7 @@ WorkerPool::WorkerPool(size_t extra_workers) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
   round_start_.notify_all();
@@ -23,7 +23,7 @@ void WorkerPool::DrainShards() {
     size_t shard;
     const std::function<void(size_t)>* task;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       if (next_shard_ >= shards_) return;
       shard = next_shard_++;
       ++in_flight_;
@@ -32,7 +32,7 @@ void WorkerPool::DrainShards() {
     (*task)(shard);
     bool last;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       --in_flight_;
       last = next_shard_ >= shards_ && in_flight_ == 0;
     }
@@ -44,10 +44,13 @@ void WorkerPool::WorkerLoop() {
   uint64_t seen_generation = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      round_start_.wait(lock, [&] {
-        return shutdown_ || generation_ != seen_generation;
-      });
+      // Hand-written wait loop: the guarded predicate must be evaluated in
+      // this scope (where the analysis knows mutex_ is held), not inside a
+      // wait(lock, pred) lambda it would treat as an unlocked function.
+      MutexLock lock(&mutex_);
+      while (!shutdown_ && generation_ == seen_generation) {
+        round_start_.wait(mutex_);
+      }
       if (shutdown_) return;
       seen_generation = generation_;
     }
@@ -62,7 +65,7 @@ void WorkerPool::Run(size_t shards, const std::function<void(size_t)>& fn) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     task_ = &fn;
     shards_ = shards;
     next_shard_ = 0;
@@ -73,9 +76,10 @@ void WorkerPool::Run(size_t shards, const std::function<void(size_t)>& fn) {
   // The caller works too — on a machine with exactly `extra_workers + 1`
   // cores every core runs shards, none sits blocked.
   DrainShards();
-  std::unique_lock<std::mutex> lock(mutex_);
-  round_done_.wait(lock,
-                   [&] { return next_shard_ >= shards_ && in_flight_ == 0; });
+  MutexLock lock(&mutex_);
+  while (!(next_shard_ >= shards_ && in_flight_ == 0)) {
+    round_done_.wait(mutex_);
+  }
   task_ = nullptr;
 }
 

@@ -4,9 +4,10 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 // A small persistent fork/join pool for round-synchronized parallel scans
 // (the IFP peeling decode runs tens of purity-scan rounds per call; paying
@@ -22,6 +23,11 @@
 // claiming is dynamic, so fn must not care which thread runs which shard —
 // decode's determinism comes from sharding by contiguous range and
 // concatenating results in shard order, not from thread identity.
+//
+// The locking protocol is machine-checked: every piece of round state is
+// GUARDED_BY(mutex_), and the entry points carry EXCLUDES(mutex_), so the
+// TSA build rejects both an unlocked touch of the round counters and a
+// reentrant call that would self-deadlock.
 
 namespace davinci {
 
@@ -30,7 +36,7 @@ class WorkerPool {
   // Spawns `extra_workers` helper threads (0 is valid: everything runs on
   // the calling thread).
   explicit WorkerPool(size_t extra_workers);
-  ~WorkerPool();
+  ~WorkerPool() DAVINCI_EXCLUDES(mutex_);
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
 
@@ -38,27 +44,34 @@ class WorkerPool {
   // threads and the calling thread; blocks until every shard completed.
   // Not reentrant: one Run at a time per pool (decode's rounds are
   // strictly sequential, which is the point).
-  void Run(size_t shards, const std::function<void(size_t)>& fn);
+  void Run(size_t shards, const std::function<void(size_t)>& fn)
+      DAVINCI_EXCLUDES(mutex_);
 
   size_t extra_workers() const { return threads_.size(); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() DAVINCI_EXCLUDES(mutex_);
   // Claims and runs shards until none remain; returns when the round's
-  // shard counter is exhausted. Caller must NOT hold `mutex_`.
-  void DrainShards();
+  // shard counter is exhausted.
+  void DrainShards() DAVINCI_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable round_start_;
-  std::condition_variable round_done_;
-  // Round state, all guarded by mutex_ (the pool synchronizes rounds with
-  // plain locking — rounds are milliseconds, the lock is nanoseconds).
-  const std::function<void(size_t)>* task_ = nullptr;
-  size_t next_shard_ = 0;
-  size_t shards_ = 0;
-  size_t in_flight_ = 0;  // shards claimed but not finished
-  uint64_t generation_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  // condition_variable_any so the waits take the annotated Mutex directly
+  // (it is a BasicLockable); the wait loops are written out by hand because
+  // a predicate lambda is analyzed as a separate function and cannot see
+  // that mutex_ is held at the call site.
+  std::condition_variable_any round_start_;
+  std::condition_variable_any round_done_;
+  // Round state (the pool synchronizes rounds with plain locking — rounds
+  // are milliseconds, the lock is nanoseconds).
+  const std::function<void(size_t)>* task_ DAVINCI_GUARDED_BY(mutex_) =
+      nullptr;
+  size_t next_shard_ DAVINCI_GUARDED_BY(mutex_) = 0;
+  size_t shards_ DAVINCI_GUARDED_BY(mutex_) = 0;
+  // Shards claimed but not finished.
+  size_t in_flight_ DAVINCI_GUARDED_BY(mutex_) = 0;
+  uint64_t generation_ DAVINCI_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ DAVINCI_GUARDED_BY(mutex_) = false;
 
   std::vector<std::thread> threads_;
 };

@@ -10,6 +10,9 @@ ConcurrentDaVinci::ConcurrentDaVinci(size_t shards, size_t total_bytes,
       shards_(std::max<size_t>(1, shards)) {
   size_t per_shard = std::max<size_t>(8 * 1024, total_bytes / shards_.size());
   for (Shard& shard : shards_) {
+    // No concurrent access is possible yet, but Publish's contract requires
+    // the shard mutex, and an uncontended acquire costs nothing.
+    MutexLock lock(&shard.mutex);
     shard.sketch = std::make_unique<DaVinciSketch>(per_shard, seed);
     Publish(shard);
   }
@@ -22,14 +25,14 @@ void ConcurrentDaVinci::SetPublishInterval(size_t interval) {
 
 void ConcurrentDaVinci::FlushViews() {
   for (Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(&shard.mutex);
     if (shard.unpublished > 0) Publish(shard);
   }
 }
 
 void ConcurrentDaVinci::Insert(uint32_t key, int64_t count) {
   Shard& shard = shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  MutexLock lock(&shard.mutex);
   shard.sketch->Insert(key, count);
   CountMutations(shard, 1);
 }
@@ -56,7 +59,7 @@ void ConcurrentDaVinci::InsertBatch(std::span<const uint32_t> keys,
     for (size_t s = 0; s < shards_.size(); ++s) {
       if (shard_keys[s].empty()) continue;
       {
-        std::lock_guard<std::mutex> lock(shards_[s].mutex);
+        MutexLock lock(&shards_[s].mutex);
         shards_[s].sketch->InsertBatch(shard_keys[s], shard_counts[s]);
         CountMutations(shards_[s], shard_keys[s].size());
       }
@@ -176,7 +179,7 @@ void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
   for (const Shard& shard : shards_) {
     obs::HealthSnapshot one;
     {
-      std::lock_guard<std::mutex> lock(shard.mutex);
+      MutexLock lock(&shard.mutex);
       shard.sketch->CollectStats(&one);
     }
     // The lock-free read paths never touch the live sketch's counters;
@@ -191,7 +194,7 @@ void ConcurrentDaVinci::Merge(const ConcurrentDaVinci& other) {
   DAVINCI_CHECK_MSG(this != &other, "self-merge is not supported");
   DAVINCI_CHECK_EQ(shards_.size(), other.shards_.size());
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::scoped_lock lock(shards_[s].mutex, other.shards_[s].mutex);
+    MutexLockPair lock(&shards_[s].mutex, &other.shards_[s].mutex);
     shards_[s].sketch->Merge(*other.shards_[s].sketch);
     Publish(shards_[s]);
   }
@@ -199,9 +202,16 @@ void ConcurrentDaVinci::Merge(const ConcurrentDaVinci& other) {
 
 void ConcurrentDaVinci::CheckInvariants(InvariantMode mode) const {
   DAVINCI_CHECK(!shards_.empty());
-  const DaVinciConfig& reference = shards_[0].sketch->config();
+  // Copy the reference geometry out under shard 0's lock (the annotation
+  // pass flagged the old code, which read shard 0's sketch unlocked while
+  // holding only the loop shard's mutex).
+  DaVinciConfig reference;
+  {
+    MutexLock lock(&shards_[0].mutex);
+    reference = shards_[0].sketch->config();
+  }
   for (size_t s = 0; s < shards_.size(); ++s) {
-    std::lock_guard<std::mutex> lock(shards_[s].mutex);
+    MutexLock lock(&shards_[s].mutex);
     DAVINCI_CHECK_MSG(
         shards_[s].view.load(std::memory_order_acquire) != nullptr,
         "shard " + std::to_string(s) + " has no published view");
@@ -231,7 +241,7 @@ void ConcurrentDaVinci::CheckInvariants(InvariantMode mode) const {
 size_t ConcurrentDaVinci::MemoryBytes() const {
   size_t bytes = 0;
   for (const Shard& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mutex);
+    MutexLock lock(&shard.mutex);
     bytes += shard.sketch->MemoryBytes();
   }
   return bytes;

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/davinci_sketch.h"
 
 // A sharded, thread-safe wrapper: keys are partitioned across S DaVinci
@@ -21,6 +21,15 @@
 // never blocked by a writer. Writers keep the per-shard mutex, mutate the
 // live sketch (cloning any CoW buffer a view still shares), and publish a
 // fresh view before unlocking.
+//
+// The write-side protocol is machine-checked (docs/STATIC_ANALYSIS.md):
+// the live sketch and the publication tally are GUARDED_BY the shard
+// mutex, and Publish/CountMutations carry REQUIRES(shard.mutex), so the
+// TSA build rejects any mutation or publication outside the lock. The
+// `view` slot itself is a std::atomic — reads are deliberately lock-free —
+// but every *store* happens inside Publish, which the annotations pin
+// under the mutex (the mutex orders the CoW refcount increment inside
+// Snapshot() against other writers).
 //
 // Publication frequency is tunable (SetPublishInterval): at the default
 // interval of 1 every mutation publishes, so a read always reflects every
@@ -90,11 +99,12 @@ class ConcurrentDaVinci {
       int64_t threshold) const;
 
   // Union with another sharded sketch built with the same shard count and
-  // seed: merges shard-by-shard, holding the pair of shard locks via
-  // std::scoped_lock (deadlock-free even when two threads merge two
-  // instances into each other concurrently). Safe to run while writers
-  // keep inserting into either side; inserts into `other` that race the
-  // merge land in whichever side their shard has already been merged from.
+  // seed: merges shard-by-shard, holding the pair of shard locks via an
+  // address-ordered MutexLockPair (deadlock-free even when two threads
+  // merge two instances into each other concurrently). Safe to run while
+  // writers keep inserting into either side; inserts into `other` that
+  // race the merge land in whichever side their shard has already been
+  // merged from.
   void Merge(const ConcurrentDaVinci& other);
 
   // A coherent per-shard vector of the currently-published views, one
@@ -123,11 +133,15 @@ class ConcurrentDaVinci {
   // are active.
   void CheckInvariants(InvariantMode mode) const;
 
-  // Acquires and returns shard `shard`'s writer lock (test hook: the
-  // lock-free-read tests hold a shard lock hostage and assert reads still
-  // complete). While held, writers to that shard block; readers must not.
-  std::unique_lock<std::mutex> LockShardForTesting(size_t shard) const {
-    return std::unique_lock<std::mutex>(shards_[shard].mutex);
+  // Returns shard `shard`'s writer mutex (test hook: the lock-free-read
+  // tests hold a shard lock hostage — via ReleasableMutexLock — and assert
+  // reads still complete). The old form returned an already-locked
+  // std::unique_lock, which Thread Safety Analysis cannot track across the
+  // call boundary; handing out the annotated Mutex instead keeps the
+  // hostage-holding *test* inside the analysis too (the pattern is
+  // documented in docs/STATIC_ANALYSIS.md §"Locks across call boundaries").
+  Mutex& ShardMutexForTesting(size_t shard) const {
+    return shards_[shard].mutex;
   }
 
  private:
@@ -137,14 +151,15 @@ class ConcurrentDaVinci {
   // alignment shard s's view slot and shard s+1's mutex land on one line
   // and ping-pong it between cores.
   struct alignas(128) Shard {
-    mutable std::mutex mutex;
-    std::unique_ptr<DaVinciSketch> sketch;
-    // Mutations since the last publish; guarded by `mutex`.
-    size_t unpublished = 0;
+    mutable Mutex mutex;
+    std::unique_ptr<DaVinciSketch> sketch DAVINCI_GUARDED_BY(mutex);
+    // Mutations since the last publish.
+    size_t unpublished DAVINCI_GUARDED_BY(mutex) = 0;
     // RCU publication point: the immutable view readers run against.
     // Stored with release by writers (every mutation at interval 1, every
     // Nth otherwise), loaded with acquire by readers; never null once the
-    // constructor finishes.
+    // constructor finishes. Deliberately NOT guarded: reads are lock-free
+    // by design, and all stores live in Publish (REQUIRES the mutex).
     std::atomic<std::shared_ptr<const SketchView>> view;
     // Read-side query tally (the lock-free paths bypass the live sketch's
     // counters, which only writers touch). Own cache line: readers bump it
@@ -157,17 +172,17 @@ class ConcurrentDaVinci {
     return shard_hash_.BucketFast(key, shards_.size());
   }
 
-  // Publishes a fresh view of the shard's live sketch. Caller must hold
-  // `shard.mutex` (the mutex orders the CoW refcount increment inside
-  // Snapshot() against other writers).
-  static void Publish(Shard& shard) {
+  // Publishes a fresh view of the shard's live sketch (the mutex orders
+  // the CoW refcount increment inside Snapshot() against other writers).
+  static void Publish(Shard& shard) DAVINCI_REQUIRES(shard.mutex) {
     shard.view.store(shard.sketch->Snapshot(), std::memory_order_release);
     shard.unpublished = 0;
   }
 
   // Tallies `mutations` fresh mutations against the shard and publishes
-  // once the tally reaches the publish interval. Caller holds the mutex.
-  void CountMutations(Shard& shard, size_t mutations) {
+  // once the tally reaches the publish interval.
+  void CountMutations(Shard& shard, size_t mutations)
+      DAVINCI_REQUIRES(shard.mutex) {
     shard.unpublished += mutations;
     if (shard.unpublished >= publish_interval_.load(std::memory_order_relaxed))
       Publish(shard);

@@ -21,6 +21,29 @@ void DaVinciConfig::Validate() const {
                     "decode_min_buckets_per_worker must be >= 1");
 }
 
+bool DaVinciConfig::Valid() const {
+  if (fp_buckets < 1 || fp_buckets > (uint64_t{1} << 24)) return false;
+  if (fp_slots < 1 || fp_slots > 64) return false;
+  if (evict_lambda < 1 || evict_lambda > (int64_t{1} << 20)) return false;
+  if (ef_level_bits.empty() || ef_level_bits.size() > 8) return false;
+  for (int bits : ef_level_bits) {
+    if (bits < 1 || bits > 64) return false;
+  }
+  if (ef_bytes < 64 || ef_bytes > kMaxLoadedBytes) return false;
+  if (promotion_threshold < 1 || promotion_threshold > kMaxLoadedCount) {
+    return false;
+  }
+  if (ifp_rows < 1 || ifp_rows > 16) return false;
+  if (ifp_buckets_per_row < 1 || ifp_buckets_per_row > (uint64_t{1} << 24)) {
+    return false;
+  }
+  // With the per-field caps above, each term fits comfortably in 64 bits
+  // (2^24 buckets × ≤ 518 B < 2^34), so this sum cannot overflow.
+  uint64_t total = static_cast<uint64_t>(FpBytes()) + ef_bytes +
+                   static_cast<uint64_t>(IfpBytes());
+  return total <= kMaxLoadedBytes;
+}
+
 DaVinciConfig DaVinciConfig::FromMemory(size_t total_bytes, uint64_t seed) {
   return FromMemorySplit(total_bytes, 0.25, 0.50, seed);
 }
@@ -80,7 +103,9 @@ bool DaVinciConfig::Load(std::istream& in, DaVinciConfig* config) {
   config->ifp_buckets_per_row = ifp_buckets;
   config->use_sign_hash = signs != 0;
   config->decode_cross_validation = validate != 0;
-  return true;
+  // Geometry gate: everything below came from the (possibly hostile)
+  // stream; the caller is about to size allocations from it.
+  return config->Valid();
 }
 
 }  // namespace davinci

@@ -65,6 +65,19 @@ struct DaVinciConfig {
   // queries identically.
   void Validate() const;
 
+  // Non-aborting geometry check for DESERIALIZED configs: every count is
+  // in a range an honestly-built sketch can reach, and the total footprint
+  // (computed overflow-safe) stays under kMaxLoadedBytes — so Load rejects
+  // a corrupted or hostile prefix instead of aborting the process or
+  // attempting a multi-terabyte allocation. In-process construction keeps
+  // using the aborting Validate(): a bad config there is a programming
+  // error, not input.
+  bool Valid() const;
+
+  // Footprint ceiling Valid() enforces (2 GiB of design state — far above
+  // any evaluated sketch, far below an allocation-of-death).
+  static constexpr uint64_t kMaxLoadedBytes = uint64_t{1} << 31;
+
   // Memory accounting constants (bytes of design state):
   //   FP bucket: c·(4B key + 4B count + taint bit) + 4B ecnt + 1B flag
   //   IFP bucket: 5B id (33-bit mod-p value) + 4B signed count

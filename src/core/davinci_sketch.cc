@@ -27,7 +27,7 @@ DaVinciSketch::DaVinciSketch(size_t bytes, uint64_t seed)
     : DaVinciSketch(DaVinciConfig::FromMemory(bytes, seed)) {}
 
 // Memberwise except decode_cache_, which stays cold: the cache is the one
-// member a shared SketchView still writes (under its once_flag) after
+// member a shared SketchView still writes (under its once-cell) after
 // publication, so reading other.decode_cache_ here would race that lazy
 // decode (davinci_sketch.h documents the contract).
 DaVinciSketch::DaVinciSketch(const DaVinciSketch& other)
@@ -575,12 +575,23 @@ std::shared_ptr<const SketchView> DaVinciSketch::Snapshot() const {
   // The DaVinciSketch copy here is O(parts), not O(counters): each part's
   // flat storage is CoW-shared. The view starts with a cold decode cache
   // (the copy constructor never propagates it) and materializes its own
-  // under a once_flag on first demand.
+  // through Decoded()'s once-cell on first demand.
   return std::make_shared<const SketchView>(*this);
 }
 
 void SketchView::Decoded() const {
-  std::call_once(decode_once_, [this] { (void)sketch_.DecodedFlows(); });
+  // call_once semantics, spelled out so Thread Safety Analysis can check
+  // it: winners fill under decode_mu_ and release-publish decode_ready_;
+  // losers of the race serialize on the mutex, see decode_filled_, and
+  // skip the decode. Readers that arrive later take only the fence-free
+  // fast path. (std::once_flag is opaque to the analysis.)
+  if (decode_ready_.load(std::memory_order_acquire)) return;
+  MutexLock lock(&decode_mu_);
+  if (!decode_filled_) {
+    (void)sketch_.DecodedFlows();
+    decode_filled_ = true;
+    decode_ready_.store(true, std::memory_order_release);
+  }
 }
 
 int64_t SketchView::Query(uint32_t key) const {
@@ -601,7 +612,7 @@ int64_t SketchView::Query(uint32_t key) const {
 std::vector<int64_t> SketchView::QueryBatch(
     std::span<const uint32_t> keys) const {
   // DaVinciSketch::QueryBatch materializes the decode cache up front; the
-  // call_once here makes that materialization race-free across readers,
+  // once-cell here makes that materialization race-free across readers,
   // after which the batch pipeline is a pure read.
   Decoded();
   return sketch_.QueryBatch(keys);

@@ -1,11 +1,11 @@
 #ifndef DAVINCI_CORE_DAVINCI_SKETCH_H_
 #define DAVINCI_CORE_DAVINCI_SKETCH_H_
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "baselines/sketch_interface.h"
+#include "common/thread_annotations.h"
 #include "core/config.h"
 #include "core/element_filter.h"
 #include "core/frequent_part.h"
@@ -54,7 +55,7 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
 
   // Copies share the parts' CoW buffers in O(1) but start with a COLD
   // decode cache: the cache pointer is the one member a shared SketchView
-  // still writes (under its once_flag) after publication, so a copy that
+  // still writes (under its once-cell) after publication, so a copy that
   // read it would race the view's lazy decode. Nothing loses a warm cache
   // in practice — every write path invalidates it anyway. Moves transfer
   // the cache; they require exclusive ownership like any other mutation.
@@ -154,7 +155,7 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
 
  private:
   // SketchView drives the FP-probe fast path + ResolveQuery tail directly
-  // (materializing the decode cache exactly once via its own once_flag).
+  // (materializing the decode cache exactly once via its own once-cell).
   friend class SketchView;
 
   // Shared tail of Query/QueryBatch: combines an already-computed FP probe
@@ -177,7 +178,7 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   InfrequentPart ifp_;
   // Per-instance immutable decode cache, built lazily by DecodedFlows().
   // Deliberately NOT propagated by copies (see the copy constructor): a
-  // published SketchView fills it under a once_flag while other threads
+  // published SketchView fills it under its once-cell while other threads
   // may be copying the view's sketch, so copies must not read it.
   mutable std::shared_ptr<const std::unordered_map<uint32_t, int64_t>>
       decode_cache_;
@@ -197,8 +198,9 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
 //
 // Thread safety: every method is safe to call concurrently from any number
 // of threads. The only lazily-built state — the IFP decode cache — is
-// materialized through a once_flag; the pure FP fast path never waits on
-// it, so point queries that the frequent part settles stay decode-free.
+// materialized through an annotated double-checked once-cell (Decoded());
+// the pure FP fast path never waits on it, so point queries that the
+// frequent part settles stay decode-free.
 class SketchView {
  public:
   explicit SketchView(const DaVinciSketch& sketch) : sketch_(sketch) {}
@@ -221,10 +223,20 @@ class SketchView {
  private:
   // Materializes the decode cache exactly once (thread-safe); afterwards
   // every DecodedFlows() call inside the query tail is a const read.
-  void Decoded() const;
+  // call_once-equivalent, but written as an annotated double-checked
+  // once-cell: std::once_flag is opaque to Thread Safety Analysis, and
+  // this is the one lazy write behind the "immutable" view, so it is
+  // exactly the state the analysis must see (EXCLUDES catches a Decoded()
+  // call from a context already holding the fill lock).
+  void Decoded() const DAVINCI_EXCLUDES(decode_mu_);
 
   DaVinciSketch sketch_;
-  mutable std::once_flag decode_once_;
+  // decode_ready_ is the lock-free fast-path flag (release-published after
+  // the fill, acquire-checked by readers); decode_filled_ is the guarded
+  // source of truth that makes losers of the fill race skip the decode.
+  mutable Mutex decode_mu_;
+  mutable std::atomic<bool> decode_ready_{false};
+  mutable bool decode_filled_ DAVINCI_GUARDED_BY(decode_mu_) = false;
 };
 
 }  // namespace davinci

@@ -99,7 +99,7 @@ DaVinciSketch EpochManager::MergedSealed() const {
   // Every sealed epoch is served from a memoized aggregate: the front
   // suffix top already covers the whole front segment, the back
   // accumulator the whole back segment.
-  window_merge_hits_ += sealed_epochs();
+  window_merge_hits_.fetch_add(sealed_epochs(), std::memory_order_relaxed);
   if (!front_stack_.empty()) {
     DaVinciSketch merged = *front_stack_.back().agg;
     if (back_agg_ != nullptr) merged.Merge(*back_agg_);
@@ -180,7 +180,7 @@ void EpochManager::CollectStats(obs::HealthSnapshot* out) const {
   out->epoch.window_epochs = max_epochs_;
   out->epoch.epochs_in_window = epochs_in_window();
   out->epoch.rotations = rotations_;
-  out->epoch.window_merge_hits = window_merge_hits_;
+  out->epoch.window_merge_hits = window_merge_hits();
   out->epoch.window_rebuild_merges = rebuild_merges_;
   out->epoch.cow_clones = obs::CowTally::Clones();
   out->epoch.cow_clone_bytes = obs::CowTally::CloneBytes();

@@ -1,6 +1,7 @@
 #ifndef DAVINCI_CORE_EPOCH_MANAGER_H_
 #define DAVINCI_CORE_EPOCH_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -36,7 +37,13 @@
 // many sealed epochs each query served from the memo).
 //
 // Not internally synchronized: like DaVinciSketch, callers serialize
-// writes; wrap in ConcurrentDaVinci-style locking if needed.
+// writes; wrap in ConcurrentDaVinci-style locking if needed. Concurrent
+// *const* queries against a quiescent manager are allowed, which is why
+// the one piece of state a const path mutates — the window_merge_hits_
+// telemetry tally — is a relaxed atomic (the PR 7 annotation audit found
+// the old `mutable uint64_t` racing itself under two concurrent window
+// queries; every other member is only touched by the externally-serialized
+// write path or read after it).
 
 namespace davinci {
 
@@ -45,6 +52,39 @@ class EpochManager {
   // The window spans `window_epochs` epochs of `bytes_per_epoch` each; all
   // epochs share `seed`, so they stay mergeable.
   EpochManager(size_t window_epochs, size_t bytes_per_epoch, uint64_t seed);
+
+  // Moves require exclusive ownership of both sides, like any write (the
+  // atomic telemetry member deletes the implicit versions).
+  EpochManager(EpochManager&& other) noexcept
+      : max_epochs_(other.max_epochs_),
+        bytes_per_epoch_(other.bytes_per_epoch_),
+        seed_(other.seed_),
+        legacy_heavy_changers_(other.legacy_heavy_changers_),
+        live_(std::move(other.live_)),
+        live_inserts_(other.live_inserts_),
+        front_stack_(std::move(other.front_stack_)),
+        back_epochs_(std::move(other.back_epochs_)),
+        back_agg_(std::move(other.back_agg_)),
+        rotations_(other.rotations_),
+        rebuild_merges_(other.rebuild_merges_),
+        window_merge_hits_(other.window_merge_hits()) {}
+  EpochManager& operator=(EpochManager&& other) noexcept {
+    if (this == &other) return *this;
+    max_epochs_ = other.max_epochs_;
+    bytes_per_epoch_ = other.bytes_per_epoch_;
+    seed_ = other.seed_;
+    legacy_heavy_changers_ = other.legacy_heavy_changers_;
+    live_ = std::move(other.live_);
+    live_inserts_ = other.live_inserts_;
+    front_stack_ = std::move(other.front_stack_);
+    back_epochs_ = std::move(other.back_epochs_);
+    back_agg_ = std::move(other.back_agg_);
+    rotations_ = other.rotations_;
+    rebuild_merges_ = other.rebuild_merges_;
+    window_merge_hits_.store(other.window_merge_hits(),
+                             std::memory_order_relaxed);
+    return *this;
+  }
 
   // ---- write path (live epoch) ----
   void Insert(uint32_t key, int64_t count = 1);
@@ -84,7 +124,9 @@ class EpochManager {
   }
   size_t epochs_in_window() const { return sealed_epochs() + 1; }
   uint64_t rotations() const { return rotations_; }
-  uint64_t window_merge_hits() const { return window_merge_hits_; }
+  uint64_t window_merge_hits() const {
+    return window_merge_hits_.load(std::memory_order_relaxed);
+  }
   uint64_t window_rebuild_merges() const { return rebuild_merges_; }
 
   // Design bytes of the W window epochs (the memoized aggregates are
@@ -133,7 +175,9 @@ class EpochManager {
 
   uint64_t rotations_ = 0;
   uint64_t rebuild_merges_ = 0;
-  mutable uint64_t window_merge_hits_ = 0;
+  // Bumped from const query paths, which may run concurrently (see the
+  // class comment); relaxed is enough for a monotone telemetry tally.
+  mutable std::atomic<uint64_t> window_merge_hits_{0};
 };
 
 }  // namespace davinci

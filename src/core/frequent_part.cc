@@ -100,8 +100,12 @@ FrequentPart::InsertResult FrequentPart::InsertWithHash(uint32_t key,
 
   accesses_ += 2;  // ecnt + flag
   st.ecnt[bucket] += 1;
-  if (static_cast<int64_t>(st.ecnt[bucket]) >
-      evict_lambda_ * std::llabs(st.counts[min_slot])) {
+  // λ·|min| can exceed int64 for loaded extreme counts (λ up to 2^20,
+  // |count| up to 2^60 pass Load validation); ecnt is 32-bit, so any
+  // |min| ≥ 2^32 loses the vote without needing the product.
+  int64_t min_abs = std::llabs(st.counts[min_slot]);
+  if (min_abs <= (int64_t{1} << 32) &&
+      static_cast<int64_t>(st.ecnt[bucket]) > evict_lambda_ * min_abs) {
     // Case 3: evict the resident minimum toward the element filter. The
     // newcomer had earlier rejections routed to the filter, so it is
     // tainted.
@@ -183,6 +187,13 @@ bool FrequentPart::LoadState(std::istream& in) {
       tainted.size() != keys.size() || ecnt.size() != buckets_ ||
       flags.size() != buckets_) {
     return false;
+  }
+  // Range validation (tests/fuzz/fuzz_serialize.cc drives mutated images
+  // through here): capping loaded counts keeps the λ-vote comparison
+  // (λ·|min|) and ResolveQuery's three-part sum inside int64; llabs at
+  // INT64_MIN is itself UB, so that value must never enter.
+  for (int64_t count : counts) {
+    if (count > kMaxLoadedCount || count < -kMaxLoadedCount) return false;
   }
   Storage& st = Mut();
   st.keys.assign(buckets_ * stride_, 0);

@@ -43,7 +43,11 @@ void InfrequentPart::InsertWithHash(uint32_t key, uint64_t base_hash,
     ++accesses_;
     size_t j = BucketIndexBase(i, base_hash);
     st.ids[j] = AddMod(st.ids[j], delta, kFermatPrime);
-    st.counts[j] += SignBase(i, base_hash) * count;
+    // Wrapping add: after merges/subtracts a cell is a *sum* of signed
+    // counts and may legitimately pass through the int64 rim; the decode
+    // algebra is self-inverse under mod-2^64 arithmetic.
+    st.counts[j] = WrapAdd(st.counts[j], SignApply(SignBase(i, base_hash),
+                                                   count));
   }
 }
 
@@ -61,8 +65,8 @@ int64_t InfrequentPart::FastQueryWithBase(uint64_t base_hash) const {
   std::vector<int64_t> estimates;
   estimates.reserve(rows_);
   for (size_t i = 0; i < rows_; ++i) {
-    estimates.push_back(SignBase(i, base_hash) *
-                        st.counts[BucketIndexBase(i, base_hash)]);
+    estimates.push_back(SignApply(SignBase(i, base_hash),
+                                  st.counts[BucketIndexBase(i, base_hash)]));
   }
   std::nth_element(estimates.begin(), estimates.begin() + estimates.size() / 2,
                    estimates.end());
@@ -105,8 +109,9 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
     size_t row = index / width_;
     if (BucketIndexBase(row, base_hash) != index) return false;
     // Sign-consistency: with icnt = ζ_row(key)·count, the id field must
-    // equal count·key mod p.
-    int64_t count = SignBase(row, base_hash) * counts[index];
+    // equal count·key mod p. SignApply: a corrupted image can put
+    // INT64_MIN in a cell, whose plain negation is UB.
+    int64_t count = SignApply(SignBase(row, base_hash), counts[index]);
     uint64_t expected =
         MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
     return expected == ids[index];
@@ -138,14 +143,14 @@ std::unordered_map<uint32_t, int64_t> InfrequentPart::Decode(
 
     uint64_t base_hash = HashFamily::BaseHash(key);
     size_t row = index / width_;
-    int64_t count = SignBase(row, base_hash) * counts[index];
-    flows[key] += count;
+    int64_t count = SignApply(SignBase(row, base_hash), counts[index]);
+    flows[key] = WrapAdd(flows[key], count);
     uint64_t delta =
         MulMod(SignedMod(count, kFermatPrime), key, kFermatPrime);
     for (size_t r = 0; r < rows_; ++r) {
       size_t j = BucketIndexBase(r, base_hash);
       ids[j] = SubMod(ids[j], delta, kFermatPrime);
-      counts[j] -= SignBase(r, base_hash) * count;
+      counts[j] = WrapSub(counts[j], SignApply(SignBase(r, base_hash), count));
       if (!pending[j]) {
         pending[j] = 1;
         touched.push_back(j);
@@ -254,7 +259,7 @@ void InfrequentPart::Merge(const InfrequentPart& other) {
   const Storage& src = *other.store_;
   for (size_t i = 0; i < st.ids.size(); ++i) {
     st.ids[i] = AddMod(st.ids[i], src.ids[i], kFermatPrime);
-    st.counts[i] += src.counts[i];
+    st.counts[i] = WrapAdd(st.counts[i], src.counts[i]);
   }
 }
 
@@ -263,7 +268,7 @@ void InfrequentPart::Subtract(const InfrequentPart& other) {
   const Storage& src = *other.store_;
   for (size_t i = 0; i < st.ids.size(); ++i) {
     st.ids[i] = SubMod(st.ids[i], src.ids[i], kFermatPrime);
-    st.counts[i] -= src.counts[i];
+    st.counts[i] = WrapSub(st.counts[i], src.counts[i]);
   }
 }
 
@@ -295,6 +300,16 @@ bool InfrequentPart::LoadState(std::istream& in) {
   if (!ReadVec(in, &ids) || !ReadVec(in, &counts)) return false;
   if (ids.size() != rows_ * width_ || counts.size() != rows_ * width_) {
     return false;
+  }
+  // Field/range validation (tests/fuzz/fuzz_serialize.cc drives mutated
+  // images through here): every iID must be a residue mod p, and icnt
+  // cells are capped well below the int64 rim so downstream sums (the
+  // ResolveQuery three-part total) can never overflow.
+  for (uint64_t id : ids) {
+    if (id >= kFermatPrime) return false;
+  }
+  for (int64_t count : counts) {
+    if (count > kMaxLoadedCount || count < -kMaxLoadedCount) return false;
   }
   Storage& st = Mut();
   st.ids = std::move(ids);

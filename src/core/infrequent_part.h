@@ -109,9 +109,22 @@ class InfrequentPart {
   size_t MemoryBytes() const {
     return rows_ * width_ * DaVinciConfig::kIfpBucketBytes;
   }
-  // Raw state round-trip (geometry must already match).
+  // Raw state round-trip (geometry must already match). LoadState also
+  // range-checks every cell (iID < p, |icnt| ≤ kMaxLoadedCount) so a
+  // corrupted or hostile image is rejected at the boundary instead of
+  // feeding the peeling arithmetic.
   void SaveState(std::ostream& out) const;
   bool LoadState(std::istream& in);
+
+  // Test hook: plant raw cell contents directly, bypassing both the insert
+  // path and LoadState's range gate — how the invariant-audit tests inject
+  // corruption that no public boundary admits anymore.
+  void OverwriteCellForTesting(size_t row, size_t bucket, uint64_t id,
+                               int64_t count) {
+    Storage& st = Mut();
+    st.ids[row * width_ + bucket] = id;
+    st.counts[row * width_ + bucket] = count;
+  }
 
   // Aborts (DAVINCI_CHECK) on a violated structural invariant of the
   // counting Fermat sketch. Unconditional: array geometry; every iID field

@@ -98,21 +98,21 @@ StatsRegistry& StatsRegistry::Global() {
 }
 
 std::atomic<uint64_t>& StatsRegistry::Counter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<std::atomic<uint64_t>>(0);
   return *slot;
 }
 
 LatencyHistogram& StatsRegistry::Histogram(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LatencyHistogram>();
   return *slot;
 }
 
 void StatsRegistry::DumpJson(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   out << "{\"counters\":{";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
@@ -135,7 +135,7 @@ void StatsRegistry::DumpJson(std::ostream& out) const {
 }
 
 void StatsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   counters_.clear();
   histograms_.clear();
 }

@@ -8,8 +8,9 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "common/thread_annotations.h"
 
 // Observability primitives (see docs/OBSERVABILITY.md).
 //
@@ -148,26 +149,31 @@ class ScopedLatencyTimer {
 };
 
 // Process-wide name -> counter/histogram registry. Registration takes a
-// mutex; the returned references are stable for the registry's lifetime,
+// mutex (the maps are GUARDED_BY it — the TSA build rejects an unlocked
+// touch); the returned references are stable for the registry's lifetime,
 // so callers resolve a name once and then update lock-free.
 class StatsRegistry {
  public:
   static StatsRegistry& Global();
 
-  std::atomic<uint64_t>& Counter(const std::string& name);
-  LatencyHistogram& Histogram(const std::string& name);
+  std::atomic<uint64_t>& Counter(const std::string& name)
+      DAVINCI_EXCLUDES(mutex_);
+  LatencyHistogram& Histogram(const std::string& name)
+      DAVINCI_EXCLUDES(mutex_);
 
   // {"counters": {...}, "histograms": {name: {count,p50,p99,max}, ...}}
-  void DumpJson(std::ostream& out) const;
+  void DumpJson(std::ostream& out) const DAVINCI_EXCLUDES(mutex_);
 
   // Drops every registered counter and histogram (previously returned
   // references dangle — test-only).
-  void Reset();
+  void Reset() DAVINCI_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> counters_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> counters_
+      DAVINCI_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_
+      DAVINCI_GUARDED_BY(mutex_);
 };
 
 }  // namespace davinci::obs

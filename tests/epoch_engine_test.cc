@@ -125,8 +125,10 @@ TEST(RcuReadPathTest, ReadsCompleteWhileShardLockHeldHostage) {
 
   // Take a shard lock hostage on this thread. If any read-path operation
   // touched a shard mutex it would block forever; the RCU views must serve
-  // every read regardless.
-  std::unique_lock<std::mutex> hostage = sketch.LockShardForTesting(0);
+  // every read regardless. ReleasableMutexLock (not std::unique_lock) so
+  // the hostage-holding stays visible to Thread Safety Analysis — see
+  // docs/STATIC_ANALYSIS.md §"Locks across call boundaries".
+  davinci::ReleasableMutexLock hostage(&sketch.ShardMutexForTesting(0));
   auto reads = std::async(std::launch::async, [&sketch, &keys] {
     int64_t point = sketch.Query(999);
     std::vector<int64_t> batch = sketch.QueryBatch(
@@ -139,12 +141,12 @@ TEST(RcuReadPathTest, ReadsCompleteWhileShardLockHeldHostage) {
   });
   if (reads.wait_for(std::chrono::seconds(10)) !=
       std::future_status::ready) {
-    hostage.unlock();
+    hostage.Release();
     FAIL() << "read path blocked on a shard mutex";
   }
   auto [point, batch_size, cardinality, heavy_size, view_count] =
       reads.get();
-  hostage.unlock();
+  hostage.Release();
 
   EXPECT_EQ(point, 1000);
   EXPECT_EQ(batch_size, 256u);

@@ -1,0 +1,128 @@
+// Fuzz harness for the IFP Fermat peeling decode on corrupted buckets.
+//
+// Contract under test (docs/STATIC_ANALYSIS.md §Fuzzing): the peeling
+// decode (Algorithm 5) must terminate and stay UB-free for ANY bucket
+// contents that pass LoadState's range gate — a corrupted {iID, icnt}
+// lane may decode to garbage flows (the EF cross-validation exists to
+// reject most of them), but never to a crash, a non-terminating peel, or
+// signed-overflow UB in the sign-corrected arithmetic.
+//
+// Input encoding: the fuzz input is a corruption script over a serialized
+// IFP image built from a fixed workload — 3-byte records (offset16, xor8)
+// each XOR a byte of the image. This keeps most mutants structurally
+// close to a real image, so they survive LoadState and reach the decoder
+// (a raw byte-soup input would almost always die at the geometry check).
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include "core/element_filter.h"
+#include "core/infrequent_part.h"
+
+#include "standalone_main.h"
+
+namespace {
+
+#define FUZZ_EXPECT(cond) \
+  do {                    \
+    if (!(cond)) __builtin_trap(); \
+  } while (0)
+
+constexpr size_t kRows = 3;
+constexpr size_t kWidth = 64;
+constexpr uint64_t kSeed = 1;
+
+// The baseline image every corruption script starts from. Deterministic:
+// the same bytes every run, so corpus entries are reproducible.
+std::string BaselineImage() {
+  davinci::InfrequentPart ifp(kRows, kWidth, /*use_signs=*/true, kSeed);
+  for (uint32_t key = 1; key <= 96; ++key) {
+    ifp.Insert(key, 1 + static_cast<int64_t>(key % 7));
+  }
+  std::stringstream out;
+  ifp.SaveState(out);
+  return out.str();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (size_t{1} << 16)) return 0;
+  static const std::string baseline = BaselineImage();
+  std::string image = baseline;
+  for (size_t i = 0; i + 3 <= size; i += 3) {
+    size_t offset = (static_cast<size_t>(data[i]) |
+                     (static_cast<size_t>(data[i + 1]) << 8)) %
+                    image.size();
+    image[offset] = static_cast<char>(
+        static_cast<uint8_t>(image[offset]) ^ data[i + 2]);
+  }
+
+  davinci::InfrequentPart ifp(kRows, kWidth, /*use_signs=*/true, kSeed);
+  std::stringstream in(image);
+  if (!ifp.LoadState(in)) return 0;  // out-of-range cell: clean rejection
+
+  // Fast queries over the original keys (sign-corrected medians).
+  for (uint32_t key = 1; key <= 96; ++key) {
+    (void)ifp.FastQuery(key);
+  }
+
+  // Full peel, both without and with the EF cross-filter. Termination is
+  // part of the contract: peeling strictly shrinks the active set, so a
+  // corrupted image converges (possibly to a partial decode) — a hang
+  // here is a real bug, surfaced by the fuzzer's per-input timeout.
+  (void)ifp.Decode(/*cross_filter=*/nullptr, /*num_threads=*/1);
+
+  davinci::ElementFilter filter(2 * 1024, {8, 16}, /*threshold=*/4,
+                                kSeed + 1);
+  for (uint32_t key = 1; key <= 96; ++key) filter.Insert(key, 3);
+  (void)ifp.Decode(&filter, /*num_threads=*/1);
+
+  // Linear ops on the corrupted state must stay wrap-safe too.
+  davinci::InfrequentPart twin(kRows, kWidth, /*use_signs=*/true, kSeed);
+  twin.Merge(ifp);
+  twin.Subtract(ifp);
+  FUZZ_EXPECT(twin.rows() == kRows && twin.width() == kWidth);
+  return 0;
+}
+
+#if !defined(DAVINCI_LIBFUZZER)
+namespace davinci::fuzz {
+
+int WriteSeeds(const std::string& dir) {
+  int written = 0;
+  // Empty script: the uncorrupted baseline (decoder's happy path).
+  if (WriteSeedFile(dir + "/decode_identity.bin", std::string()) == 0) {
+    ++written;
+  }
+  // A few single-byte flips at spread offsets — one per image region
+  // (size header, iID lane, icnt lane).
+  const std::string baseline = BaselineImage();
+  auto script = [](uint16_t offset, uint8_t mask) {
+    std::string s(3, '\0');
+    s[0] = static_cast<char>(offset & 0xff);
+    s[1] = static_cast<char>(offset >> 8);
+    s[2] = static_cast<char>(mask);
+    return s;
+  };
+  uint16_t id_lane = static_cast<uint16_t>(8 + 16);  // inside iID array
+  uint16_t cnt_lane =
+      static_cast<uint16_t>(baseline.size() - 16);   // inside icnt array
+  if (WriteSeedFile(dir + "/decode_flip_header.bin", script(0, 0xff)) == 0) {
+    ++written;
+  }
+  if (WriteSeedFile(dir + "/decode_flip_id.bin", script(id_lane, 0x40)) ==
+      0) {
+    ++written;
+  }
+  if (WriteSeedFile(dir + "/decode_flip_count.bin",
+                    script(cnt_lane, 0x80) + script(id_lane, 0x01)) == 0) {
+    ++written;
+  }
+  return written;
+}
+
+}  // namespace davinci::fuzz
+#endif  // !DAVINCI_LIBFUZZER

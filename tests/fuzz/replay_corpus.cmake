@@ -1,0 +1,12 @@
+# Replays every file in ${CORPUS} through ${FUZZER} (the standalone
+# driver's argv mode). Separate script because the corpus contents are
+# produced at test time by the --write-seeds step — a glob at configure
+# time would see an empty directory.
+file(GLOB inputs ${CORPUS}/*)
+if(NOT inputs)
+  message(FATAL_ERROR "no corpus inputs in ${CORPUS} — did write_seeds run?")
+endif()
+execute_process(COMMAND ${FUZZER} ${inputs} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "fuzzer replay failed (exit ${rc})")
+endif()

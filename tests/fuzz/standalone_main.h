@@ -1,0 +1,70 @@
+#ifndef DAVINCI_TESTS_FUZZ_STANDALONE_MAIN_H_
+#define DAVINCI_TESTS_FUZZ_STANDALONE_MAIN_H_
+
+// Driver shim shared by the fuzz harnesses. Two build modes:
+//
+//  - DAVINCI_LIBFUZZER (clang, -fsanitize=fuzzer): libFuzzer supplies
+//    main(); the harness exports only LLVMFuzzerTestOneInput. This is the
+//    CI smoke mode (see .github/workflows/ci.yml, fuzz-smoke job).
+//  - otherwise (any compiler, incl. GCC): this header supplies a main()
+//    that replays files passed on the command line through the same
+//    LLVMFuzzerTestOneInput, and regenerates the seed corpus with
+//    --write-seeds <dir>. That makes the corpus a plain ctest regression
+//    suite on toolchains without libFuzzer.
+//
+// Each harness defines WriteSeeds(dir) next to its TestOneInput so seeds
+// stay in sync with the format they exercise.
+
+#include <cstddef>
+#include <cstdint>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+#if !defined(DAVINCI_LIBFUZZER)
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace davinci::fuzz {
+
+// Defined by the including harness: writes the seed corpus into `dir`
+// (which must exist) and returns the number of files written.
+int WriteSeeds(const std::string& dir);
+
+inline int WriteSeedFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return out ? 0 : 1;
+}
+
+}  // namespace davinci::fuzz
+
+int main(int argc, char** argv) {
+  if (argc >= 3 && std::strcmp(argv[1], "--write-seeds") == 0) {
+    int written = davinci::fuzz::WriteSeeds(argv[2]);
+    std::cout << "wrote " << written << " seeds to " << argv[2] << "\n";
+    return written > 0 ? 0 : 1;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(bytes.data()),
+                           bytes.size());
+    ++replayed;
+  }
+  std::cout << "replayed " << replayed << " inputs\n";
+  return 0;
+}
+
+#endif  // !DAVINCI_LIBFUZZER
+
+#endif  // DAVINCI_TESTS_FUZZ_STANDALONE_MAIN_H_

@@ -146,9 +146,8 @@ TEST(InvariantAuditDeathTest, DetectsIdOutsideField) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   InfrequentPart ifp(3, 64, true, 1);
   for (uint32_t key = 1; key <= 200; ++key) ifp.Insert(key, 4);
-  // Rewrite the serialized iID array with an out-of-field value and load
-  // it back (LoadState validates geometry, not field ranges — exactly the
-  // gap CheckInvariants closes).
+  // LoadState range-checks every cell now, so an out-of-field iID in a
+  // serialized image is rejected at the boundary...
   std::stringstream stream;
   ifp.SaveState(stream);
   std::string bytes = stream.str();
@@ -157,7 +156,10 @@ TEST(InvariantAuditDeathTest, DetectsIdOutsideField) {
   bytes.replace(sizeof(uint64_t), sizeof(uint64_t),
                 reinterpret_cast<const char*>(&bad), sizeof(uint64_t));
   std::stringstream corrupted(bytes);
-  ASSERT_TRUE(ifp.LoadState(corrupted));
+  EXPECT_FALSE(ifp.LoadState(corrupted));
+  // ...so CheckInvariants' field check covers in-process corruption only —
+  // plant the bad id directly, behind the public boundaries.
+  ifp.OverwriteCellForTesting(0, 0, bad, 4);
   EXPECT_DEATH(ifp.CheckInvariants(InvariantMode::kGeneral),
                "outside the field");
 }

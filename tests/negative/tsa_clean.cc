@@ -1,0 +1,32 @@
+// Control for the negative-compilation harness (cmake/NegativeCompileTSA
+// .cmake): correctly-locked code that MUST compile under
+// `-Wthread-safety -Werror`. If this file fails, the toolchain itself is
+// broken and the two expected-failure probes prove nothing.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() DAVINCI_EXCLUDES(mu_) {
+    davinci::MutexLock lock(&mu_);
+    ++value_;
+  }
+
+  int Read() DAVINCI_EXCLUDES(mu_) {
+    davinci::MutexLock lock(&mu_);
+    return value_;
+  }
+
+ private:
+  davinci::Mutex mu_;
+  int value_ DAVINCI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return counter.Read() == 1 ? 0 : 1;
+}

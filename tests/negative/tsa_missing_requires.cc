@@ -1,0 +1,27 @@
+// Negative-compilation probe: calling a REQUIRES(mu_) function without
+// holding the mutex — the shape of the ConcurrentDaVinci::Publish
+// contract. The `-Wthread-safety -Werror` build MUST reject this file;
+// cmake/NegativeCompileTSA.cmake fails the configure if it compiles.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Engine {
+ public:
+  // BAD: Publish demands mu_, Tick calls it lock-free.
+  void Tick() { Publish(); }
+
+ private:
+  void Publish() DAVINCI_REQUIRES(mu_) { ++published_; }
+
+  davinci::Mutex mu_;
+  int published_ DAVINCI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Engine engine;
+  engine.Tick();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Negative-compilation probe: an unlocked write to a GUARDED_BY field.
+// The `-Wthread-safety -Werror` build MUST reject this file; if it ever
+// compiles, the annotations have rotted (macros expanding to nothing under
+// clang, a capability type losing its attribute, ...) and
+// cmake/NegativeCompileTSA.cmake fails the configure.
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: touches value_ without holding mu_.
+  void Bump() { ++value_; }
+
+ private:
+  davinci::Mutex mu_;
+  int value_ DAVINCI_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter counter;
+  counter.Bump();
+  return 0;
+}
