@@ -1,0 +1,228 @@
+// Loadgen for the multi-tenant sketch server (docs/SERVER.md).
+//
+// Starts an in-process SketchServer on an ephemeral loopback port, creates
+// a fixed fleet of tenants, then measures three things end to end — socket,
+// framing, dispatch, and sketch included:
+//
+//   1. server_ingest_mops      batched wire ingest throughput, one client
+//                              streaming kInsertBatch frames round-robin
+//                              across the fleet.
+//   2. mixed_query_p99_ns      per-op latency of the query mix (point,
+//                              batch, heavy hitters, cardinality, entropy,
+//                              cross-tenant union) while a background
+//                              writer keeps ingesting. Also exported as the
+//                              higher-is-better mixed_query_p99_kops
+//                              (1e6 / p99_ns) so the regression gate's
+//                              floor semantics apply.
+//   3. rss_mib                 resident set at the fixed tenant count,
+//                              plus rss_headroom_mib (budget − rss,
+//                              higher is better) for the floor gate.
+//
+// Env knobs: DAVINCI_BENCH_TENANTS (default 8), DAVINCI_BENCH_TRACE_LEN
+// (default 2'000'000 keys total), DAVINCI_BENCH_MIXED_QUERIES (default
+// 4000). Output: results/BENCH_server.json via the shared BenchJson
+// plumbing (CI gates it with scripts/check_bench_regression.py).
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "workload/trace.h"
+
+namespace davinci::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  long long value = std::atoll(env);
+  return value > 0 ? static_cast<size_t>(value) : fallback;
+}
+
+// VmRSS from /proc/self/status, in MiB; 0.0 when unavailable.
+double ResidentSetMib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      long long kb = 0;
+      std::sscanf(line.c_str(), "VmRSS: %lld kB", &kb);
+      return static_cast<double>(kb) / 1024.0;
+    }
+  }
+  return 0.0;
+}
+
+std::string TenantName(size_t i) { return "bench" + std::to_string(i); }
+
+int Run() {
+  const size_t tenants = EnvCount("DAVINCI_BENCH_TENANTS", 8);
+  const size_t trace_len = EnvCount("DAVINCI_BENCH_TRACE_LEN", 2'000'000);
+  const size_t mixed_queries = EnvCount("DAVINCI_BENCH_MIXED_QUERIES", 4000);
+  const size_t batch = 4096;
+  const uint64_t seed = 42;
+
+  server::ServerOptions options;
+  options.workers = 3;
+  server::SketchServer server(options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "bench_server: server failed to start\n");
+    return 1;
+  }
+
+  server::Client admin;
+  if (!admin.Connect(server.port())) {
+    std::fprintf(stderr, "bench_server: connect failed\n");
+    return 1;
+  }
+  for (size_t i = 0; i < tenants; ++i) {
+    // Shared seed keeps every pair union-compatible for the query mix.
+    if (admin.CreateTenant(TenantName(i), 4, 1 << 20, seed) !=
+        server::StatusCode::kOk) {
+      std::fprintf(stderr, "bench_server: create tenant failed\n");
+      return 1;
+    }
+  }
+
+  Trace trace = BuildSkewedTrace("server", trace_len, trace_len / 20, 1.1,
+                                 seed);
+
+  BenchJson json("server");
+  json.Count("tenants", tenants);
+  json.Count("trace_len", trace.keys.size());
+  json.Count("batch_keys", batch);
+  json.Count("server_workers", options.workers);
+  json.Count("hardware_threads", std::thread::hardware_concurrency());
+
+  // ---- phase 1: batched wire ingest, round-robin over the fleet ----
+  const std::vector<int64_t> ones(batch, 1);
+  {
+    Timer timer;
+    size_t tenant = 0;
+    for (size_t off = 0; off < trace.keys.size(); off += batch) {
+      size_t n = std::min(batch, trace.keys.size() - off);
+      if (admin.InsertBatch(
+              TenantName(tenant),
+              std::span<const uint32_t>(trace.keys.data() + off, n),
+              std::span<const int64_t>(ones.data(), n)) !=
+          server::StatusCode::kOk) {
+        std::fprintf(stderr, "bench_server: wire ingest failed\n");
+        return 1;
+      }
+      tenant = (tenant + 1) % tenants;
+    }
+    double mops = ThroughputMpps(trace.keys.size(), timer.ElapsedSeconds());
+    json.Metric("server_ingest_mops", mops);
+    std::printf("ingest: %zu keys across %zu tenants at %.3f Mops\n",
+                trace.keys.size(), tenants, mops);
+  }
+
+  // ---- phase 2: query mix under concurrent ingest ----
+  std::atomic<bool> stop{false};
+  std::thread writer([&server, &trace, &ones, tenants, &stop] {
+    server::Client client;
+    if (!client.Connect(server.port())) return;
+    size_t off = 0, tenant = 0;
+    const size_t batch_keys = ones.size();
+    while (!stop.load(std::memory_order_relaxed)) {
+      size_t n = std::min(batch_keys, trace.keys.size() - off);
+      client.InsertBatch(
+          TenantName(tenant),
+          std::span<const uint32_t>(trace.keys.data() + off, n),
+          std::span<const int64_t>(ones.data(), n));
+      off = (off + n) % trace.keys.size();
+      tenant = (tenant + 1) % tenants;
+    }
+  });
+
+  obs::LatencyHistogram mixed;
+  std::vector<uint32_t> probe(trace.keys.begin(),
+                              trace.keys.begin() +
+                                  std::min<size_t>(64, trace.keys.size()));
+  bool mixed_ok = true;
+  Timer mixed_timer;
+  for (size_t i = 0; i < mixed_queries && mixed_ok; ++i) {
+    const std::string a = TenantName(i % tenants);
+    const std::string b = TenantName((i + 1) % tenants);
+    server::StatusCode status = server::StatusCode::kOk;
+    obs::ScopedLatencyTimer op_timer(&mixed);
+    switch (i % 6) {
+      case 0: {
+        int64_t count = 0;
+        status = admin.Query(a, probe[i % probe.size()], &count);
+        break;
+      }
+      case 1: {
+        std::vector<int64_t> counts;
+        status = admin.QueryBatch(a, probe, &counts);
+        break;
+      }
+      case 2: {
+        std::vector<std::pair<uint32_t, int64_t>> hitters;
+        status = admin.HeavyHitters(a, 1000, &hitters);
+        break;
+      }
+      case 3: {
+        double value = 0;
+        status = admin.Cardinality(a, &value);
+        break;
+      }
+      case 4: {
+        double value = 0;
+        status = admin.Entropy(a, &value);
+        break;
+      }
+      default: {
+        double value = 0;
+        status = admin.UnionCardinality(a, b, &value);
+        break;
+      }
+    }
+    mixed_ok = status == server::StatusCode::kOk;
+  }
+  double mixed_seconds = mixed_timer.ElapsedSeconds();
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  if (!mixed_ok) {
+    std::fprintf(stderr, "bench_server: mixed query phase failed\n");
+    return 1;
+  }
+
+  json.Histogram("mixed_query", mixed);
+  uint64_t p99_ns = mixed.PercentileNanos(0.99);
+  // Higher-is-better alias so check_bench_regression floors can gate p99.
+  json.Metric("mixed_query_p99_kops",
+              p99_ns > 0 ? 1e6 / static_cast<double>(p99_ns) : 0.0);
+  json.Metric("mixed_query_rate_kqps",
+              mixed_seconds > 0.0
+                  ? static_cast<double>(mixed_queries) / mixed_seconds / 1e3
+                  : 0.0);
+  std::printf("mixed load: %zu queries, p99 %" PRIu64 " ns\n", mixed_queries,
+              p99_ns);
+
+  // ---- phase 3: resident set at the fixed tenant count ----
+  const double rss_budget_mib = 512.0;
+  double rss = ResidentSetMib();
+  json.Metric("rss_mib", rss);
+  json.Metric("rss_headroom_mib", std::max(0.0, rss_budget_mib - rss));
+  std::printf("rss: %.1f MiB at %zu tenants (budget %.0f MiB)\n", rss,
+              tenants, rss_budget_mib);
+
+  server.Stop();
+  json.Write();
+  return 0;
+}
+
+}  // namespace
+}  // namespace davinci::bench
+
+int main() { return davinci::bench::Run(); }

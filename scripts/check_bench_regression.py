@@ -27,6 +27,10 @@ Usage:
         [--min window_merge_reuse_hits=1] \
         [--min-multicore decode_speedup_4t=1.2] [--multicore-threads 4]
 
+`--self-test` runs the gate against synthetic JSON pairs and proves each
+trigger still fires (and each pass still passes); ctest registers it so
+the gate's own behavior is covered by the local test run.
+
 Only the standard library is used, so the script runs anywhere python3
 does (the CI bench-regression job calls it on the runner).
 """
@@ -34,9 +38,14 @@ does (the CI bench-regression job calls it on the runner).
 import argparse
 import json
 import sys
+import tempfile
 
 
-def main() -> int:
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "--self-test":
+        return self_test()
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="baseline BENCH_*.json")
     parser.add_argument("current", help="freshly produced BENCH_*.json")
@@ -76,7 +85,7 @@ def main() -> int:
         help="hardware_threads needed to arm --min-multicore floors "
         "(default 4)",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
     keys = args.keys or ["insert_batch_mops"]
 
     def parse_floors(specs, flag):
@@ -146,6 +155,72 @@ def main() -> int:
             print(f"  {failure}", file=sys.stderr)
         return 1
     print("bench regression gate passed")
+    return 0
+
+
+def self_test() -> int:
+    """Prove each gate trigger fires (and each pass passes) on synthetic
+    JSON. Every case runs main() for real — argument parsing, file IO and
+    verdict logic included."""
+    import os
+
+    def run_case(name, baseline, current, extra_args, want_exit):
+        with tempfile.TemporaryDirectory() as tmp:
+            base_path = os.path.join(tmp, "baseline.json")
+            cur_path = os.path.join(tmp, "current.json")
+            with open(base_path, "w") as f:
+                json.dump(baseline, f)
+            with open(cur_path, "w") as f:
+                json.dump(current, f)
+            got = main([base_path, cur_path] + extra_args)
+        verdict = "ok" if got == want_exit else "FAIL"
+        print(f"self-test [{verdict}] {name}: exit={got} want={want_exit}")
+        return got == want_exit
+
+    cases = [
+        # The >25% relative gate: a 26% drop fires, a 24% drop does not,
+        # and improvements always pass.
+        ("relative drop >25% fires",
+         {"m": 100.0}, {"m": 74.0}, ["--key", "m"], 1),
+        ("relative drop <=25% passes",
+         {"m": 100.0}, {"m": 76.0}, ["--key", "m"], 0),
+        ("improvement passes",
+         {"m": 100.0}, {"m": 150.0}, ["--key", "m"], 0),
+        ("key missing from current fails",
+         {"m": 100.0}, {}, ["--key", "m"], 1),
+        ("key missing from baseline skips",
+         {}, {"m": 1.0}, ["--key", "m"], 0),
+        # --min absolute floors on the current file.
+        ("--min below floor fires",
+         {}, {"hits": 0.0}, ["--min", "hits=1"], 1),
+        ("--min at floor passes",
+         {}, {"hits": 1.0}, ["--min", "hits=1"], 0),
+        ("--min missing key fails",
+         {}, {}, ["--min", "hits=1"], 1),
+        # --min-multicore: armed only when hardware_threads clears the bar.
+        ("--min-multicore fires on multicore host",
+         {}, {"speedup": 1.0, "hardware_threads": 8},
+         ["--min-multicore", "speedup=1.2"], 1),
+        ("--min-multicore passes on multicore host",
+         {}, {"speedup": 1.5, "hardware_threads": 8},
+         ["--min-multicore", "speedup=1.2"], 0),
+        ("--min-multicore skipped on single core",
+         {}, {"speedup": 1.0, "hardware_threads": 1},
+         ["--min-multicore", "speedup=1.2"], 0),
+        ("--min-multicore skipped without hardware_threads",
+         {}, {"speedup": 1.0},
+         ["--min-multicore", "speedup=1.2"], 0),
+        # A custom tolerance reshapes the relative gate.
+        ("--max-regression 0.5 relaxes the gate",
+         {"m": 100.0}, {"m": 60.0},
+         ["--key", "m", "--max-regression", "0.5"], 0),
+    ]
+
+    failures = sum(not run_case(*case) for case in cases)
+    if failures:
+        print(f"self-test FAILED: {failures} case(s)", file=sys.stderr)
+        return 1
+    print(f"self-test passed: {len(cases)} cases")
     return 0
 
 

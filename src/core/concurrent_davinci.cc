@@ -1,6 +1,10 @@
 #include "core/concurrent_davinci.h"
 
 #include <algorithm>
+#include <istream>
+#include <ostream>
+
+#include "common/serialize.h"
 
 namespace davinci {
 
@@ -188,6 +192,47 @@ void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
     out->Accumulate(one);
   }
   out->tuning.publish_interval = publish_interval();
+}
+
+void ConcurrentDaVinci::SaveShards(std::ostream& out) const {
+  std::vector<std::shared_ptr<const SketchView>> views = SnapshotAll();
+  WritePod(out, static_cast<uint32_t>(views.size()));
+  for (const std::shared_ptr<const SketchView>& view : views) {
+    view->sketch().Save(out);
+  }
+}
+
+bool ConcurrentDaVinci::RestoreShards(std::istream& in) {
+  uint32_t count = 0;
+  if (!ReadPod(in, &count)) return false;
+  if (count != shards_.size()) return false;
+  // Stage every shard image before touching live state, so a failure at
+  // shard k never leaves shards [0, k) restored and the rest stale.
+  std::vector<DaVinciSketch> staged;
+  staged.reserve(count);
+  for (uint32_t s = 0; s < count; ++s) {
+    DaVinciSketch loaded(8 * 1024, 0);  // placeholder, overwritten by Load
+    if (!DaVinciSketch::Load(in, &loaded)) return false;
+    if (!staged.empty() &&
+        !staged.front().config().GeometryEquals(loaded.config())) {
+      return false;  // cross-shard merge (Snapshot) would abort
+    }
+    // Routing gate: every frequent-part resident must hash back to its
+    // shard, or Snapshot() double-counts and Query() consults the wrong
+    // shard. (EF/IFP state is not key-addressable, so FP residency is the
+    // strongest check a sketch image supports.)
+    for (const FrequentPart::Entry& entry : loaded.frequent_part().Entries()) {
+      if (ShardOf(entry.key) != s) return false;
+    }
+    staged.push_back(std::move(loaded));
+  }
+  for (uint32_t s = 0; s < count; ++s) {
+    Shard& shard = shards_[s];
+    MutexLock lock(&shard.mutex);
+    *shard.sketch = std::move(staged[s]);
+    Publish(shard);
+  }
+  return true;
 }
 
 void ConcurrentDaVinci::Merge(const ConcurrentDaVinci& other) {

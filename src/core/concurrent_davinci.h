@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <span>
 #include <vector>
@@ -116,6 +117,24 @@ class ConcurrentDaVinci {
   // A single merged sketch built from SnapshotAll() — lock-free (shards
   // hash-partition the key space, so the merge sees each flow once).
   DaVinciSketch Snapshot() const;
+
+  // ---- persistence (the server's tenant checkpoints) ----
+  // Serializes the shard count followed by each shard's PUBLISHED view —
+  // one atomic load per shard, no locks, so writers are never stalled by a
+  // checkpoint. The image is prefix-consistent per shard: call FlushViews()
+  // first (after quiescing, or accepting interval-bounded staleness) to
+  // capture every completed write.
+  void SaveShards(std::ostream& out) const;
+
+  // Restores an image produced by SaveShards into this instance, replacing
+  // every shard's live sketch and republishing. Non-aborting on hostile
+  // input: returns false — leaving *this untouched — when the shard count
+  // differs from this instance's, any per-shard image fails the
+  // DaVinciSketch::Load gate, the shard configs are not mutually
+  // merge-compatible (GeometryEquals), or a frequent-part resident key is
+  // routed to a different shard by this instance's shard hash (a corrupted
+  // image must not poison Snapshot()'s cross-shard merge).
+  bool RestoreShards(std::istream& in);
 
   // Aggregated health telemetry: collects every shard's snapshot under its
   // lock and sums them (capacities and counters add across shards;

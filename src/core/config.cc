@@ -84,6 +84,17 @@ void DaVinciConfig::Save(std::ostream& out) const {
   WritePod(out, seed);
 }
 
+bool DaVinciConfig::GeometryEquals(const DaVinciConfig& other) const {
+  return seed == other.seed && fp_buckets == other.fp_buckets &&
+         fp_slots == other.fp_slots && evict_lambda == other.evict_lambda &&
+         ef_level_bits == other.ef_level_bits && ef_bytes == other.ef_bytes &&
+         promotion_threshold == other.promotion_threshold &&
+         ifp_rows == other.ifp_rows &&
+         ifp_buckets_per_row == other.ifp_buckets_per_row &&
+         use_sign_hash == other.use_sign_hash &&
+         decode_cross_validation == other.decode_cross_validation;
+}
+
 bool DaVinciConfig::Load(std::istream& in, DaVinciConfig* config) {
   uint64_t fp_buckets = 0, fp_slots = 0, ef_bytes = 0, ifp_rows = 0,
            ifp_buckets = 0;

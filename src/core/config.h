@@ -104,6 +104,14 @@ struct DaVinciConfig {
   // Binary round-trip (used by DaVinciSketch::Save/Load).
   void Save(std::ostream& out) const;
   static bool Load(std::istream& in, DaVinciConfig* config);
+
+  // True when two sketches built from these configs are linear-compatible
+  // (Merge/Subtract/HeavyChangers/InnerProduct are sound): identical seed
+  // and identical serialized geometry. Runtime-only tuning knobs
+  // (decode/batch/prefetch) are deliberately ignored — they never change
+  // answers. The server's cross-tenant query gates call this instead of
+  // letting a mismatched Merge abort the process.
+  bool GeometryEquals(const DaVinciConfig& other) const;
 };
 
 }  // namespace davinci

@@ -1,0 +1,519 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace davinci::server {
+
+namespace {
+
+// Request body builders (kept local: the typed methods are the API).
+
+std::string ReqHeader(Op op) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(op));
+  return writer.Take();
+}
+
+std::string NameOnlyRequest(Op op, const std::string& name) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(op));
+  writer.Str(name);
+  return writer.Take();
+}
+
+bool ReadPairs(WireReader& reader,
+               std::vector<std::pair<uint32_t, int64_t>>* out) {
+  return reader.Pairs(out) && reader.Done();
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+bool Client::Connect(uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Close();
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return true;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+bool Client::SendRaw(const void* data, size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd_, bytes + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Client::SendRequest(const std::string& body) {
+  std::string frame = Frame(body);
+  return SendRaw(frame.data(), frame.size());
+}
+
+bool Client::ReadResponse(std::string* body) {
+  uint8_t prefix[sizeof(uint32_t)];
+  size_t got = 0;
+  while (got < sizeof(prefix)) {
+    ssize_t n = ::read(fd_, prefix + got, sizeof(prefix) - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  uint32_t len = 0;
+  std::memcpy(&len, prefix, sizeof(len));
+  if (len == 0 || len > kMaxFrameBytes) return false;
+  body->resize(len);
+  got = 0;
+  while (got < len) {
+    ssize_t n = ::read(fd_, body->data() + got, len - got);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool Client::Call(const std::string& body, std::string* response) {
+  return SendRequest(body) && ReadResponse(response);
+}
+
+bool Client::RoundTrip(const std::string& body, std::string* response,
+                       StatusCode* status) {
+  if (!Call(body, response)) return false;
+  if (response->empty()) return false;
+  *status = static_cast<StatusCode>(static_cast<uint8_t>((*response)[0]));
+  return true;
+}
+
+StatusCode Client::ParseStatus(const std::string& response) {
+  if (response.empty()) return StatusCode::kInternal;
+  return static_cast<StatusCode>(static_cast<uint8_t>(response[0]));
+}
+
+// ---------------------------------------------------------------------------
+// Admin / lifecycle.
+
+StatusCode Client::Ping() {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(ReqHeader(Op::kPing), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  return status;
+}
+
+StatusCode Client::CreateTenant(const std::string& name, uint32_t shards,
+                                uint64_t total_bytes, uint64_t seed,
+                                uint32_t window_epochs) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kCreateTenant));
+  writer.Str(name);
+  writer.U32(shards);
+  writer.U64(total_bytes);
+  writer.U64(seed);
+  writer.U32(window_epochs);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  return status;
+}
+
+StatusCode Client::DropTenant(const std::string& name) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kDropTenant, name), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  return status;
+}
+
+StatusCode Client::ListTenants(std::vector<std::string>* names) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(ReqHeader(Op::kListTenants), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  uint32_t n = 0;
+  if (!reader.U32(&n) || n > kMaxTenants) return StatusCode::kInternal;
+  names->clear();
+  for (uint32_t i = 0; i < n; ++i) {
+    std::string name;
+    if (!reader.Str(&name)) return StatusCode::kInternal;
+    names->push_back(std::move(name));
+  }
+  return reader.Done() ? StatusCode::kOk : StatusCode::kInternal;
+}
+
+StatusCode Client::AdvanceEpoch(const std::string& name, uint64_t* epoch) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kAdvanceEpoch, name), &response,
+                 &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.U64(epoch) && reader.Done() ? StatusCode::kOk
+                                            : StatusCode::kInternal;
+}
+
+StatusCode Client::Checkpoint(const std::string& name, bool* written) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kCheckpoint, name), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  uint8_t flag = 0;
+  if (!reader.U8(&flag) || !reader.Done()) return StatusCode::kInternal;
+  if (written != nullptr) *written = flag != 0;
+  return StatusCode::kOk;
+}
+
+StatusCode Client::Health(const std::string& name, HealthReply* out) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kHealth, name), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  uint8_t windowed = 0;
+  if (!reader.U64(&out->shards) || !reader.U64(&out->memory_bytes) ||
+      !reader.U64(&out->inserts) || !reader.U64(&out->queries) ||
+      !reader.U64(&out->epoch) || !reader.U8(&windowed) || !reader.Done()) {
+    return StatusCode::kInternal;
+  }
+  out->windowed = windowed != 0;
+  return StatusCode::kOk;
+}
+
+StatusCode Client::FlushViews(const std::string& name) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kFlushViews, name), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Ingest.
+
+StatusCode Client::Insert(const std::string& name, uint32_t key,
+                          int64_t count) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kInsert));
+  writer.Str(name);
+  writer.U32(key);
+  writer.I64(count);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  return status;
+}
+
+std::string Client::InsertBatchRequest(const std::string& name,
+                                       std::span<const uint32_t> keys,
+                                       std::span<const int64_t> counts) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kInsertBatch));
+  writer.Str(name);
+  writer.Keys(keys);
+  writer.Counts(counts);
+  return writer.Take();
+}
+
+StatusCode Client::InsertBatch(const std::string& name,
+                               std::span<const uint32_t> keys,
+                               std::span<const int64_t> counts) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(InsertBatchRequest(name, keys, counts), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  return status;
+}
+
+// ---------------------------------------------------------------------------
+// Queries.
+
+std::string Client::QueryRequest(const std::string& name, uint32_t key) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kQuery));
+  writer.Str(name);
+  writer.U32(key);
+  return writer.Take();
+}
+
+StatusCode Client::Query(const std::string& name, uint32_t key, int64_t* out) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(QueryRequest(name, key), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.I64(out) && reader.Done() ? StatusCode::kOk
+                                          : StatusCode::kInternal;
+}
+
+StatusCode Client::QueryBatch(const std::string& name,
+                              std::span<const uint32_t> keys,
+                              std::vector<int64_t>* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kQueryBatch));
+  writer.Str(name);
+  writer.Keys(keys);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.Counts(out) && reader.Done() ? StatusCode::kOk
+                                             : StatusCode::kInternal;
+}
+
+StatusCode Client::HeavyHitters(
+    const std::string& name, int64_t threshold,
+    std::vector<std::pair<uint32_t, int64_t>>* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kHeavyHitters));
+  writer.Str(name);
+  writer.I64(threshold);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return ReadPairs(reader, out) ? StatusCode::kOk : StatusCode::kInternal;
+}
+
+StatusCode Client::HeavyChangers(
+    const std::string& a, const std::string& b, int64_t delta,
+    std::vector<std::pair<uint32_t, int64_t>>* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kHeavyChangers));
+  writer.Str(a);
+  writer.Str(b);
+  writer.I64(delta);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return ReadPairs(reader, out) ? StatusCode::kOk : StatusCode::kInternal;
+}
+
+StatusCode Client::Cardinality(const std::string& name, double* out) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kCardinality, name), &response,
+                 &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.F64(out) && reader.Done() ? StatusCode::kOk
+                                          : StatusCode::kInternal;
+}
+
+StatusCode Client::Distribution(
+    const std::string& name, std::vector<std::pair<int64_t, int64_t>>* out) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kDistribution, name), &response,
+                 &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  uint32_t n = 0;
+  if (!reader.U32(&n) || n > kMaxBatchKeys) return StatusCode::kInternal;
+  out->clear();
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int64_t size = 0;
+    int64_t flows = 0;
+    if (!reader.I64(&size) || !reader.I64(&flows)) {
+      return StatusCode::kInternal;
+    }
+    out->emplace_back(size, flows);
+  }
+  return reader.Done() ? StatusCode::kOk : StatusCode::kInternal;
+}
+
+StatusCode Client::Entropy(const std::string& name, double* out) {
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(NameOnlyRequest(Op::kEntropy, name), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.F64(out) && reader.Done() ? StatusCode::kOk
+                                          : StatusCode::kInternal;
+}
+
+StatusCode Client::UnionCardinality(const std::string& a, const std::string& b,
+                                    double* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kUnionCardinality));
+  writer.Str(a);
+  writer.Str(b);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.F64(out) && reader.Done() ? StatusCode::kOk
+                                          : StatusCode::kInternal;
+}
+
+StatusCode Client::DifferenceQuery(const std::string& a, const std::string& b,
+                                   std::span<const uint32_t> keys,
+                                   std::vector<int64_t>* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kDifferenceQuery));
+  writer.Str(a);
+  writer.Str(b);
+  writer.Keys(keys);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.Counts(out) && reader.Done() ? StatusCode::kOk
+                                             : StatusCode::kInternal;
+}
+
+StatusCode Client::InnerProduct(const std::string& a, const std::string& b,
+                                double* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kInnerProduct));
+  writer.Str(a);
+  writer.Str(b);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.F64(out) && reader.Done() ? StatusCode::kOk
+                                          : StatusCode::kInternal;
+}
+
+StatusCode Client::WindowHeavyChangers(
+    const std::string& name, int64_t delta,
+    std::vector<std::pair<uint32_t, int64_t>>* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kWindowHeavyChangers));
+  writer.Str(name);
+  writer.I64(delta);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return ReadPairs(reader, out) ? StatusCode::kOk : StatusCode::kInternal;
+}
+
+}  // namespace davinci::server

@@ -1,0 +1,74 @@
+// davinci_serverd: the multi-tenant sketch daemon (docs/SERVER.md).
+//
+//   davinci_serverd [--port N] [--checkpoint-dir DIR]
+//                   [--checkpoint-every MUTATIONS] [--workers N]
+//
+// Prints "LISTENING <port>" on stdout once the socket is bound (the
+// recovery test and loadgen parse this to find an ephemeral port), then
+// serves until SIGINT/SIGTERM. Graceful shutdown checkpoints every
+// tenant; a SIGKILL mid-run loses at most the mutations since the last
+// epoch-seal checkpoint, which is exactly what the recovery test pins.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/server.h"
+
+namespace {
+
+uint64_t ParseU64(const char* text, uint64_t fallback) {
+  char* end = nullptr;
+  unsigned long long value = std::strtoull(text, &end, 10);
+  return (end == text || *end != '\0') ? fallback : value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  davinci::server::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      options.port = static_cast<uint16_t>(ParseU64(next("--port"), 0));
+    } else if (std::strcmp(argv[i], "--checkpoint-dir") == 0) {
+      options.checkpoint_dir = next("--checkpoint-dir");
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      options.checkpoint_every = ParseU64(next("--checkpoint-every"), 0);
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      options.workers = ParseU64(next("--workers"), 3);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // Block INT/TERM before the server's threads start so they inherit the
+  // mask and the signals land in the sigwait below.
+  sigset_t mask;
+  sigemptyset(&mask);
+  sigaddset(&mask, SIGINT);
+  sigaddset(&mask, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &mask, nullptr);
+
+  davinci::server::SketchServer server(options);
+  if (!server.Start()) {
+    std::fprintf(stderr, "failed to bind port %u\n", options.port);
+    return 1;
+  }
+  std::printf("LISTENING %u\n", server.port());
+  std::fflush(stdout);
+
+  int sig = 0;
+  sigwait(&mask, &sig);
+  server.Stop();  // checkpoints all tenants when persistent
+  return 0;
+}

@@ -1,0 +1,417 @@
+#include "server/dispatcher.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/davinci_sketch.h"
+#include "obs/health.h"
+
+namespace davinci::server {
+
+namespace {
+
+StatusCode ToStatus(RegistryResult result) {
+  switch (result) {
+    case RegistryResult::kOk: return StatusCode::kOk;
+    case RegistryResult::kExists: return StatusCode::kTenantExists;
+    case RegistryResult::kNotFound: return StatusCode::kNoSuchTenant;
+    case RegistryResult::kInvalid: return StatusCode::kBadArgument;
+    case RegistryResult::kFull: return StatusCode::kTooLarge;
+    case RegistryResult::kIoError: return StatusCode::kInternal;
+  }
+  return StatusCode::kInternal;
+}
+
+}  // namespace
+
+RequestDispatcher::RequestDispatcher(TenantRegistry* registry,
+                                     DispatcherOptions options)
+    : registry_(registry), options_(options) {}
+
+std::string RequestDispatcher::Handle(std::span<const uint8_t> body) {
+  WireReader reader(body);
+  uint8_t version = 0;
+  uint8_t opcode = 0;
+  if (!reader.U8(&version) || !reader.U8(&opcode)) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  if (version != kProtocolVersion) {
+    return StatusBody(StatusCode::kBadVersion);
+  }
+  return Dispatch(static_cast<Op>(opcode), reader);
+}
+
+std::string RequestDispatcher::Dispatch(Op op, WireReader& reader) {
+  switch (op) {
+    case Op::kPing:
+      return reader.Done() ? StatusBody(StatusCode::kOk)
+                           : StatusBody(StatusCode::kMalformed);
+    case Op::kCreateTenant: return CreateTenant(reader);
+    case Op::kDropTenant: return DropTenant(reader);
+    case Op::kListTenants: return ListTenants(reader);
+    case Op::kAdvanceEpoch: return AdvanceEpoch(reader);
+    case Op::kCheckpoint: return Checkpoint(reader);
+    case Op::kHealth: return Health(reader);
+    case Op::kFlushViews: return FlushViews(reader);
+    case Op::kInsert: return Insert(reader);
+    case Op::kInsertBatch: return InsertBatch(reader);
+    case Op::kQuery: return Query(reader);
+    case Op::kQueryBatch: return QueryBatch(reader);
+    case Op::kHeavyHitters: return HeavyHitters(reader);
+    case Op::kHeavyChangers: return HeavyChangers(reader);
+    case Op::kCardinality: return Cardinality(reader);
+    case Op::kDistribution: return Distribution(reader);
+    case Op::kEntropy: return Entropy(reader);
+    case Op::kUnionCardinality: return UnionCardinality(reader);
+    case Op::kDifferenceQuery: return DifferenceQuery(reader);
+    case Op::kInnerProduct: return InnerProduct(reader);
+    case Op::kWindowHeavyChangers: return WindowHeavyChangers(reader);
+  }
+  return StatusBody(StatusCode::kUnknownOp);
+}
+
+void RequestDispatcher::MaybeCheckpoint(const std::shared_ptr<Tenant>& tenant,
+                                        uint64_t mutations) {
+  if (options_.checkpoint_every == 0 || !registry_->persistent()) return;
+  if (tenant->CountMutations(mutations) >= options_.checkpoint_every) {
+    // Seal boundary first, so the checkpointed image is epoch-aligned;
+    // Checkpoint() resets the mutation clock on success.
+    tenant->AdvanceEpoch();
+    registry_->Checkpoint(*tenant);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admin / lifecycle.
+
+std::string RequestDispatcher::CreateTenant(WireReader& reader) {
+  std::string name;
+  TenantOptions options;
+  if (!reader.Str(&name) || !reader.U32(&options.shards) ||
+      !reader.U64(&options.total_bytes) || !reader.U64(&options.seed) ||
+      !reader.U32(&options.window_epochs) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  return StatusBody(ToStatus(registry_->Create(name, options)));
+}
+
+std::string RequestDispatcher::DropTenant(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  return StatusBody(ToStatus(registry_->Drop(name)));
+}
+
+std::string RequestDispatcher::ListTenants(WireReader& reader) {
+  if (!reader.Done()) return StatusBody(StatusCode::kMalformed);
+  std::vector<std::string> names = registry_->List();
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U32(static_cast<uint32_t>(names.size()));
+  for (const std::string& name : names) writer.Str(name);
+  return writer.Take();
+}
+
+std::string RequestDispatcher::AdvanceEpoch(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  uint64_t epoch = tenant->AdvanceEpoch();
+  // Epoch seals are the checkpoint boundary: a persistent server durably
+  // captures the sealed state right here.
+  if (registry_->persistent()) registry_->Checkpoint(*tenant);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U64(epoch);
+  return writer.Take();
+}
+
+std::string RequestDispatcher::Checkpoint(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  bool written = registry_->Checkpoint(*tenant);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U8(written ? 1 : 0);
+  return writer.Take();
+}
+
+std::string RequestDispatcher::Health(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  obs::HealthSnapshot stats;
+  tenant->CollectStats(&stats);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U64(stats.shards);
+  writer.U64(stats.memory_bytes);
+  writer.U64(stats.inserts);
+  writer.U64(stats.queries);
+  writer.U64(tenant->epoch());
+  writer.U8(tenant->windowed() ? 1 : 0);
+  return writer.Take();
+}
+
+std::string RequestDispatcher::FlushViews(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  tenant->engine().FlushViews();
+  return StatusBody(StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Ingest.
+
+std::string RequestDispatcher::Insert(WireReader& reader) {
+  std::string name;
+  uint32_t key = 0;
+  int64_t count = 0;
+  if (!reader.Str(&name) || !reader.U32(&key) || !reader.I64(&count) ||
+      !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  tenant->Insert(key, count);
+  MaybeCheckpoint(tenant, 1);
+  return StatusBody(StatusCode::kOk);
+}
+
+std::string RequestDispatcher::InsertBatch(WireReader& reader) {
+  std::string name;
+  std::vector<uint32_t> keys;
+  std::vector<int64_t> counts;
+  if (!reader.Str(&name) || !reader.Keys(&keys) || !reader.Counts(&counts) ||
+      !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  // Counts must pair up one-to-one; an empty vector means "1 per key".
+  if (!counts.empty() && counts.size() != keys.size()) {
+    return StatusBody(StatusCode::kBadArgument);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  if (counts.empty()) counts.assign(keys.size(), 1);
+  tenant->InsertBatch(keys, counts);
+  MaybeCheckpoint(tenant, keys.size());
+  return StatusBody(StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Single-tenant queries — all answered from published views (the engine's
+// lock-free read paths or Snapshot()); no writer lock is ever taken here.
+
+std::string RequestDispatcher::Query(WireReader& reader) {
+  std::string name;
+  uint32_t key = 0;
+  if (!reader.Str(&name) || !reader.U32(&key) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.I64(tenant->engine().Query(key));
+  return writer.Take();
+}
+
+std::string RequestDispatcher::QueryBatch(WireReader& reader) {
+  std::string name;
+  std::vector<uint32_t> keys;
+  if (!reader.Str(&name) || !reader.Keys(&keys) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  std::vector<int64_t> answers = tenant->engine().QueryBatch(keys);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.Counts(answers);
+  return writer.Take();
+}
+
+std::string RequestDispatcher::HeavyHitters(WireReader& reader) {
+  std::string name;
+  int64_t threshold = 0;
+  if (!reader.Str(&name) || !reader.I64(&threshold) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.Pairs(tenant->engine().HeavyHitters(threshold));
+  return writer.Take();
+}
+
+std::string RequestDispatcher::Cardinality(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.F64(tenant->engine().EstimateCardinality());
+  return writer.Take();
+}
+
+std::string RequestDispatcher::Distribution(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  std::map<int64_t, int64_t> dist = tenant->engine().Snapshot().Distribution();
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U32(static_cast<uint32_t>(dist.size()));
+  for (const auto& [size, flows] : dist) {
+    writer.I64(size);
+    writer.I64(flows);
+  }
+  return writer.Take();
+}
+
+std::string RequestDispatcher::Entropy(WireReader& reader) {
+  std::string name;
+  if (!reader.Str(&name) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.F64(tenant->engine().Snapshot().EstimateEntropy());
+  return writer.Take();
+}
+
+std::string RequestDispatcher::WindowHeavyChangers(WireReader& reader) {
+  std::string name;
+  int64_t delta = 0;
+  if (!reader.Str(&name) || !reader.I64(&delta) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  if (!tenant->windowed()) return StatusBody(StatusCode::kBadArgument);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.Pairs(tenant->WindowHeavyChangers(delta));
+  return writer.Take();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant queries. The core's Merge/Subtract/HeavyChangers/
+// InnerProduct DAVINCI_CHECK-abort on mismatched geometry, so the gate
+// below turns a hostile pairing into kBadArgument instead of killing the
+// daemon for every other tenant.
+
+namespace {
+
+struct TenantPair {
+  std::shared_ptr<Tenant> a;
+  std::shared_ptr<Tenant> b;
+  // Minimal placeholders (no default ctor); overwritten by SnapshotPair.
+  DaVinciSketch snap_a{8 * 1024, 0};
+  DaVinciSketch snap_b{8 * 1024, 0};
+};
+
+StatusCode SnapshotPair(TenantRegistry* registry, const std::string& name_a,
+                        const std::string& name_b, TenantPair* out) {
+  out->a = registry->Find(name_a);
+  out->b = registry->Find(name_b);
+  if (!out->a || !out->b) return StatusCode::kNoSuchTenant;
+  out->snap_a = out->a->engine().Snapshot();
+  out->snap_b = out->b->engine().Snapshot();
+  if (!out->snap_a.config().GeometryEquals(out->snap_b.config())) {
+    return StatusCode::kBadArgument;
+  }
+  return StatusCode::kOk;
+}
+
+}  // namespace
+
+std::string RequestDispatcher::HeavyChangers(WireReader& reader) {
+  std::string name_a, name_b;
+  int64_t delta = 0;
+  if (!reader.Str(&name_a) || !reader.Str(&name_b) || !reader.I64(&delta) ||
+      !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  TenantPair pair;
+  StatusCode status = SnapshotPair(registry_, name_a, name_b, &pair);
+  if (status != StatusCode::kOk) return StatusBody(status);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.Pairs(pair.snap_a.HeavyChangers(pair.snap_b, delta));
+  return writer.Take();
+}
+
+std::string RequestDispatcher::UnionCardinality(WireReader& reader) {
+  std::string name_a, name_b;
+  if (!reader.Str(&name_a) || !reader.Str(&name_b) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  TenantPair pair;
+  StatusCode status = SnapshotPair(registry_, name_a, name_b, &pair);
+  if (status != StatusCode::kOk) return StatusBody(status);
+  pair.snap_a.Merge(pair.snap_b);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.F64(pair.snap_a.EstimateCardinality());
+  return writer.Take();
+}
+
+std::string RequestDispatcher::DifferenceQuery(WireReader& reader) {
+  std::string name_a, name_b;
+  std::vector<uint32_t> keys;
+  if (!reader.Str(&name_a) || !reader.Str(&name_b) || !reader.Keys(&keys) ||
+      !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  TenantPair pair;
+  StatusCode status = SnapshotPair(registry_, name_a, name_b, &pair);
+  if (status != StatusCode::kOk) return StatusBody(status);
+  pair.snap_a.Subtract(pair.snap_b);
+  std::vector<int64_t> answers = pair.snap_a.QueryBatch(keys);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.Counts(answers);
+  return writer.Take();
+}
+
+std::string RequestDispatcher::InnerProduct(WireReader& reader) {
+  std::string name_a, name_b;
+  if (!reader.Str(&name_a) || !reader.Str(&name_b) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  TenantPair pair;
+  StatusCode status = SnapshotPair(registry_, name_a, name_b, &pair);
+  if (status != StatusCode::kOk) return StatusBody(status);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.F64(DaVinciSketch::InnerProduct(pair.snap_a, pair.snap_b));
+  return writer.Take();
+}
+
+}  // namespace davinci::server

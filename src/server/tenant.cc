@@ -1,0 +1,299 @@
+#include "server/tenant.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/serialize.h"
+
+namespace davinci::server {
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4B435644;    // "DVCK"
+constexpr uint32_t kCheckpointTrailer = 0x44564B43;  // "KCVD"
+constexpr uint32_t kCheckpointVersion = 1;
+
+// Tenant names double as checkpoint file stems, so they are restricted to
+// a filesystem-safe alphabet — no separators, no dotfiles, no traversal.
+bool ValidTenantName(const std::string& name) {
+  if (name.empty() || name.size() > kMaxNameBytes) return false;
+  if (name.front() == '.') return false;
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_' &&
+        c != '-' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Tenant
+
+Tenant::Tenant(std::string name, const TenantOptions& options)
+    : name_(std::move(name)),
+      options_(options),
+      engine_(options.shards, options.total_bytes, options.seed) {
+  if (options_.window_epochs > 0) {
+    // The window shares the engine's per-shard budget so a windowed tenant
+    // roughly doubles (not squares) its footprint; same seed keeps the
+    // window's epochs mergeable with nothing — it is a private lifecycle.
+    MutexLock lock(&window_mu_);
+    window_ = std::make_unique<EpochManager>(
+        options_.window_epochs,
+        std::max<uint64_t>(8 * 1024, options_.total_bytes / options_.shards),
+        options_.seed);
+  }
+}
+
+void Tenant::Insert(uint32_t key, int64_t count) {
+  engine_.Insert(key, count);
+  if (windowed()) {
+    MutexLock lock(&window_mu_);
+    window_->Insert(key, count);
+  }
+}
+
+void Tenant::InsertBatch(std::span<const uint32_t> keys,
+                         std::span<const int64_t> counts) {
+  engine_.InsertBatch(keys, counts);
+  if (windowed()) {
+    MutexLock lock(&window_mu_);
+    window_->InsertBatch(keys, counts);
+  }
+}
+
+uint64_t Tenant::AdvanceEpoch() {
+  if (windowed()) {
+    MutexLock lock(&window_mu_);
+    window_->Advance();
+    uint64_t epoch = window_->rotations();
+    epoch_.store(epoch, std::memory_order_relaxed);
+    return epoch;
+  }
+  return epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> Tenant::WindowHeavyChangers(
+    int64_t delta) const {
+  if (!windowed()) return {};
+  MutexLock lock(&window_mu_);
+  if (window_->sealed_epochs() == 0) return {};
+  return window_->HeavyChangers(delta);
+}
+
+void Tenant::CollectStats(obs::HealthSnapshot* out) const {
+  engine_.CollectStats(out);
+  if (windowed()) {
+    obs::HealthSnapshot window_stats;
+    {
+      MutexLock lock(&window_mu_);
+      window_->CollectStats(&window_stats);
+    }
+    out->Accumulate(window_stats);
+  }
+}
+
+void Tenant::SaveCheckpoint(std::ostream& out) {
+  WritePod(out, kCheckpointMagic);
+  WritePod(out, kCheckpointVersion);
+  WritePod(out, static_cast<uint16_t>(name_.size()));
+  out.write(name_.data(), static_cast<std::streamsize>(name_.size()));
+  WritePod(out, options_.shards);
+  WritePod(out, options_.total_bytes);
+  WritePod(out, options_.seed);
+  WritePod(out, options_.window_epochs);
+  WritePod(out, epoch());
+  // Capture every completed write: views may be publish-interval stale.
+  engine_.FlushViews();
+  engine_.SaveShards(out);
+  WritePod(out, kCheckpointTrailer);
+}
+
+bool Tenant::ReadCheckpointHeader(std::istream& in, CheckpointHeader* header) {
+  uint32_t magic = 0, version = 0;
+  uint16_t name_len = 0;
+  if (!ReadPod(in, &magic) || magic != kCheckpointMagic) return false;
+  if (!ReadPod(in, &version) || version != kCheckpointVersion) return false;
+  if (!ReadPod(in, &name_len) || name_len > kMaxNameBytes) return false;
+  header->name.resize(name_len);
+  in.read(header->name.data(), name_len);
+  if (!in) return false;
+  if (!ReadPod(in, &header->options.shards) ||
+      !ReadPod(in, &header->options.total_bytes) ||
+      !ReadPod(in, &header->options.seed) ||
+      !ReadPod(in, &header->options.window_epochs) ||
+      !ReadPod(in, &header->epoch)) {
+    return false;
+  }
+  return ValidTenantName(header->name) && header->options.Valid();
+}
+
+bool Tenant::RestoreCheckpointBody(std::istream& in, uint64_t epoch) {
+  if (!engine_.RestoreShards(in)) return false;
+  uint32_t trailer = 0;
+  if (!ReadPod(in, &trailer) || trailer != kCheckpointTrailer) return false;
+  epoch_.store(epoch, std::memory_order_relaxed);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// TenantRegistry
+
+TenantRegistry::TenantRegistry(std::string checkpoint_dir)
+    : dir_(std::move(checkpoint_dir)) {}
+
+RegistryResult TenantRegistry::Create(const std::string& name,
+                                      const TenantOptions& options,
+                                      std::shared_ptr<Tenant>* out) {
+  if (!ValidTenantName(name) || !options.Valid()) {
+    return RegistryResult::kInvalid;
+  }
+  // Construct outside the lock (a big tenant allocates megabytes), then
+  // publish under it.
+  std::shared_ptr<Tenant> tenant = std::make_shared<Tenant>(name, options);
+  {
+    MutexLock lock(&mu_);
+    if (tenants_.size() >= kMaxTenants) return RegistryResult::kFull;
+    auto [it, inserted] = tenants_.emplace(name, tenant);
+    if (!inserted) return RegistryResult::kExists;
+  }
+  if (out != nullptr) *out = std::move(tenant);
+  return RegistryResult::kOk;
+}
+
+RegistryResult TenantRegistry::Drop(const std::string& name) {
+  {
+    MutexLock lock(&mu_);
+    if (tenants_.erase(name) == 0) return RegistryResult::kNotFound;
+    recovered_empty_.erase(name);
+  }
+  if (persistent()) {
+    std::error_code ec;
+    std::filesystem::remove(CheckpointPath(name), ec);
+  }
+  return RegistryResult::kOk;
+}
+
+std::shared_ptr<Tenant> TenantRegistry::Find(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = tenants_.find(name);
+  return it == tenants_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> TenantRegistry::List() const {
+  std::vector<std::string> names;
+  {
+    MutexLock lock(&mu_);
+    names.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+size_t TenantRegistry::size() const {
+  MutexLock lock(&mu_);
+  return tenants_.size();
+}
+
+std::string TenantRegistry::CheckpointPath(const std::string& name) const {
+  return (std::filesystem::path(dir_) / (name + ".dvck")).string();
+}
+
+bool TenantRegistry::Checkpoint(Tenant& tenant) {
+  if (!persistent()) return false;
+  MutexLock lock(&ckpt_mu_);
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  const std::string path = CheckpointPath(tenant.name());
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    tenant.SaveCheckpoint(out);
+    if (!out) {
+      std::filesystem::remove(tmp, ec);
+      return false;
+    }
+  }
+  // rename(2) is atomic within a filesystem: readers (and a post-crash
+  // recovery) see either the old image or the new one, never a torn file.
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::filesystem::remove(tmp, ec);
+    return false;
+  }
+  tenant.ResetMutationClock();
+  return true;
+}
+
+size_t TenantRegistry::CheckpointAll() {
+  size_t written = 0;
+  std::vector<std::shared_ptr<Tenant>> tenants;
+  {
+    MutexLock lock(&mu_);
+    tenants.reserve(tenants_.size());
+    for (const auto& [name, tenant] : tenants_) tenants.push_back(tenant);
+  }
+  for (const std::shared_ptr<Tenant>& tenant : tenants) {
+    if (Checkpoint(*tenant)) ++written;
+  }
+  return written;
+}
+
+size_t TenantRegistry::RecoverAll() {
+  if (!persistent()) return 0;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(dir_, ec);
+  if (ec) return 0;
+  size_t recovered = 0;
+  for (const std::filesystem::directory_entry& entry : it) {
+    if (!entry.is_regular_file(ec) || entry.path().extension() != ".dvck") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    if (!in) continue;
+    Tenant::CheckpointHeader header;
+    if (!Tenant::ReadCheckpointHeader(in, &header)) {
+      // Unusable header: there is nothing trustworthy to recreate the
+      // tenant from. Skip the file (and say so) rather than abort.
+      std::fprintf(stderr, "tenant recovery: %s: unreadable header, skipped\n",
+                   entry.path().c_str());
+      continue;
+    }
+    std::shared_ptr<Tenant> tenant;
+    if (Create(header.name, header.options, &tenant) != RegistryResult::kOk) {
+      continue;  // duplicate name across files, or registry full
+    }
+    bool restored = tenant->RestoreCheckpointBody(in, header.epoch);
+    if (!restored) {
+      // Load gate rejected the body: the tenant starts empty with the
+      // header's options instead of serving a corrupted sketch.
+      std::fprintf(stderr,
+                   "tenant recovery: %s: corrupt body, tenant '%s' starts "
+                   "empty\n",
+                   entry.path().c_str(), header.name.c_str());
+    }
+    {
+      MutexLock lock(&mu_);
+      recovered_empty_[header.name] = !restored;
+    }
+    ++recovered;
+  }
+  return recovered;
+}
+
+bool TenantRegistry::RecoveredEmpty(const std::string& name) const {
+  MutexLock lock(&mu_);
+  auto it = recovered_empty_.find(name);
+  return it != recovered_empty_.end() && it->second;
+}
+
+}  // namespace davinci::server

@@ -16,6 +16,8 @@
 #include <gtest/gtest.h>
 
 #include "core/concurrent_davinci.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "test_seed.h"
 
 namespace davinci {
@@ -198,6 +200,97 @@ TEST(ConcurrentStressTest, CrossMergeDoesNotDeadlock) {
 
   a.CheckInvariants(InvariantMode::kAdditive);
   b.CheckInvariants(InvariantMode::kAdditive);
+}
+
+TEST(ConcurrentStressTest, MultiTenantServerSoak) {
+  // Server leg: N client threads hammer M tenants over real sockets with
+  // mixed ops — batched ingest, point/batch queries, heavy hitters,
+  // cardinality, epoch seals, cross-tenant unions, admin churn. Runs a
+  // short version everywhere; the tsan CI leg sets DAVINCI_STRESS_SERVER=1
+  // for a longer soak (dispatcher + registry + tenant synchronization all
+  // under the race detector).
+  const char* soak_env = std::getenv("DAVINCI_STRESS_SERVER");
+  const bool soak = soak_env != nullptr && *soak_env != '\0';
+  const int kClients = 4;
+  const int kTenants = 4;
+  const int rounds = soak ? 60 : 12;
+  const uint64_t seed = testing::TestSeed(29);
+  DAVINCI_ANNOUNCE_SEED(seed);
+
+  server::ServerOptions options;
+  options.workers = 3;
+  server::SketchServer server(options);
+  ASSERT_TRUE(server.Start());
+  {
+    server::Client admin;
+    ASSERT_TRUE(admin.Connect(server.port()));
+    for (int m = 0; m < kTenants; ++m) {
+      // Shared seed: every cross-tenant pairing stays geometry-compatible.
+      ASSERT_EQ(admin.CreateTenant("soak" + std::to_string(m), 4, 128 * 1024,
+                                   seed),
+                server::StatusCode::kOk);
+    }
+  }
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&server, c, rounds, seed] {
+      server::Client client;
+      ASSERT_TRUE(client.Connect(server.port()));
+      std::mt19937_64 rng(seed * 77 + static_cast<uint64_t>(c));
+      std::uniform_int_distribution<int> pick_tenant(0, kTenants - 1);
+      for (int round = 0; round < rounds; ++round) {
+        std::string tenant = "soak" + std::to_string(pick_tenant(rng));
+        std::string other = "soak" + std::to_string(pick_tenant(rng));
+        std::vector<uint32_t> keys = ThreadKeys(c, 512, seed + 1);
+        std::vector<int64_t> ones(keys.size(), 1);
+        ASSERT_EQ(client.InsertBatch(tenant, keys, ones),
+                  server::StatusCode::kOk);
+        int64_t count = 0;
+        ASSERT_EQ(client.Query(tenant, keys[0], &count),
+                  server::StatusCode::kOk);
+        EXPECT_LT(std::llabs(count), int64_t{1} << 40);
+        std::vector<int64_t> batch;
+        ASSERT_EQ(client.QueryBatch(tenant, keys, &batch),
+                  server::StatusCode::kOk);
+        EXPECT_EQ(batch.size(), keys.size());
+        double cardinality = -1;
+        ASSERT_EQ(client.Cardinality(tenant, &cardinality),
+                  server::StatusCode::kOk);
+        EXPECT_GE(cardinality, 0.0);
+        std::vector<std::pair<uint32_t, int64_t>> hitters;
+        ASSERT_EQ(client.HeavyHitters(tenant, 1000, &hitters),
+                  server::StatusCode::kOk);
+        if (round % 4 == c % 4) {
+          uint64_t epoch = 0;
+          ASSERT_EQ(client.AdvanceEpoch(tenant, &epoch),
+                    server::StatusCode::kOk);
+        }
+        if (tenant != other) {
+          double union_card = -1;
+          ASSERT_EQ(client.UnionCardinality(tenant, other, &union_card),
+                    server::StatusCode::kOk);
+          EXPECT_GE(union_card, 0.0);
+        }
+        std::vector<std::string> names;
+        ASSERT_EQ(client.ListTenants(&names), server::StatusCode::kOk);
+        EXPECT_GE(names.size(), static_cast<size_t>(kTenants));
+        server::HealthReply health;
+        ASSERT_EQ(client.Health(tenant, &health), server::StatusCode::kOk);
+        EXPECT_EQ(health.shards, 4u);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Post-join structural audit of every tenant the storm touched.
+  for (int m = 0; m < kTenants; ++m) {
+    std::shared_ptr<server::Tenant> tenant =
+        server.registry().Find("soak" + std::to_string(m));
+    ASSERT_NE(tenant, nullptr);
+    tenant->engine().CheckInvariants(InvariantMode::kAdditive);
+  }
+  server.Stop();
 }
 
 }  // namespace

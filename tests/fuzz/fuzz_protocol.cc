@@ -1,0 +1,209 @@
+// Fuzz harness for the sketch server's request parser (docs/SERVER.md).
+//
+// Contract under test: for ANY byte stream fed into the connection
+// pipeline — FrameAssembler chunk reassembly, then RequestDispatcher over
+// each completed frame — the server either answers with a well-formed
+// status or poisons the connection (fatal framing), but never aborts,
+// never trips UB, and never lets the assembler buffer grow past the
+// declared frame cap. Hostile payloads may be gibberish; the dispatcher
+// must map them to kMalformed/kUnknownOp/kBadArgument cleanly.
+//
+// The one concession to being a fuzz target: kCreateTenant is only
+// dispatched when its parsed geometry is tiny and few tenants exist, so a
+// hostile "create 2 GiB tenant" input reads as the parser rejection it is
+// in production being exercised elsewhere, not an OOM in the harness.
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "server/dispatcher.h"
+#include "server/protocol.h"
+#include "server/tenant.h"
+
+#include "standalone_main.h"
+
+namespace {
+
+#define FUZZ_EXPECT(cond) \
+  do {                    \
+    if (!(cond)) __builtin_trap(); \
+  } while (0)
+
+using davinci::server::FrameAssembler;
+using davinci::server::Op;
+using davinci::server::RequestDispatcher;
+using davinci::server::StatusCode;
+using davinci::server::TenantOptions;
+using davinci::server::TenantRegistry;
+using davinci::server::WireReader;
+using davinci::server::WireWriter;
+
+// Harness memory bound: dispatch a parsed kCreateTenant only when it is
+// small; everything else (including creates that fail the parse) goes
+// through untouched.
+bool AllowDispatch(const std::vector<uint8_t>& body,
+                   const TenantRegistry& registry) {
+  if (body.size() < 2 ||
+      static_cast<Op>(body[1]) != Op::kCreateTenant) {
+    return true;
+  }
+  WireReader reader(std::span<const uint8_t>(body.data() + 2,
+                                             body.size() - 2));
+  std::string name;
+  TenantOptions options;
+  if (!reader.Str(&name) || !reader.U32(&options.shards) ||
+      !reader.U64(&options.total_bytes) || !reader.U64(&options.seed) ||
+      !reader.U32(&options.window_epochs) || !reader.Done()) {
+    return true;  // will be answered kMalformed — no allocation happens
+  }
+  return options.shards <= 8 && options.total_bytes <= 64 * 1024 &&
+         options.window_epochs <= 4 && registry.size() < 8;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (size_t{1} << 20)) return 0;  // 1 MiB input cap
+  TenantRegistry registry("");  // no persistence inside the fuzzer
+  registry.Create("a", TenantOptions{2, 16 * 1024, 7, 2});
+  registry.Create("b", TenantOptions{2, 16 * 1024, 7, 0});
+  RequestDispatcher dispatcher(&registry);
+
+  FrameAssembler assembler;
+  // Feed in input-derived chunk sizes so reassembly across arbitrary read
+  // boundaries is part of the search space.
+  size_t chunk_seed = size > 0 ? data[0] : 1;
+  size_t pos = 0;
+  while (pos < size) {
+    size_t chunk = 1 + (chunk_seed * 31 + pos * 7) % 97;
+    if (chunk > size - pos) chunk = size - pos;
+    bool fed = assembler.Feed(data + pos, chunk);
+    pos += chunk;
+    std::vector<uint8_t> body;
+    while (assembler.Next(&body)) {
+      FUZZ_EXPECT(body.size() >= 1 &&
+                  body.size() <= davinci::server::kMaxFrameBytes);
+      if (!AllowDispatch(body, registry)) continue;
+      std::string response = dispatcher.Handle(body);
+      // Every response leads with a valid status byte.
+      FUZZ_EXPECT(!response.empty());
+      FUZZ_EXPECT(static_cast<uint8_t>(response[0]) <=
+                  static_cast<uint8_t>(StatusCode::kInternal));
+    }
+    if (!fed) {
+      FUZZ_EXPECT(assembler.fatal());
+      break;
+    }
+  }
+  // A hostile prefix can never balloon the buffer past one frame.
+  FUZZ_EXPECT(assembler.buffered() <=
+              size_t{davinci::server::kMaxFrameBytes} + sizeof(uint32_t));
+  return 0;
+}
+
+#if !defined(DAVINCI_LIBFUZZER)
+namespace davinci::fuzz {
+
+namespace {
+
+std::string FramedRequest(const std::string& body) {
+  return davinci::server::Frame(body);
+}
+
+}  // namespace
+
+int WriteSeeds(const std::string& dir) {
+  int written = 0;
+  // Seed 1: a well-formed session — create, batch-ingest, query, admin.
+  {
+    std::string stream;
+    {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kCreateTenant));
+      w.Str("seed");
+      w.U32(2);
+      w.U64(16 * 1024);
+      w.U64(7);
+      w.U32(0);
+      stream += FramedRequest(w.Take());
+    }
+    {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kInsertBatch));
+      w.Str("seed");
+      std::vector<uint32_t> keys{1, 2, 3, 4, 5, 1, 1, 2};
+      std::vector<int64_t> counts(keys.size(), 1);
+      w.Keys(keys);
+      w.Counts(counts);
+      stream += FramedRequest(w.Take());
+    }
+    {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kQuery));
+      w.Str("seed");
+      w.U32(1);
+      stream += FramedRequest(w.Take());
+    }
+    {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kHeavyHitters));
+      w.Str("a");
+      w.I64(2);
+      stream += FramedRequest(w.Take());
+    }
+    {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kListTenants));
+      stream += FramedRequest(w.Take());
+    }
+    if (WriteSeedFile(dir + "/protocol_session.bin", stream) == 0) ++written;
+  }
+  // Seed 2: cross-tenant queries against the pre-seeded tenants.
+  {
+    std::string stream;
+    for (Op op : {Op::kUnionCardinality, Op::kInnerProduct}) {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(op));
+      w.Str("a");
+      w.Str("b");
+      stream += FramedRequest(w.Take());
+    }
+    {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kWindowHeavyChangers));
+      w.Str("a");
+      w.I64(1);
+      stream += FramedRequest(w.Take());
+    }
+    if (WriteSeedFile(dir + "/protocol_cross.bin", stream) == 0) ++written;
+  }
+  // Seed 3: a truncated frame (prefix declares more than follows).
+  {
+    WireWriter w;
+    w.U8(davinci::server::kProtocolVersion);
+    w.U8(static_cast<uint8_t>(Op::kPing));
+    std::string framed = FramedRequest(w.Take());
+    framed += "\x40\x00\x00\x00partial";  // declares 64 bytes, sends 7
+    if (WriteSeedFile(dir + "/protocol_truncated.bin", framed) == 0) {
+      ++written;
+    }
+  }
+  // Seed 4: garbage that is not even a frame boundary.
+  {
+    std::string junk = "\x05\x00\x00\x00\xff\xfe\xfd\xfc\xfb";
+    if (WriteSeedFile(dir + "/protocol_garbage.bin", junk) == 0) ++written;
+  }
+  return written;
+}
+
+}  // namespace davinci::fuzz
+#endif  // !DAVINCI_LIBFUZZER

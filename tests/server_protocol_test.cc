@@ -1,0 +1,386 @@
+// Wire-protocol conformance of the sketch server (docs/SERVER.md):
+//  - every request/response round-trips through a real socket;
+//  - batched wire ingest is bit-equivalent to a direct InsertBatch into a
+//    same-parameter ConcurrentDaVinci (compared on serialized bytes);
+//  - all nine query tasks answered over the wire match the in-process
+//    computation bit-for-bit on a seeded Zipf trace;
+//  - hostile input (unknown opcodes, truncated payloads, trailing
+//    garbage, oversized/zero length prefixes) gets a clean error reply
+//    and never harms other connections or tenants.
+
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_davinci.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "test_seed.h"
+#include "workload/trace.h"
+
+namespace davinci::server {
+namespace {
+
+constexpr uint32_t kShards = 4;
+constexpr uint64_t kTenantBytes = 256 * 1024;
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ServerOptions options;
+    options.workers = 2;
+    server_ = std::make_unique<SketchServer>(options);
+    ASSERT_TRUE(server_->Start());
+    ASSERT_TRUE(client_.Connect(server_->port()));
+  }
+
+  void TearDown() override {
+    client_.Close();
+    server_->Stop();
+  }
+
+  std::unique_ptr<SketchServer> server_;
+  Client client_;
+};
+
+std::string SerializedSnapshot(const ConcurrentDaVinci& engine) {
+  std::stringstream buffer;
+  engine.Snapshot().Save(buffer);
+  return buffer.str();
+}
+
+TEST_F(ServerTest, PingAndTenantLifecycle) {
+  EXPECT_EQ(client_.Ping(), StatusCode::kOk);
+
+  EXPECT_EQ(client_.CreateTenant("alpha", kShards, kTenantBytes, 7),
+            StatusCode::kOk);
+  EXPECT_EQ(client_.CreateTenant("alpha", kShards, kTenantBytes, 7),
+            StatusCode::kTenantExists);
+  // Filesystem-hostile and empty names are rejected before any state.
+  EXPECT_EQ(client_.CreateTenant("../evil", kShards, kTenantBytes, 7),
+            StatusCode::kBadArgument);
+  EXPECT_EQ(client_.CreateTenant("", kShards, kTenantBytes, 7),
+            StatusCode::kBadArgument);
+  // Invalid geometry: zero shards.
+  EXPECT_EQ(client_.CreateTenant("beta", 0, kTenantBytes, 7),
+            StatusCode::kBadArgument);
+
+  EXPECT_EQ(client_.CreateTenant("beta", kShards, kTenantBytes, 7),
+            StatusCode::kOk);
+  std::vector<std::string> names;
+  ASSERT_EQ(client_.ListTenants(&names), StatusCode::kOk);
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "beta"}));
+
+  EXPECT_EQ(client_.DropTenant("alpha"), StatusCode::kOk);
+  EXPECT_EQ(client_.DropTenant("alpha"), StatusCode::kNoSuchTenant);
+  ASSERT_EQ(client_.ListTenants(&names), StatusCode::kOk);
+  EXPECT_EQ(names, (std::vector<std::string>{"beta"}));
+
+  uint64_t epoch = 0;
+  EXPECT_EQ(client_.AdvanceEpoch("beta", &epoch), StatusCode::kOk);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(client_.AdvanceEpoch("ghost", &epoch), StatusCode::kNoSuchTenant);
+
+  HealthReply health;
+  ASSERT_EQ(client_.Health("beta", &health), StatusCode::kOk);
+  EXPECT_EQ(health.shards, kShards);
+  EXPECT_GT(health.memory_bytes, 0u);
+  EXPECT_FALSE(health.windowed);
+  EXPECT_EQ(client_.FlushViews("beta"), StatusCode::kOk);
+}
+
+TEST_F(ServerTest, BatchedIngestBitEquivalentToDirectInsertBatch) {
+  const uint64_t seed = testing::TestSeed(11);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  Trace trace = BuildSkewedTrace("ingest", 60000, 5000, 1.0, seed);
+  std::vector<int64_t> ones(trace.keys.size(), 1);
+
+  ASSERT_EQ(client_.CreateTenant("t", kShards, kTenantBytes, seed),
+            StatusCode::kOk);
+  // Mixed chunk sizes, plus a few single inserts, to exercise framing.
+  size_t pos = 0;
+  int toggle = 0;
+  while (pos < trace.keys.size()) {
+    size_t chunk = (toggle++ % 3 == 0) ? 1 : std::min<size_t>(
+        4096, trace.keys.size() - pos);
+    chunk = std::min(chunk, trace.keys.size() - pos);
+    if (chunk == 1) {
+      ASSERT_EQ(client_.Insert("t", trace.keys[pos], 1), StatusCode::kOk);
+    } else {
+      ASSERT_EQ(
+          client_.InsertBatch(
+              "t", std::span<const uint32_t>(trace.keys.data() + pos, chunk),
+              std::span<const int64_t>(ones.data() + pos, chunk)),
+          StatusCode::kOk);
+    }
+    pos += chunk;
+  }
+
+  ConcurrentDaVinci reference(kShards, kTenantBytes, seed);
+  reference.InsertBatch(trace.keys, ones);
+
+  // Bit-equivalence at the strongest level: the serialized merged
+  // snapshots are byte-identical.
+  std::shared_ptr<Tenant> tenant = server_->registry().Find("t");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(SerializedSnapshot(tenant->engine()),
+            SerializedSnapshot(reference));
+}
+
+TEST_F(ServerTest, AllNineTasksMatchInProcessAnswers) {
+  const uint64_t seed = testing::TestSeed(23);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  Trace trace_a = BuildSkewedTrace("a", 50000, 4000, 1.0, seed);
+  Trace trace_b = BuildSkewedTrace("b", 50000, 4000, 1.0, seed + 1);
+  std::vector<int64_t> ones_a(trace_a.keys.size(), 1);
+  std::vector<int64_t> ones_b(trace_b.keys.size(), 1);
+
+  ASSERT_EQ(client_.CreateTenant("a", kShards, kTenantBytes, seed),
+            StatusCode::kOk);
+  ASSERT_EQ(client_.CreateTenant("b", kShards, kTenantBytes, seed),
+            StatusCode::kOk);
+  ASSERT_EQ(client_.InsertBatch("a", trace_a.keys, ones_a), StatusCode::kOk);
+  ASSERT_EQ(client_.InsertBatch("b", trace_b.keys, ones_b), StatusCode::kOk);
+
+  ConcurrentDaVinci ref_a(kShards, kTenantBytes, seed);
+  ConcurrentDaVinci ref_b(kShards, kTenantBytes, seed);
+  ref_a.InsertBatch(trace_a.keys, ones_a);
+  ref_b.InsertBatch(trace_b.keys, ones_b);
+  DaVinciSketch snap_a = ref_a.Snapshot();
+  DaVinciSketch snap_b = ref_b.Snapshot();
+
+  // Task 1: frequency (spot keys + batch).
+  std::vector<uint32_t> probe(trace_a.keys.begin(),
+                              trace_a.keys.begin() + 512);
+  probe.push_back(0xdeadbeef);  // absent key
+  for (uint32_t key : std::vector<uint32_t>(probe.begin(), probe.begin() + 32)) {
+    int64_t wire = -1;
+    ASSERT_EQ(client_.Query("a", key, &wire), StatusCode::kOk);
+    EXPECT_EQ(wire, ref_a.Query(key)) << "key=" << key;
+  }
+  std::vector<int64_t> wire_batch;
+  ASSERT_EQ(client_.QueryBatch("a", probe, &wire_batch), StatusCode::kOk);
+  EXPECT_EQ(wire_batch, ref_a.QueryBatch(probe));
+
+  // Task 2: heavy hitters.
+  std::vector<std::pair<uint32_t, int64_t>> wire_pairs;
+  ASSERT_EQ(client_.HeavyHitters("a", 100, &wire_pairs), StatusCode::kOk);
+  EXPECT_EQ(wire_pairs, ref_a.HeavyHitters(100));
+
+  // Task 3: heavy changers (tenant a vs tenant b).
+  ASSERT_EQ(client_.HeavyChangers("a", "b", 50, &wire_pairs),
+            StatusCode::kOk);
+  EXPECT_EQ(wire_pairs, snap_a.HeavyChangers(snap_b, 50));
+
+  // Task 4: cardinality — IEEE-754 bit pattern identical.
+  double wire_double = 0;
+  ASSERT_EQ(client_.Cardinality("a", &wire_double), StatusCode::kOk);
+  double local_double = ref_a.EstimateCardinality();
+  EXPECT_EQ(std::memcmp(&wire_double, &local_double, sizeof(double)), 0);
+
+  // Task 5: flow-size distribution.
+  std::vector<std::pair<int64_t, int64_t>> wire_dist;
+  ASSERT_EQ(client_.Distribution("a", &wire_dist), StatusCode::kOk);
+  std::vector<std::pair<int64_t, int64_t>> local_dist;
+  for (const auto& [size, flows] : snap_a.Distribution()) {
+    local_dist.emplace_back(size, flows);
+  }
+  EXPECT_EQ(wire_dist, local_dist);
+
+  // Task 6: entropy.
+  ASSERT_EQ(client_.Entropy("a", &wire_double), StatusCode::kOk);
+  local_double = snap_a.EstimateEntropy();
+  EXPECT_EQ(std::memcmp(&wire_double, &local_double, sizeof(double)), 0);
+
+  // Task 7: union cardinality.
+  ASSERT_EQ(client_.UnionCardinality("a", "b", &wire_double), StatusCode::kOk);
+  {
+    DaVinciSketch merged = ref_a.Snapshot();
+    merged.Merge(snap_b);
+    local_double = merged.EstimateCardinality();
+  }
+  EXPECT_EQ(std::memcmp(&wire_double, &local_double, sizeof(double)), 0);
+
+  // Task 8: per-key signed difference.
+  ASSERT_EQ(client_.DifferenceQuery("a", "b", probe, &wire_batch),
+            StatusCode::kOk);
+  {
+    DaVinciSketch diff = ref_a.Snapshot();
+    diff.Subtract(snap_b);
+    EXPECT_EQ(wire_batch, diff.QueryBatch(probe));
+  }
+
+  // Task 9: inner join size.
+  ASSERT_EQ(client_.InnerProduct("a", "b", &wire_double), StatusCode::kOk);
+  local_double = DaVinciSketch::InnerProduct(snap_a, snap_b);
+  EXPECT_EQ(std::memcmp(&wire_double, &local_double, sizeof(double)), 0);
+}
+
+TEST_F(ServerTest, WindowedTenantHeavyChangers) {
+  ASSERT_EQ(client_.CreateTenant("w", kShards, kTenantBytes, 5, /*window=*/4),
+            StatusCode::kOk);
+  ASSERT_EQ(client_.CreateTenant("plain", kShards, kTenantBytes, 5),
+            StatusCode::kOk);
+
+  std::vector<uint32_t> epoch1(2000, 42);  // key 42 hot in epoch 1
+  std::vector<int64_t> ones(epoch1.size(), 1);
+  ASSERT_EQ(client_.InsertBatch("w", epoch1, ones), StatusCode::kOk);
+  uint64_t epoch = 0;
+  ASSERT_EQ(client_.AdvanceEpoch("w", &epoch), StatusCode::kOk);
+  EXPECT_EQ(epoch, 1u);
+  std::vector<uint32_t> epoch2(2000, 99);  // key 99 hot in epoch 2
+  ASSERT_EQ(client_.InsertBatch("w", epoch2, ones), StatusCode::kOk);
+
+  std::vector<std::pair<uint32_t, int64_t>> wire_pairs;
+  ASSERT_EQ(client_.WindowHeavyChangers("w", 500, &wire_pairs),
+            StatusCode::kOk);
+  std::shared_ptr<Tenant> tenant = server_->registry().Find("w");
+  ASSERT_NE(tenant, nullptr);
+  EXPECT_EQ(wire_pairs, tenant->WindowHeavyChangers(500));
+  EXPECT_FALSE(wire_pairs.empty());
+
+  // A window query against an unwindowed tenant is a usage error, not
+  // silence.
+  EXPECT_EQ(client_.WindowHeavyChangers("plain", 500, &wire_pairs),
+            StatusCode::kBadArgument);
+}
+
+TEST_F(ServerTest, CrossTenantGeometryMismatchIsRejected) {
+  ASSERT_EQ(client_.CreateTenant("s1", kShards, kTenantBytes, 1),
+            StatusCode::kOk);
+  // Different seed => different hash functions => not mergeable.
+  ASSERT_EQ(client_.CreateTenant("s2", kShards, kTenantBytes, 2),
+            StatusCode::kOk);
+
+  double out_d = 0;
+  std::vector<std::pair<uint32_t, int64_t>> out_pairs;
+  std::vector<int64_t> out_counts;
+  std::vector<uint32_t> keys{1, 2, 3};
+  EXPECT_EQ(client_.UnionCardinality("s1", "s2", &out_d),
+            StatusCode::kBadArgument);
+  EXPECT_EQ(client_.HeavyChangers("s1", "s2", 10, &out_pairs),
+            StatusCode::kBadArgument);
+  EXPECT_EQ(client_.DifferenceQuery("s1", "s2", keys, &out_counts),
+            StatusCode::kBadArgument);
+  EXPECT_EQ(client_.InnerProduct("s1", "s2", &out_d),
+            StatusCode::kBadArgument);
+  // The daemon survived every rejected pairing.
+  EXPECT_EQ(client_.Ping(), StatusCode::kOk);
+}
+
+TEST_F(ServerTest, HostileRequestsGetCleanErrors) {
+  ASSERT_EQ(client_.CreateTenant("safe", kShards, kTenantBytes, 3),
+            StatusCode::kOk);
+  ASSERT_EQ(client_.Insert("safe", 7, 5), StatusCode::kOk);
+
+  // Unknown opcode: error reply, connection survives.
+  {
+    WireWriter writer;
+    writer.U8(kProtocolVersion);
+    writer.U8(0xEE);
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kUnknownOp);
+  }
+  // Wrong protocol version.
+  {
+    WireWriter writer;
+    writer.U8(0x42);
+    writer.U8(static_cast<uint8_t>(Op::kPing));
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kBadVersion);
+  }
+  // Truncated payload: kQuery without the key.
+  {
+    WireWriter writer;
+    writer.U8(kProtocolVersion);
+    writer.U8(static_cast<uint8_t>(Op::kQuery));
+    writer.Str("safe");
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
+  }
+  // Trailing garbage after a well-formed request.
+  {
+    std::string body = Client::QueryRequest("safe", 7);
+    body += "junk";
+    std::string response;
+    ASSERT_TRUE(client_.Call(body, &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
+  }
+  // A batch whose declared key count overruns the actual bytes.
+  {
+    WireWriter writer;
+    writer.U8(kProtocolVersion);
+    writer.U8(static_cast<uint8_t>(Op::kInsertBatch));
+    writer.Str("safe");
+    writer.U32(1000000);  // ...but no key bytes follow
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
+  }
+  // The connection is still healthy and tenant state unharmed.
+  int64_t count = 0;
+  ASSERT_EQ(client_.Query("safe", 7, &count), StatusCode::kOk);
+  EXPECT_EQ(count, 5);
+}
+
+TEST_F(ServerTest, OversizedLengthPrefixClosesOnlyThatConnection) {
+  ASSERT_EQ(client_.CreateTenant("victim", kShards, kTenantBytes, 4),
+            StatusCode::kOk);
+  ASSERT_EQ(client_.Insert("victim", 1, 9), StatusCode::kOk);
+
+  Client attacker;
+  ASSERT_TRUE(attacker.Connect(server_->port()));
+  uint32_t huge = kMaxFrameBytes + 1;
+  ASSERT_TRUE(attacker.SendRaw(&huge, sizeof(huge)));
+  std::string response;
+  ASSERT_TRUE(attacker.ReadResponse(&response));
+  EXPECT_EQ(Client::ParseStatus(response), StatusCode::kTooLarge);
+  // The stream cannot be resynchronized: the server closes it.
+  EXPECT_FALSE(attacker.ReadResponse(&response));
+
+  Client zero_attacker;
+  ASSERT_TRUE(zero_attacker.Connect(server_->port()));
+  uint32_t zero = 0;
+  ASSERT_TRUE(zero_attacker.SendRaw(&zero, sizeof(zero)));
+  ASSERT_TRUE(zero_attacker.ReadResponse(&response));
+  EXPECT_EQ(Client::ParseStatus(response), StatusCode::kTooLarge);
+  EXPECT_FALSE(zero_attacker.ReadResponse(&response));
+
+  // The original connection and tenant never noticed.
+  int64_t count = 0;
+  ASSERT_EQ(client_.Query("victim", 1, &count), StatusCode::kOk);
+  EXPECT_EQ(count, 9);
+}
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  ASSERT_EQ(client_.CreateTenant("p", kShards, kTenantBytes, 6),
+            StatusCode::kOk);
+  for (uint32_t key = 0; key < 64; ++key) {
+    ASSERT_EQ(client_.Insert("p", key, static_cast<int64_t>(key) + 1),
+              StatusCode::kOk);
+  }
+  // Send 64 queries back-to-back, then read 64 replies: order preserved.
+  for (uint32_t key = 0; key < 64; ++key) {
+    ASSERT_TRUE(client_.SendRequest(Client::QueryRequest("p", key)));
+  }
+  for (uint32_t key = 0; key < 64; ++key) {
+    std::string response;
+    ASSERT_TRUE(client_.ReadResponse(&response));
+    ASSERT_EQ(Client::ParseStatus(response), StatusCode::kOk);
+    ASSERT_EQ(response.size(), 1 + sizeof(int64_t));
+    int64_t count = 0;
+    std::memcpy(&count, response.data() + 1, sizeof(count));
+    EXPECT_EQ(count, static_cast<int64_t>(key) + 1) << "key=" << key;
+  }
+}
+
+}  // namespace
+}  // namespace davinci::server

@@ -1,0 +1,300 @@
+// Checkpoint/recovery of the sketch server (docs/SERVER.md §Checkpoints):
+//  - a daemon SIGKILLed mid-ingest after a checkpoint warm-restarts with
+//    answers equal to a reference built from the pre-checkpoint prefix
+//    (post-checkpoint mutations are lost, pre-checkpoint ones are not);
+//  - corrupted or truncated checkpoint bodies are rejected by the Load
+//    gate: the tenant comes back EMPTY instead of aborting the daemon,
+//    and files with unreadable headers are skipped entirely.
+//
+// The kill legs exec the real davinci_serverd binary (path injected by
+// CMake as DAVINCI_SERVERD_PATH) and parse its "LISTENING <port>" line.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/concurrent_davinci.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "test_seed.h"
+#include "workload/trace.h"
+
+namespace davinci::server {
+namespace {
+
+constexpr uint32_t kShards = 4;
+constexpr uint64_t kTenantBytes = 128 * 1024;
+
+std::filesystem::path FreshDir(const std::string& tag) {
+  std::filesystem::path dir = std::filesystem::temp_directory_path() /
+                              ("davinci_recovery_" + tag + "_" +
+                               std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Forks + execs davinci_serverd; returns the pid and the parsed port.
+struct DaemonHandle {
+  pid_t pid = -1;
+  uint16_t port = 0;
+};
+
+DaemonHandle SpawnDaemon(const std::string& checkpoint_dir) {
+  int out_pipe[2];
+  if (::pipe(out_pipe) != 0) return {};
+  pid_t pid = ::fork();
+  if (pid == 0) {
+    ::dup2(out_pipe[1], STDOUT_FILENO);
+    ::close(out_pipe[0]);
+    ::close(out_pipe[1]);
+    ::execl(DAVINCI_SERVERD_PATH, DAVINCI_SERVERD_PATH, "--port", "0",
+            "--checkpoint-dir", checkpoint_dir.c_str(), "--workers", "2",
+            static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  ::close(out_pipe[1]);
+  DaemonHandle handle;
+  handle.pid = pid;
+  // Read until the LISTENING line (the daemon prints it once bound).
+  std::string banner;
+  char c = 0;
+  while (banner.find('\n') == std::string::npos &&
+         ::read(out_pipe[0], &c, 1) == 1) {
+    banner.push_back(c);
+  }
+  ::close(out_pipe[0]);
+  unsigned port = 0;
+  if (std::sscanf(banner.c_str(), "LISTENING %u", &port) == 1) {
+    handle.port = static_cast<uint16_t>(port);
+  }
+  return handle;
+}
+
+void KillDaemon(pid_t pid, int sig) {
+  ::kill(pid, sig);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+}
+
+TEST(ServerRecoveryTest, Sigkill_RecoversPreCheckpointPrefix) {
+  const uint64_t seed = testing::TestSeed(31);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::filesystem::path dir = FreshDir("kill");
+
+  Trace trace = BuildSkewedTrace("r", 40000, 3000, 1.0, seed);
+  const size_t prefix = trace.keys.size() / 2;
+  std::vector<int64_t> ones(trace.keys.size(), 1);
+
+  DaemonHandle daemon = SpawnDaemon(dir.string());
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_NE(daemon.port, 0);
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect(daemon.port));
+    ASSERT_EQ(client.CreateTenant("t", kShards, kTenantBytes, seed),
+              StatusCode::kOk);
+    // Pre-checkpoint prefix, then a durable checkpoint...
+    ASSERT_EQ(client.InsertBatch(
+                  "t", std::span<const uint32_t>(trace.keys.data(), prefix),
+                  std::span<const int64_t>(ones.data(), prefix)),
+              StatusCode::kOk);
+    bool written = false;
+    ASSERT_EQ(client.Checkpoint("t", &written), StatusCode::kOk);
+    ASSERT_TRUE(written);
+    // ...then post-checkpoint mutations the SIGKILL must lose.
+    ASSERT_EQ(client.InsertBatch(
+                  "t",
+                  std::span<const uint32_t>(trace.keys.data() + prefix,
+                                            trace.keys.size() - prefix),
+                  std::span<const int64_t>(ones.data() + prefix,
+                                           trace.keys.size() - prefix)),
+              StatusCode::kOk);
+    int64_t sync = 0;  // fully round-tripped => the batch was applied
+    ASSERT_EQ(client.Query("t", trace.keys[0], &sync), StatusCode::kOk);
+  }
+  KillDaemon(daemon.pid, SIGKILL);
+
+  // Reference: exactly the pre-checkpoint prefix.
+  ConcurrentDaVinci reference(kShards, kTenantBytes, seed);
+  reference.InsertBatch(std::span<const uint32_t>(trace.keys.data(), prefix),
+                        std::span<const int64_t>(ones.data(), prefix));
+
+  daemon = SpawnDaemon(dir.string());
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_NE(daemon.port, 0);
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect(daemon.port));
+    std::vector<std::string> names;
+    ASSERT_EQ(client.ListTenants(&names), StatusCode::kOk);
+    EXPECT_EQ(names, std::vector<std::string>{"t"});
+
+    std::vector<uint32_t> probe(trace.keys.begin(),
+                                trace.keys.begin() + 1024);
+    std::vector<int64_t> recovered;
+    ASSERT_EQ(client.QueryBatch("t", probe, &recovered), StatusCode::kOk);
+    EXPECT_EQ(recovered, reference.QueryBatch(probe));
+
+    double wire_card = 0;
+    ASSERT_EQ(client.Cardinality("t", &wire_card), StatusCode::kOk);
+    double local_card = reference.EstimateCardinality();
+    EXPECT_EQ(std::memcmp(&wire_card, &local_card, sizeof(double)), 0);
+
+    std::vector<std::pair<uint32_t, int64_t>> hitters;
+    ASSERT_EQ(client.HeavyHitters("t", 50, &hitters), StatusCode::kOk);
+    EXPECT_EQ(hitters, reference.HeavyHitters(50));
+  }
+  KillDaemon(daemon.pid, SIGTERM);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerRecoveryTest, GracefulStopCheckpointsEverything) {
+  const uint64_t seed = testing::TestSeed(37);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::filesystem::path dir = FreshDir("graceful");
+  Trace trace = BuildSkewedTrace("g", 20000, 1500, 1.0, seed);
+  std::vector<int64_t> ones(trace.keys.size(), 1);
+
+  {
+    ServerOptions options;
+    options.checkpoint_dir = dir.string();
+    SketchServer server(options);
+    ASSERT_TRUE(server.Start());
+    Client client;
+    ASSERT_TRUE(client.Connect(server.port()));
+    ASSERT_EQ(client.CreateTenant("g", kShards, kTenantBytes, seed),
+              StatusCode::kOk);
+    ASSERT_EQ(client.InsertBatch("g", trace.keys, ones), StatusCode::kOk);
+    client.Close();
+    server.Stop();  // graceful: checkpoints without any explicit request
+  }
+
+  ConcurrentDaVinci reference(kShards, kTenantBytes, seed);
+  reference.InsertBatch(trace.keys, ones);
+
+  ServerOptions options;
+  options.checkpoint_dir = dir.string();
+  SketchServer server(options);
+  ASSERT_TRUE(server.Start());
+  Client client;
+  ASSERT_TRUE(client.Connect(server.port()));
+  std::vector<uint32_t> probe(trace.keys.begin(), trace.keys.begin() + 512);
+  std::vector<int64_t> recovered;
+  ASSERT_EQ(client.QueryBatch("g", probe, &recovered), StatusCode::kOk);
+  EXPECT_EQ(recovered, reference.QueryBatch(probe));
+  EXPECT_FALSE(server.registry().RecoveredEmpty("g"));
+  client.Close();
+  server.Stop();
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerRecoveryTest, CorruptBodyYieldsEmptyTenantNotAbort) {
+  const uint64_t seed = testing::TestSeed(41);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::filesystem::path dir = FreshDir("corrupt");
+
+  {
+    TenantRegistry registry(dir.string());
+    std::shared_ptr<Tenant> tenant;
+    ASSERT_EQ(registry.Create("c", {kShards, kTenantBytes, seed, 0}, &tenant),
+              RegistryResult::kOk);
+    Trace trace = BuildSkewedTrace("c", 20000, 1500, 1.0, seed);
+    std::vector<int64_t> ones(trace.keys.size(), 1);
+    tenant->InsertBatch(trace.keys, ones);
+    ASSERT_EQ(registry.CheckpointAll(), 1u);
+  }
+
+  // Stomp 0xFF over bytes just past the fixed header: the header still
+  // parses, but the shard image's internal lengths/config blow the Load
+  // gate's caps.
+  std::filesystem::path file = dir / "c.dvck";
+  ASSERT_TRUE(std::filesystem::exists(file));
+  {
+    std::fstream io(file, std::ios::binary | std::ios::in | std::ios::out);
+    io.seekp(64);
+    std::string garbage(64, '\xFF');
+    io.write(garbage.data(), static_cast<std::streamsize>(garbage.size()));
+  }
+
+  TenantRegistry recovered(dir.string());
+  ASSERT_EQ(recovered.RecoverAll(), 1u);  // tenant revived, not skipped
+  EXPECT_TRUE(recovered.RecoveredEmpty("c"));
+  std::shared_ptr<Tenant> tenant = recovered.Find("c");
+  ASSERT_NE(tenant, nullptr);
+  // Empty fallback with the header's options: serves zeros, never aborts.
+  EXPECT_EQ(tenant->options().shards, kShards);
+  EXPECT_EQ(tenant->engine().Query(12345), 0);
+  EXPECT_EQ(tenant->engine().HeavyHitters(1).size(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerRecoveryTest, TruncationHandling) {
+  const uint64_t seed = testing::TestSeed(43);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::filesystem::path dir = FreshDir("trunc");
+
+  {
+    TenantRegistry registry(dir.string());
+    std::shared_ptr<Tenant> tenant;
+    ASSERT_EQ(registry.Create("t", {kShards, kTenantBytes, seed, 0}, &tenant),
+              RegistryResult::kOk);
+    tenant->Insert(7, 100);
+    ASSERT_EQ(registry.CheckpointAll(), 1u);
+  }
+  std::filesystem::path file = dir / "t.dvck";
+  std::uintmax_t full_size = std::filesystem::file_size(file);
+
+  // Cut mid-body: header parses, body fails => empty tenant.
+  std::filesystem::resize_file(file, full_size / 2);
+  {
+    TenantRegistry registry(dir.string());
+    ASSERT_EQ(registry.RecoverAll(), 1u);
+    EXPECT_TRUE(registry.RecoveredEmpty("t"));
+    EXPECT_EQ(registry.Find("t")->engine().Query(7), 0);
+  }
+
+  // Cut mid-header: nothing trustworthy, the file is skipped outright.
+  std::filesystem::resize_file(file, 6);
+  {
+    TenantRegistry registry(dir.string());
+    EXPECT_EQ(registry.RecoverAll(), 0u);
+    EXPECT_EQ(registry.size(), 0u);
+  }
+
+  // A checkpoint missing only its trailer (torn tail write) is rejected
+  // too: the trailer is the integrity seal.
+  {
+    TenantRegistry registry(dir.string());
+    std::shared_ptr<Tenant> tenant;
+    ASSERT_EQ(registry.Create("t2", {kShards, kTenantBytes, seed, 0},
+                              &tenant),
+              RegistryResult::kOk);
+    tenant->Insert(9, 50);
+    ASSERT_EQ(registry.Checkpoint(*tenant), true);
+  }
+  std::filesystem::path file2 = dir / "t2.dvck";
+  std::filesystem::resize_file(file2,
+                               std::filesystem::file_size(file2) - 2);
+  {
+    TenantRegistry registry(dir.string());
+    ASSERT_GE(registry.RecoverAll(), 1u);
+    EXPECT_TRUE(registry.RecoveredEmpty("t2"));
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace davinci::server
