@@ -17,6 +17,11 @@
 //   3. rss_mib                 resident set at the fixed tenant count,
 //                              plus rss_headroom_mib (budget − rss,
 //                              higher is better) for the floor gate.
+//   4. wire_bytes_per_op       request+response frame bytes per ingest
+//                              batch, and checkpoint_write_ms /
+//                              checkpoint_bytes_total / _mibps for the
+//                              DVCK v2 (compressed-body) checkpoint pass
+//                              over the whole fleet.
 //
 // Env knobs: DAVINCI_BENCH_TENANTS (default 8), DAVINCI_BENCH_TRACE_LEN
 // (default 2'000'000 keys total), DAVINCI_BENCH_MIXED_QUERIES (default
@@ -27,11 +32,14 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "bench_common.h"
 #include "server/client.h"
@@ -71,8 +79,18 @@ int Run() {
   const size_t batch = 4096;
   const uint64_t seed = 42;
 
+  // Persistent registry so the checkpoint-cost phase has somewhere to
+  // write its DVCK v2 (compressed-body) files.
+  namespace fs = std::filesystem;
+  const fs::path ckpt_dir =
+      fs::temp_directory_path() /
+      ("bench_server_ckpt_" + std::to_string(::getpid()));
+  std::error_code ec;
+  fs::remove_all(ckpt_dir, ec);
+
   server::ServerOptions options;
   options.workers = 3;
+  options.checkpoint_dir = ckpt_dir.string();
   server::SketchServer server(options);
   if (!server.Start()) {
     std::fprintf(stderr, "bench_server: server failed to start\n");
@@ -108,22 +126,69 @@ int Run() {
   {
     Timer timer;
     size_t tenant = 0;
+    uint64_t wire_bytes = 0;
+    size_t ops = 0;
     for (size_t off = 0; off < trace.keys.size(); off += batch) {
       size_t n = std::min(batch, trace.keys.size() - off);
-      if (admin.InsertBatch(
-              TenantName(tenant),
-              std::span<const uint32_t>(trace.keys.data() + off, n),
-              std::span<const int64_t>(ones.data(), n)) !=
-          server::StatusCode::kOk) {
+      std::string body = server::Client::InsertBatchRequest(
+          TenantName(tenant),
+          std::span<const uint32_t>(trace.keys.data() + off, n),
+          std::span<const int64_t>(ones.data(), n));
+      std::string response;
+      if (!admin.Call(body, &response) ||
+          server::Client::ParseStatus(response) != server::StatusCode::kOk) {
         std::fprintf(stderr, "bench_server: wire ingest failed\n");
         return 1;
       }
+      // Frame overhead is one u32 length prefix each way.
+      wire_bytes += body.size() + 4 + response.size() + 4;
+      ++ops;
       tenant = (tenant + 1) % tenants;
     }
     double mops = ThroughputMpps(trace.keys.size(), timer.ElapsedSeconds());
     json.Metric("server_ingest_mops", mops);
-    std::printf("ingest: %zu keys across %zu tenants at %.3f Mops\n",
-                trace.keys.size(), tenants, mops);
+    json.Count("ingest_wire_bytes", wire_bytes);
+    json.Metric("wire_bytes_per_op",
+                ops > 0 ? static_cast<double>(wire_bytes) /
+                              static_cast<double>(ops)
+                        : 0.0);
+    std::printf("ingest: %zu keys across %zu tenants at %.3f Mops "
+                "(%.0f wire B/op)\n",
+                trace.keys.size(), tenants, mops,
+                ops > 0 ? static_cast<double>(wire_bytes) /
+                              static_cast<double>(ops)
+                        : 0.0);
+  }
+
+  // ---- phase 1.5: checkpoint write cost (DVCK v2 compressed bodies) ----
+  {
+    Timer timer;
+    size_t written_files = 0;
+    for (size_t i = 0; i < tenants; ++i) {
+      bool written = false;
+      if (admin.Checkpoint(TenantName(i), &written) !=
+          server::StatusCode::kOk) {
+        std::fprintf(stderr, "bench_server: checkpoint failed\n");
+        return 1;
+      }
+      if (written) ++written_files;
+    }
+    double seconds = timer.ElapsedSeconds();
+    uint64_t ckpt_bytes = 0;
+    for (const auto& entry : fs::directory_iterator(ckpt_dir, ec)) {
+      if (entry.is_regular_file(ec)) {
+        ckpt_bytes += entry.file_size(ec);
+      }
+    }
+    json.Count("checkpoint_files", written_files);
+    json.Count("checkpoint_bytes_total", ckpt_bytes);
+    json.Metric("checkpoint_write_ms", seconds * 1e3);
+    json.Metric("checkpoint_write_mibps",
+                seconds > 0.0
+                    ? static_cast<double>(ckpt_bytes) / (1 << 20) / seconds
+                    : 0.0);
+    std::printf("checkpoint: %zu files, %" PRIu64 " B in %.1f ms\n",
+                written_files, ckpt_bytes, seconds * 1e3);
   }
 
   // ---- phase 2: query mix under concurrent ingest ----
@@ -218,6 +283,7 @@ int Run() {
               tenants, rss_budget_mib);
 
   server.Stop();
+  fs::remove_all(ckpt_dir, ec);
   json.Write();
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include "common/prefetch.h"
 #include "common/serialize.h"
+#include "common/varint.h"
 #include "obs/stats.h"
 
 namespace davinci {
@@ -184,6 +185,130 @@ bool TowerSketch::LoadState(std::istream& in) {
       }
     }
     st.counters[i] = std::move(counters);
+  }
+  return true;
+}
+
+void TowerSketch::SaveStateCompressed(std::ostream& out) const {
+  const Storage& st = *store_;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const std::vector<int64_t>& counters = st.counters[i];
+    size_t pos = 0;
+    while (pos < counters.size()) {
+      size_t zero_run = 0;
+      while (pos + zero_run < counters.size() &&
+             counters[pos + zero_run] == 0) {
+        ++zero_run;
+      }
+      WriteVarU64(out, zero_run);
+      pos += zero_run;
+      if (pos == counters.size()) break;
+      size_t literal_run = 0;
+      while (pos + literal_run < counters.size() &&
+             counters[pos + literal_run] != 0) {
+        ++literal_run;
+      }
+      WriteVarU64(out, literal_run);
+      for (size_t j = 0; j < literal_run; ++j) {
+        WriteVarI64(out, counters[pos + j]);
+      }
+      pos += literal_run;
+    }
+  }
+}
+
+bool TowerSketch::LoadStateCompressed(std::istream& in) {
+  std::vector<std::vector<int64_t>> staged(levels_.size());
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const size_t width = levels_[i].width;
+    const int64_t cap = levels_[i].cap;
+    std::vector<int64_t> counters(width, 0);
+    size_t pos = 0;
+    // Run arithmetic validation: each run length is checked against the
+    // remaining width BEFORE advancing, so a hostile run count can neither
+    // overflow `pos` nor index out of the level.
+    while (pos < width) {
+      uint64_t zero_run = 0;
+      if (!ReadVarU64(in, &zero_run)) return false;
+      if (zero_run > width - pos) return false;
+      pos += zero_run;
+      if (pos == width) break;
+      uint64_t literal_run = 0;
+      if (!ReadVarU64(in, &literal_run)) return false;
+      if (literal_run == 0 || literal_run > width - pos) return false;
+      for (uint64_t j = 0; j < literal_run; ++j) {
+        int64_t value = 0;
+        if (!ReadVarI64(in, &value)) return false;
+        // Same range gate as the flat loader: the saturate math trusts
+        // every cell to sit within ±cap.
+        if (value > cap || value < -cap) return false;
+        counters[pos + j] = value;
+      }
+      pos += literal_run;
+    }
+    staged[i] = std::move(counters);
+  }
+  Storage& st = Mut();
+  st.counters = std::move(staged);
+  return true;
+}
+
+void TowerSketch::SealDeltaBase() { delta_base_ = store_; }
+
+void TowerSketch::SaveDeltaState(std::ostream& out) const {
+  const Storage& st = *store_;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const std::vector<int64_t>& counters = st.counters[i];
+    // An unsealed sketch diffs against the all-zero state, so a delta from
+    // a fresh sketch degenerates to the sparse full image.
+    const std::vector<int64_t>* base =
+        delta_base_ != nullptr ? &delta_base_->counters[i] : nullptr;
+    uint64_t changed = 0;
+    for (size_t j = 0; j < counters.size(); ++j) {
+      int64_t base_value = base != nullptr ? (*base)[j] : 0;
+      if (counters[j] != base_value) ++changed;
+    }
+    WriteVarU64(out, changed);
+    uint64_t previous = 0;
+    bool first = true;
+    for (size_t j = 0; j < counters.size(); ++j) {
+      int64_t base_value = base != nullptr ? (*base)[j] : 0;
+      if (counters[j] == base_value) continue;
+      WriteVarU64(out, first ? j : j - previous);
+      WriteVarI64(out, counters[j]);
+      previous = j;
+      first = false;
+    }
+  }
+}
+
+bool TowerSketch::ApplyDeltaState(std::istream& in) {
+  Storage& st = Mut();
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    const size_t width = levels_[i].width;
+    const int64_t cap = levels_[i].cap;
+    uint64_t changed = 0;
+    if (!ReadVarU64(in, &changed)) return false;
+    if (changed > width) return false;
+    uint64_t index = 0;
+    for (uint64_t k = 0; k < changed; ++k) {
+      uint64_t gap = 0;
+      int64_t value = 0;
+      if (!ReadVarU64(in, &gap) || !ReadVarI64(in, &value)) return false;
+      // First entry is an absolute index; the rest are strictly-positive
+      // gaps, so duplicate or descending indices reject. Gaps are bounded
+      // against the remaining width before the add so a hostile gap cannot
+      // wrap `index` back into range.
+      if (k == 0) {
+        if (gap >= width) return false;
+        index = gap;
+      } else {
+        if (gap == 0 || gap >= width - index) return false;
+        index += gap;
+      }
+      if (value > cap || value < -cap) return false;
+      st.counters[i][index] = value;
+    }
   }
   return true;
 }

@@ -27,12 +27,25 @@ bool ReadPod(std::istream& in, T* value) {
   return static_cast<bool>(in);
 }
 
+// Largest single read()/write() issued for vector payloads. Byte counts
+// are computed in uint64 and moved in chunks no larger than this, so the
+// std::streamsize casts below can never truncate — even on builds where
+// streamsize is 32-bit and a capped element count times sizeof(T) (2^28 ×
+// 8 B = 2^31) would wrap the cast.
+inline constexpr uint64_t kMaxIoChunkBytes = uint64_t{1} << 30;
+
 template <typename T>
 void WriteVec(std::ostream& out, const std::vector<T>& values) {
   static_assert(std::is_trivially_copyable_v<T>);
   WritePod(out, static_cast<uint64_t>(values.size()));
-  out.write(reinterpret_cast<const char*>(values.data()),
-            static_cast<std::streamsize>(values.size() * sizeof(T)));
+  const char* data = reinterpret_cast<const char*>(values.data());
+  uint64_t remaining = static_cast<uint64_t>(values.size()) * sizeof(T);
+  while (remaining > 0) {
+    uint64_t chunk = remaining < kMaxIoChunkBytes ? remaining : kMaxIoChunkBytes;
+    out.write(data, static_cast<std::streamsize>(chunk));
+    data += chunk;
+    remaining -= chunk;
+  }
 }
 
 // Upper bound on any serialized vector (2^28 elements ≈ the largest
@@ -55,8 +68,19 @@ bool ReadVec(std::istream& in, std::vector<T>* values) {
   if (!ReadPod(in, &size)) return false;
   if (size > kMaxSerializedElements) return false;
   values->resize(size);
-  in.read(reinterpret_cast<char*>(values->data()),
-          static_cast<std::streamsize>(size * sizeof(T)));
+  // The hostile-prefix byte length is validated in 64 bits and consumed in
+  // kMaxIoChunkBytes pieces: the element cap alone does not keep
+  // size*sizeof(T) inside a 32-bit std::streamsize, and a wrapped cast
+  // would silently under-read the payload.
+  char* data = reinterpret_cast<char*>(values->data());
+  uint64_t remaining = size * sizeof(T);
+  while (remaining > 0) {
+    uint64_t chunk = remaining < kMaxIoChunkBytes ? remaining : kMaxIoChunkBytes;
+    in.read(data, static_cast<std::streamsize>(chunk));
+    if (!in) return false;
+    data += chunk;
+    remaining -= chunk;
+  }
   return static_cast<bool>(in);
 }
 

@@ -1,0 +1,68 @@
+#ifndef DAVINCI_COMMON_VARINT_H_
+#define DAVINCI_COMMON_VARINT_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+
+// LEB128 varints + zigzag signed mapping — the primitives of the DVSZ
+// compressed sketch encoding (DESIGN.md §Wire format). A uint64 costs
+// 1..10 bytes, small magnitudes cost 1; zigzag folds sign into the low
+// bit so near-zero signed counters stay one byte either way.
+//
+// The reader is the trust boundary: it rejects streams that run past 10
+// continuation bytes or set payload bits beyond the 64th (an "overlong"
+// encoding that would otherwise wrap silently), so a hostile image can
+// fail a Load but never smuggle an out-of-range value through.
+
+namespace davinci {
+
+inline void WriteVarU64(std::ostream& out, uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+inline bool ReadVarU64(std::istream& in, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    int byte = in.get();
+    if (byte == std::istream::traits_type::eof()) return false;
+    uint64_t payload = static_cast<uint64_t>(byte) & 0x7F;
+    // The 10th byte carries bits 63..69: anything above bit 63 means the
+    // encoded value does not fit in 64 bits.
+    if (shift == 63 && payload > 1) return false;
+    result |= payload << shift;
+    if ((byte & 0x80) == 0) {
+      *value = result;
+      return true;
+    }
+  }
+  return false;  // 10 continuation bytes and still no terminator
+}
+
+inline uint64_t ZigZagEncode(int64_t value) {
+  return (static_cast<uint64_t>(value) << 1) ^
+         (value < 0 ? ~uint64_t{0} : uint64_t{0});
+}
+
+inline int64_t ZigZagDecode(uint64_t value) {
+  return static_cast<int64_t>((value >> 1) ^ (~(value & 1) + 1));
+}
+
+inline void WriteVarI64(std::ostream& out, int64_t value) {
+  WriteVarU64(out, ZigZagEncode(value));
+}
+
+inline bool ReadVarI64(std::istream& in, int64_t* value) {
+  uint64_t raw = 0;
+  if (!ReadVarU64(in, &raw)) return false;
+  *value = ZigZagDecode(raw);
+  return true;
+}
+
+}  // namespace davinci
+
+#endif  // DAVINCI_COMMON_VARINT_H_

@@ -195,26 +195,44 @@ void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
 }
 
 void ConcurrentDaVinci::SaveShards(std::ostream& out) const {
+  SaveShards(out, SketchFormat::kFlat);
+}
+
+void ConcurrentDaVinci::SaveShards(std::ostream& out,
+                                   SketchFormat format) const {
   std::vector<std::shared_ptr<const SketchView>> views = SnapshotAll();
   WritePod(out, static_cast<uint32_t>(views.size()));
   for (const std::shared_ptr<const SketchView>& view : views) {
-    view->sketch().Save(out);
+    view->sketch().Save(out, format);
   }
 }
 
-bool ConcurrentDaVinci::RestoreShards(std::istream& in) {
+bool ConcurrentDaVinci::ParseShardImage(std::istream& in,
+                                        std::vector<DaVinciSketch>* staged,
+                                        bool match_live_geometry) const {
   uint32_t count = 0;
   if (!ReadPod(in, &count)) return false;
   if (count != shards_.size()) return false;
-  // Stage every shard image before touching live state, so a failure at
-  // shard k never leaves shards [0, k) restored and the rest stale.
-  std::vector<DaVinciSketch> staged;
-  staged.reserve(count);
+  staged->clear();
+  staged->reserve(count);
+  // The live geometry is read off shard 0's published view: views are
+  // never null after construction and one atomic load needs no lock.
+  DaVinciConfig live_config;
+  if (match_live_geometry) {
+    live_config = shards_[0]
+                      .view.load(std::memory_order_acquire)
+                      ->sketch()
+                      .config();
+  }
   for (uint32_t s = 0; s < count; ++s) {
     DaVinciSketch loaded(8 * 1024, 0);  // placeholder, overwritten by Load
     if (!DaVinciSketch::Load(in, &loaded)) return false;
-    if (!staged.empty() &&
-        !staged.front().config().GeometryEquals(loaded.config())) {
+    if (match_live_geometry &&
+        !live_config.GeometryEquals(loaded.config())) {
+      return false;  // Merge into the live shard would abort
+    }
+    if (!staged->empty() &&
+        !staged->front().config().GeometryEquals(loaded.config())) {
       return false;  // cross-shard merge (Snapshot) would abort
     }
     // Routing gate: every frequent-part resident must hash back to its
@@ -224,9 +242,39 @@ bool ConcurrentDaVinci::RestoreShards(std::istream& in) {
     for (const FrequentPart::Entry& entry : loaded.frequent_part().Entries()) {
       if (ShardOf(entry.key) != s) return false;
     }
-    staged.push_back(std::move(loaded));
+    staged->push_back(std::move(loaded));
   }
-  for (uint32_t s = 0; s < count; ++s) {
+  return true;
+}
+
+void ConcurrentDaVinci::MergeShardImages(
+    std::vector<std::vector<DaVinciSketch>>&& images) {
+  for (const std::vector<DaVinciSketch>& image : images) {
+    DAVINCI_CHECK_EQ(image.size(), shards_.size());
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = shards_[s];
+    MutexLock lock(&shard.mutex);
+    // Left fold in request order: bit-identical to merging the source
+    // engines one by one (wire_format_test pins this equivalence).
+    for (std::vector<DaVinciSketch>& image : images) {
+      shard.sketch->Merge(image[s]);
+    }
+    Publish(shard);
+  }
+}
+
+bool ConcurrentDaVinci::RestoreShards(std::istream& in) {
+  // Stage every shard image before touching live state, so a failure at
+  // shard k never leaves shards [0, k) restored and the rest stale. No
+  // live-geometry gate: a restore may legitimately swap in a differently
+  // sized sketch (recovery rebuilds the tenant from the image's own
+  // config).
+  std::vector<DaVinciSketch> staged;
+  if (!ParseShardImage(in, &staged, /*match_live_geometry=*/false)) {
+    return false;
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& shard = shards_[s];
     MutexLock lock(&shard.mutex);
     *shard.sketch = std::move(staged[s]);

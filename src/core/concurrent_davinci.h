@@ -126,6 +126,33 @@ class ConcurrentDaVinci {
   // capture every completed write.
   void SaveShards(std::ostream& out) const;
 
+  // Same image with a per-shard format selector: kCompressed writes each
+  // shard as a DVSZ container (typically >4x smaller on skewed traffic —
+  // the DVCK v2 checkpoint body and the server's kExportSketch use this).
+  // Readers need no flag: DaVinciSketch::Load sniffs the format per shard,
+  // so RestoreShards and ParseShardImage accept both, including images
+  // that mix formats.
+  void SaveShards(std::ostream& out, SketchFormat format) const;
+
+  // Parses ONE SaveShards image into per-shard sketches without touching
+  // live state. Returns false — leaving `staged` unspecified — on any of
+  // RestoreShards' gates (shard count, per-shard Load, mutual geometry,
+  // FP shard routing); with `match_live_geometry` additionally when the
+  // image's geometry differs from this instance's live one (required
+  // before MergeShardImages — DaVinciSketch::Merge aborts on mismatched
+  // configs, and a wire image must fail softly instead).
+  bool ParseShardImage(std::istream& in, std::vector<DaVinciSketch>* staged,
+                       bool match_live_geometry = true) const;
+
+  // Fan-in merge: left-folds every staged image (each from ParseShardImage
+  // with match_live_geometry) into the live shards, in the order given,
+  // publishing each shard once at the end. The state evolution is exactly
+  // `for (i) Merge(engine_of(images[i]))` — the canonical order matters
+  // because FP eviction during merge is order-sensitive (DESIGN.md §Wire
+  // format), so the aggregator pins request order rather than pretending
+  // Merge is associative.
+  void MergeShardImages(std::vector<std::vector<DaVinciSketch>>&& images);
+
   // Restores an image produced by SaveShards into this instance, replacing
   // every shard's live sketch and republishing. Non-aborting on hostile
   // input: returns false — leaving *this untouched — when the shard count

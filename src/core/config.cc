@@ -96,10 +96,16 @@ bool DaVinciConfig::GeometryEquals(const DaVinciConfig& other) const {
 }
 
 bool DaVinciConfig::Load(std::istream& in, DaVinciConfig* config) {
-  uint64_t fp_buckets = 0, fp_slots = 0, ef_bytes = 0, ifp_rows = 0,
-           ifp_buckets = 0;
+  uint64_t fp_buckets = 0;
+  if (!ReadPod(in, &fp_buckets)) return false;
+  return LoadTail(fp_buckets, in, config);
+}
+
+bool DaVinciConfig::LoadTail(uint64_t fp_buckets, std::istream& in,
+                             DaVinciConfig* config) {
+  uint64_t fp_slots = 0, ef_bytes = 0, ifp_rows = 0, ifp_buckets = 0;
   uint8_t signs = 0, validate = 0;
-  if (!ReadPod(in, &fp_buckets) || !ReadPod(in, &fp_slots) ||
+  if (!ReadPod(in, &fp_slots) ||
       !ReadPod(in, &config->evict_lambda) ||
       !ReadVec(in, &config->ef_level_bits) || !ReadPod(in, &ef_bytes) ||
       !ReadPod(in, &config->promotion_threshold) || !ReadPod(in, &ifp_rows) ||

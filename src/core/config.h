@@ -105,6 +105,14 @@ struct DaVinciConfig {
   void Save(std::ostream& out) const;
   static bool Load(std::istream& in, DaVinciConfig* config);
 
+  // Continuation of Load for a caller that already consumed the leading
+  // u64 (fp_buckets) while sniffing the stream for the DVSZ magic word.
+  // The magic|version pair can never be a valid fp_buckets (Valid() caps
+  // it at 2^24), so DaVinciSketch::Load branches on that first word and
+  // hands the flat case here — no seeking, so non-seekable streams work.
+  static bool LoadTail(uint64_t fp_buckets, std::istream& in,
+                       DaVinciConfig* config);
+
   // True when two sketches built from these configs are linear-compatible
   // (Merge/Subtract/HeavyChangers/InnerProduct are sound): identical seed
   // and identical serialized geometry. Runtime-only tuning knobs

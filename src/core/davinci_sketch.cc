@@ -559,15 +559,90 @@ void DaVinciSketch::Save(std::ostream& out) const {
   ifp_.SaveState(out);
 }
 
+void DaVinciSketch::Save(std::ostream& out, SketchFormat format) const {
+  if (format == SketchFormat::kFlat) {
+    Save(out);
+    return;
+  }
+  WritePod(out, kDvszMagic);
+  WritePod(out, kDvszVersion);
+  config_.Save(out);
+  fp_.SaveStateCompressed(out);
+  ef_.SaveStateCompressed(out);
+  ifp_.SaveStateCompressed(out);
+  WritePod(out, kDvszTrailer);
+}
+
 bool DaVinciSketch::Load(std::istream& in, DaVinciSketch* sketch) {
+  // Format sniff: the flat image leads with the config's fp_buckets u64,
+  // which Valid() caps at 2^24 — so the DVSZ magic|version word (≈ 6.2e18)
+  // unambiguously marks a compressed image even on non-seekable streams.
+  uint64_t first_word = 0;
+  if (!ReadPod(in, &first_word)) return false;
+  const uint64_t dvsz_header =
+      (uint64_t{kDvszVersion} << 32) | uint64_t{kDvszMagic};
+  const bool compressed = first_word == dvsz_header;
   DaVinciConfig config;
-  if (!DaVinciConfig::Load(in, &config)) return false;
+  if (compressed) {
+    if (!DaVinciConfig::Load(in, &config)) return false;
+  } else {
+    if (!DaVinciConfig::LoadTail(first_word, in, &config)) return false;
+  }
   DaVinciSketch loaded(config);
-  if (!loaded.fp_.LoadState(in) || !loaded.ef_.LoadState(in) ||
-      !loaded.ifp_.LoadState(in)) {
-    return false;
+  if (compressed) {
+    if (!loaded.fp_.LoadStateCompressed(in) ||
+        !loaded.ef_.LoadStateCompressed(in) ||
+        !loaded.ifp_.LoadStateCompressed(in)) {
+      return false;
+    }
+    uint32_t trailer = 0;
+    if (!ReadPod(in, &trailer) || trailer != kDvszTrailer) return false;
+  } else {
+    if (!loaded.fp_.LoadState(in) || !loaded.ef_.LoadState(in) ||
+        !loaded.ifp_.LoadState(in)) {
+      return false;
+    }
   }
   *sketch = std::move(loaded);
+  return true;
+}
+
+void DaVinciSketch::SealDelta() {
+  fp_.SealDeltaBase();
+  ef_.SealDeltaBase();
+  ifp_.SealDeltaBase();
+}
+
+void DaVinciSketch::SaveDelta(std::ostream& out) const {
+  WritePod(out, kDvsdMagic);
+  WritePod(out, kDvsdVersion);
+  config_.Save(out);
+  fp_.SaveDeltaState(out);
+  ef_.SaveDeltaState(out);
+  ifp_.SaveDeltaState(out);
+  WritePod(out, kDvsdTrailer);
+}
+
+bool DaVinciSketch::ApplyDelta(std::istream& in) {
+  uint32_t magic = 0, version = 0;
+  if (!ReadPod(in, &magic) || magic != kDvsdMagic) return false;
+  if (!ReadPod(in, &version) || version != kDvsdVersion) return false;
+  DaVinciConfig config;
+  if (!DaVinciConfig::Load(in, &config)) return false;
+  // Deltas are positional — applying one across geometries would scatter
+  // cells onto the wrong hashes silently.
+  if (!config.GeometryEquals(config_)) return false;
+  // Stage on a CoW copy so a hostile image that fails mid-apply leaves
+  // *this untouched; the copy also starts with the cold decode cache the
+  // commit must end up with anyway.
+  DaVinciSketch staged(*this);
+  if (!staged.fp_.ApplyDeltaState(in) || !staged.ef_.ApplyDeltaState(in) ||
+      !staged.ifp_.ApplyDeltaState(in)) {
+    return false;
+  }
+  uint32_t trailer = 0;
+  if (!ReadPod(in, &trailer) || trailer != kDvsdTrailer) return false;
+  *this = std::move(staged);
   return true;
 }
 

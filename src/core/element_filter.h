@@ -68,6 +68,18 @@ class ElementFilter {
   void SaveState(std::ostream& out) const { tower_.SaveState(out); }
   bool LoadState(std::istream& in) { return tower_.LoadState(in); }
 
+  // DVSZ compressed / delta state — thin forwards; the tower owns both the
+  // encoding and the hostile-image gates (see TowerSketch).
+  void SaveStateCompressed(std::ostream& out) const {
+    tower_.SaveStateCompressed(out);
+  }
+  bool LoadStateCompressed(std::istream& in) {
+    return tower_.LoadStateCompressed(in);
+  }
+  void SealDeltaBase() { tower_.SealDeltaBase(); }
+  void SaveDeltaState(std::ostream& out) const { tower_.SaveDeltaState(out); }
+  bool ApplyDeltaState(std::istream& in) { return tower_.ApplyDeltaState(in); }
+
   // Aborts (DAVINCI_CHECK) on a violated structural invariant: the
   // promotion threshold is positive and representable by the tower (T must
   // not exceed the top level's saturation cap, or the filter could never

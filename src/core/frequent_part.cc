@@ -5,6 +5,7 @@
 
 #include "common/prefetch.h"
 #include "common/serialize.h"
+#include "common/varint.h"
 #include "obs/stats.h"
 
 namespace davinci {
@@ -208,6 +209,194 @@ bool FrequentPart::LoadState(std::istream& in) {
   }
   st.ecnt = std::move(ecnt);
   st.flags = std::move(flags);
+  return true;
+}
+
+namespace {
+
+// Bitmap packing for the taint / flag lanes: eight 0/1 bytes per output
+// byte, LSB-first. The reader rejects set spare bits in the final partial
+// byte — a canonical image never has them, so they flag corruption.
+void WritePackedBits(std::ostream& out, const std::vector<uint8_t>& bits) {
+  for (size_t i = 0; i < bits.size(); i += 8) {
+    uint8_t byte = 0;
+    for (size_t j = 0; j < 8 && i + j < bits.size(); ++j) {
+      if (bits[i + j] != 0) byte = static_cast<uint8_t>(byte | (1u << j));
+    }
+    WritePod(out, byte);
+  }
+}
+
+bool ReadPackedBits(std::istream& in, size_t count,
+                    std::vector<uint8_t>* bits) {
+  bits->assign(count, 0);
+  for (size_t i = 0; i < count; i += 8) {
+    uint8_t byte = 0;
+    if (!ReadPod(in, &byte)) return false;
+    size_t lanes = std::min<size_t>(8, count - i);
+    if (lanes < 8 && (byte >> lanes) != 0) return false;
+    for (size_t j = 0; j < lanes; ++j) {
+      (*bits)[i + j] = (byte >> j) & 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void FrequentPart::SaveStateCompressed(std::ostream& out) const {
+  const Storage& st = *store_;
+  std::vector<uint32_t> keys(buckets_ * slots_);
+  std::vector<uint8_t> tainted(buckets_ * slots_);
+  for (size_t b = 0; b < buckets_; ++b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      keys[b * slots_ + s] = st.keys[b * stride_ + s];
+      tainted[b * slots_ + s] = st.tainted[b * stride_ + s];
+    }
+  }
+  WriteVec(out, keys);
+  for (size_t b = 0; b < buckets_; ++b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      WriteVarI64(out, st.counts[b * stride_ + s]);
+    }
+  }
+  WritePackedBits(out, tainted);
+  for (size_t b = 0; b < buckets_; ++b) {
+    WriteVarU64(out, st.ecnt[b]);
+  }
+  WritePackedBits(out, std::vector<uint8_t>(st.flags.begin(), st.flags.end()));
+}
+
+bool FrequentPart::LoadStateCompressed(std::istream& in) {
+  std::vector<uint32_t> keys;
+  if (!ReadVec(in, &keys) || keys.size() != buckets_ * slots_) return false;
+  std::vector<int64_t> counts(buckets_ * slots_);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    int64_t count = 0;
+    if (!ReadVarI64(in, &count)) return false;
+    // Same range gate as the flat loader: the λ-vote and ResolveQuery
+    // arithmetic trusts loaded counts to sit within ±kMaxLoadedCount.
+    if (count > kMaxLoadedCount || count < -kMaxLoadedCount) return false;
+    counts[i] = count;
+  }
+  std::vector<uint8_t> tainted;
+  if (!ReadPackedBits(in, buckets_ * slots_, &tainted)) return false;
+  std::vector<uint32_t> ecnt(buckets_);
+  for (size_t b = 0; b < buckets_; ++b) {
+    uint64_t value = 0;
+    if (!ReadVarU64(in, &value)) return false;
+    if (value > UINT32_MAX) return false;
+    ecnt[b] = static_cast<uint32_t>(value);
+  }
+  std::vector<uint8_t> flags;
+  if (!ReadPackedBits(in, buckets_, &flags)) return false;
+  Storage& st = Mut();
+  st.keys.assign(buckets_ * stride_, 0);
+  st.counts.assign(buckets_ * stride_, 0);
+  st.tainted.assign(buckets_ * stride_, 0);
+  for (size_t b = 0; b < buckets_; ++b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      st.keys[b * stride_ + s] = keys[b * slots_ + s];
+      st.counts[b * stride_ + s] = counts[b * slots_ + s];
+      st.tainted[b * stride_ + s] = tainted[b * slots_ + s];
+    }
+  }
+  st.ecnt = std::move(ecnt);
+  st.flags = std::move(flags);
+  return true;
+}
+
+void FrequentPart::SealDeltaBase() { delta_base_ = store_; }
+
+void FrequentPart::SaveDeltaState(std::ostream& out) const {
+  const Storage& st = *store_;
+  // A bucket is "touched" when any logical slot, its evict counter or its
+  // flag moved since the seal; base == nullptr diffs against the
+  // freshly-constructed all-zero state.
+  const Storage* base = delta_base_.get();
+  auto bucket_changed = [&](size_t b) {
+    for (size_t s = 0; s < slots_; ++s) {
+      size_t i = b * stride_ + s;
+      uint32_t base_key = base != nullptr ? base->keys[i] : 0;
+      int64_t base_count = base != nullptr ? base->counts[i] : 0;
+      uint8_t base_taint = base != nullptr ? base->tainted[i] : 0;
+      if (st.keys[i] != base_key || st.counts[i] != base_count ||
+          st.tainted[i] != base_taint) {
+        return true;
+      }
+    }
+    uint32_t base_ecnt = base != nullptr ? base->ecnt[b] : 0;
+    uint8_t base_flag = base != nullptr ? base->flags[b] : 0;
+    return st.ecnt[b] != base_ecnt || st.flags[b] != base_flag;
+  };
+  uint64_t changed = 0;
+  for (size_t b = 0; b < buckets_; ++b) {
+    if (bucket_changed(b)) ++changed;
+  }
+  WriteVarU64(out, changed);
+  uint64_t previous = 0;
+  bool first = true;
+  for (size_t b = 0; b < buckets_; ++b) {
+    if (!bucket_changed(b)) continue;
+    WriteVarU64(out, first ? b : b - previous);
+    uint64_t taint_mask = 0;
+    for (size_t s = 0; s < slots_; ++s) {
+      size_t i = b * stride_ + s;
+      WritePod(out, st.keys[i]);
+      WriteVarI64(out, st.counts[i]);
+      if (st.tainted[i] != 0) taint_mask |= uint64_t{1} << s;
+    }
+    WriteVarU64(out, taint_mask);
+    WriteVarU64(out, st.ecnt[b]);
+    WritePod(out, st.flags[b]);
+    previous = b;
+    first = false;
+  }
+}
+
+bool FrequentPart::ApplyDeltaState(std::istream& in) {
+  uint64_t changed = 0;
+  if (!ReadVarU64(in, &changed)) return false;
+  if (changed > buckets_) return false;
+  Storage& st = Mut();
+  uint64_t bucket = 0;
+  for (uint64_t k = 0; k < changed; ++k) {
+    uint64_t gap = 0;
+    if (!ReadVarU64(in, &gap)) return false;
+    if (k == 0) {
+      if (gap >= buckets_) return false;
+      bucket = gap;
+    } else {
+      if (gap == 0 || gap >= buckets_ - bucket) return false;
+      bucket += gap;
+    }
+    std::vector<uint32_t> keys(slots_);
+    std::vector<int64_t> counts(slots_);
+    for (size_t s = 0; s < slots_; ++s) {
+      if (!ReadPod(in, &keys[s]) || !ReadVarI64(in, &counts[s])) return false;
+      if (counts[s] > kMaxLoadedCount || counts[s] < -kMaxLoadedCount) {
+        return false;
+      }
+    }
+    uint64_t taint_mask = 0, ecnt = 0;
+    uint8_t flag = 0;
+    if (!ReadVarU64(in, &taint_mask) || !ReadVarU64(in, &ecnt) ||
+        !ReadPod(in, &flag)) {
+      return false;
+    }
+    // Spare taint bits beyond the slot count, oversized evict counters and
+    // non-boolean flags all flag corruption.
+    if (slots_ < 64 && (taint_mask >> slots_) != 0) return false;
+    if (ecnt > UINT32_MAX || flag > 1) return false;
+    for (size_t s = 0; s < slots_; ++s) {
+      size_t i = bucket * stride_ + s;
+      st.keys[i] = keys[s];
+      st.counts[i] = counts[s];
+      st.tainted[i] = (taint_mask >> s) & 1 ? 1 : 0;
+    }
+    st.ecnt[bucket] = static_cast<uint32_t>(ecnt);
+    st.flags[bucket] = flag;
+  }
   return true;
 }
 

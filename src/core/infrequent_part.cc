@@ -8,6 +8,7 @@
 
 #include "common/prefetch.h"
 #include "common/serialize.h"
+#include "common/varint.h"
 #include "common/worker_pool.h"
 #include "obs/stats.h"
 
@@ -314,6 +315,128 @@ bool InfrequentPart::LoadState(std::istream& in) {
   Storage& st = Mut();
   st.ids = std::move(ids);
   st.counts = std::move(counts);
+  return true;
+}
+
+void InfrequentPart::SaveStateCompressed(std::ostream& out) const {
+  const Storage& st = *store_;
+  const size_t total = rows_ * width_;
+  size_t live = 0;
+  for (size_t i = 0; i < total; ++i) {
+    if (st.ids[i] != 0 || st.counts[i] != 0) ++live;
+  }
+  if (live * 100 > total * kSparseDensityPercent) {
+    WritePod(out, static_cast<uint8_t>(0));  // flat fallback
+    SaveState(out);
+    return;
+  }
+  WritePod(out, static_cast<uint8_t>(1));  // sparse
+  WriteVarU64(out, live);
+  uint64_t previous = 0;
+  bool first = true;
+  for (size_t i = 0; i < total; ++i) {
+    if (st.ids[i] == 0 && st.counts[i] == 0) continue;
+    WriteVarU64(out, first ? i : i - previous);
+    WriteVarU64(out, st.ids[i]);
+    WriteVarI64(out, st.counts[i]);
+    previous = i;
+    first = false;
+  }
+}
+
+bool InfrequentPart::LoadStateCompressed(std::istream& in) {
+  uint8_t mode = 0;
+  if (!ReadPod(in, &mode)) return false;
+  if (mode == 0) return LoadState(in);
+  if (mode != 1) return false;
+  const size_t total = rows_ * width_;
+  uint64_t live = 0;
+  if (!ReadVarU64(in, &live)) return false;
+  if (live > total) return false;
+  std::vector<uint64_t> ids(total, 0);
+  std::vector<int64_t> counts(total, 0);
+  uint64_t index = 0;
+  for (uint64_t k = 0; k < live; ++k) {
+    uint64_t gap = 0, id = 0;
+    int64_t count = 0;
+    if (!ReadVarU64(in, &gap) || !ReadVarU64(in, &id) ||
+        !ReadVarI64(in, &count)) {
+      return false;
+    }
+    // Strictly-ascending bounded indices: duplicates, descents and
+    // wrap-around gaps all reject here (fuzz corpus seeds cover each).
+    if (k == 0) {
+      if (gap >= total) return false;
+      index = gap;
+    } else {
+      if (gap == 0 || gap >= total - index) return false;
+      index += gap;
+    }
+    // Same field/range gates as the flat loader.
+    if (id >= kFermatPrime) return false;
+    if (count > kMaxLoadedCount || count < -kMaxLoadedCount) return false;
+    if (id == 0 && count == 0) return false;  // a live cell must be live
+    ids[index] = id;
+    counts[index] = count;
+  }
+  Storage& st = Mut();
+  st.ids = std::move(ids);
+  st.counts = std::move(counts);
+  return true;
+}
+
+void InfrequentPart::SealDeltaBase() { delta_base_ = store_; }
+
+void InfrequentPart::SaveDeltaState(std::ostream& out) const {
+  const Storage& st = *store_;
+  const size_t total = rows_ * width_;
+  uint64_t changed = 0;
+  for (size_t i = 0; i < total; ++i) {
+    uint64_t base_id = delta_base_ != nullptr ? delta_base_->ids[i] : 0;
+    int64_t base_count = delta_base_ != nullptr ? delta_base_->counts[i] : 0;
+    if (st.ids[i] != base_id || st.counts[i] != base_count) ++changed;
+  }
+  WriteVarU64(out, changed);
+  uint64_t previous = 0;
+  bool first = true;
+  for (size_t i = 0; i < total; ++i) {
+    uint64_t base_id = delta_base_ != nullptr ? delta_base_->ids[i] : 0;
+    int64_t base_count = delta_base_ != nullptr ? delta_base_->counts[i] : 0;
+    if (st.ids[i] == base_id && st.counts[i] == base_count) continue;
+    WriteVarU64(out, first ? i : i - previous);
+    WriteVarU64(out, st.ids[i]);
+    WriteVarI64(out, st.counts[i]);
+    previous = i;
+    first = false;
+  }
+}
+
+bool InfrequentPart::ApplyDeltaState(std::istream& in) {
+  const size_t total = rows_ * width_;
+  uint64_t changed = 0;
+  if (!ReadVarU64(in, &changed)) return false;
+  if (changed > total) return false;
+  Storage& st = Mut();
+  uint64_t index = 0;
+  for (uint64_t k = 0; k < changed; ++k) {
+    uint64_t gap = 0, id = 0;
+    int64_t count = 0;
+    if (!ReadVarU64(in, &gap) || !ReadVarU64(in, &id) ||
+        !ReadVarI64(in, &count)) {
+      return false;
+    }
+    if (k == 0) {
+      if (gap >= total) return false;
+      index = gap;
+    } else {
+      if (gap == 0 || gap >= total - index) return false;
+      index += gap;
+    }
+    if (id >= kFermatPrime) return false;
+    if (count > kMaxLoadedCount || count < -kMaxLoadedCount) return false;
+    st.ids[index] = id;
+    st.counts[index] = count;
+  }
   return true;
 }
 

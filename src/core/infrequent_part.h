@@ -116,6 +116,25 @@ class InfrequentPart {
   void SaveState(std::ostream& out) const;
   bool LoadState(std::istream& in);
 
+  // DVSZ compressed state. Real traffic leaves most IFP buckets untouched
+  // (100% empty on the insert bench), so the encoder counts the non-empty
+  // cells first and picks per image: a u8 mode byte selects sparse
+  // (gap-coded strictly-ascending cell indices, each with a varint iID and
+  // zigzag icnt) when at most kSparseDensityPercent of the cells are live,
+  // else flat (the exact SaveState layout) — a saturated IFP must not pay
+  // the sparse index overhead. The loader applies LoadState's field/range
+  // gates plus the sparse structure's own (mode byte, index monotonicity
+  // and bounds).
+  static constexpr size_t kSparseDensityPercent = 50;
+  void SaveStateCompressed(std::ostream& out) const;
+  bool LoadStateCompressed(std::istream& in);
+
+  // Delta images over the CoW base pinned by SealDeltaBase() — see
+  // TowerSketch for the seal/apply contract.
+  void SealDeltaBase();
+  void SaveDeltaState(std::ostream& out) const;
+  bool ApplyDeltaState(std::istream& in);
+
   // Test hook: plant raw cell contents directly, bypassing both the insert
   // path and LoadState's range gate — how the invariant-audit tests inject
   // corruption that no public boundary admits anymore.
@@ -182,6 +201,9 @@ class InfrequentPart {
   std::vector<HashFamily> hashes_;
   std::vector<SignHash> signs_;
   std::shared_ptr<Storage> store_;
+  // Delta base pinned by SealDeltaBase(); holding the const ref arms the
+  // CoW clone in Mut().
+  std::shared_ptr<const Storage> delta_base_;
   mutable uint64_t accesses_ = 0;
 
   // Telemetry (no-ops unless built with DAVINCI_STATS). Mutable: Decode()

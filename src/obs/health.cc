@@ -70,6 +70,22 @@ void HealthSnapshot::Accumulate(const HealthSnapshot& other) {
                other.tuning.decode_min_buckets_per_worker);
   tuning.publish_interval =
       std::max(tuning.publish_interval, other.tuning.publish_interval);
+
+  // Merge-tree provenance: the height of an aggregate view is its tallest
+  // contributor; the counters sum; the per-level histogram merges
+  // element-wise.
+  merge_tree.height = std::max(merge_tree.height, other.merge_tree.height);
+  merge_tree.import_requests += other.merge_tree.import_requests;
+  merge_tree.imported_images += other.merge_tree.imported_images;
+  merge_tree.imported_bytes += other.merge_tree.imported_bytes;
+  if (merge_tree.images_per_level.size() <
+      other.merge_tree.images_per_level.size()) {
+    merge_tree.images_per_level.resize(
+        other.merge_tree.images_per_level.size(), 0);
+  }
+  for (size_t i = 0; i < other.merge_tree.images_per_level.size(); ++i) {
+    merge_tree.images_per_level[i] += other.merge_tree.images_per_level[i];
+  }
 }
 
 void HealthSnapshot::WriteJson(std::ostream& out) const {
@@ -118,6 +134,17 @@ void HealthSnapshot::WriteJson(std::ostream& out) const {
       << ",\"decode_min_buckets_per_worker\":"
       << tuning.decode_min_buckets_per_worker
       << ",\"publish_interval\":" << tuning.publish_interval << "}";
+
+  out << ",\"merge_tree\":{\"height\":" << merge_tree.height
+      << ",\"import_requests\":" << merge_tree.import_requests
+      << ",\"imported_images\":" << merge_tree.imported_images
+      << ",\"imported_bytes\":" << merge_tree.imported_bytes
+      << ",\"images_per_level\":[";
+  for (size_t i = 0; i < merge_tree.images_per_level.size(); ++i) {
+    if (i > 0) out << ",";
+    out << merge_tree.images_per_level[i];
+  }
+  out << "]}";
 
   out << "}";
 }

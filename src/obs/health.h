@@ -129,6 +129,25 @@ struct TuningHealth {
   size_t publish_interval = 0;  // 0 unless collected from ConcurrentDaVinci
 };
 
+// Fan-in merge-tree provenance (server kImportMerge aggregation, see
+// docs/SERVER.md §Export / ImportMerge). A tenant that has only ever
+// ingested raw traffic sits at height 0; importing images whose tallest
+// source has height h lifts the target to h+1, so `height` reads off how
+// many aggregation hops separate this view from raw ingest. Structural
+// counters, live regardless of DAVINCI_STATS.
+struct MergeTreeHealth {
+  uint32_t height = 0;            // max source height + 1, 0 = leaf
+  uint64_t import_requests = 0;   // kImportMerge frames applied
+  uint64_t imported_images = 0;   // shard images folded in, total
+  uint64_t imported_bytes = 0;    // wire bytes of those images
+  // imported_images bucketed by the level they arrived at (the height of
+  // the target AFTER the import): index 0 counts leaf-to-leaf folds,
+  // higher indexes deeper aggregation tiers. Capped at kMaxTrackedLevels;
+  // deeper imports land in the last bucket.
+  static constexpr size_t kMaxTrackedLevels = 8;
+  std::vector<uint64_t> images_per_level;
+};
+
 struct HealthSnapshot {
   bool stats_enabled = kStatsEnabled;
   size_t shards = 1;  // > 1 when collected from a ConcurrentDaVinci
@@ -140,6 +159,7 @@ struct HealthSnapshot {
   IfpHealth ifp;
   EpochHealth epoch;
   TuningHealth tuning;
+  MergeTreeHealth merge_tree;
 
   // Shard aggregation: sums capacities, scans and counters; takes the max
   // of ecnt_max; merges tower levels element-wise (shards share geometry).

@@ -232,7 +232,8 @@ StatusCode Client::Health(const std::string& name, HealthReply* out) {
   uint8_t windowed = 0;
   if (!reader.U64(&out->shards) || !reader.U64(&out->memory_bytes) ||
       !reader.U64(&out->inserts) || !reader.U64(&out->queries) ||
-      !reader.U64(&out->epoch) || !reader.U8(&windowed) || !reader.Done()) {
+      !reader.U64(&out->epoch) || !reader.U8(&windowed) ||
+      !reader.U32(&out->merge_height) || !reader.Done()) {
     return StatusCode::kInternal;
   }
   out->windowed = windowed != 0;
@@ -246,6 +247,57 @@ StatusCode Client::FlushViews(const std::string& name) {
     return StatusCode::kInternal;
   }
   return status;
+}
+
+// ---------------------------------------------------------------------------
+// Merge-tree fan-in.
+
+StatusCode Client::ExportSketch(const std::string& name, uint8_t format,
+                                ExportedSketch* out) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kExportSketch));
+  writer.Str(name);
+  writer.U8(format);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  return reader.U32(&out->height) && reader.Blob(&out->image) && reader.Done()
+             ? StatusCode::kOk
+             : StatusCode::kInternal;
+}
+
+StatusCode Client::ImportMerge(const std::string& name,
+                               std::span<const ExportedSketch> images,
+                               uint32_t* new_height) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kImportMerge));
+  writer.Str(name);
+  writer.U32(static_cast<uint32_t>(images.size()));
+  for (const ExportedSketch& exported : images) {
+    writer.U32(exported.height);
+    writer.Blob(exported.image);
+  }
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  uint32_t height = 0;
+  if (!reader.U32(&height) || !reader.Done()) return StatusCode::kInternal;
+  if (new_height != nullptr) *new_height = height;
+  return StatusCode::kOk;
 }
 
 // ---------------------------------------------------------------------------

@@ -25,6 +25,8 @@ struct HealthReply {
   uint64_t queries = 0;
   uint64_t epoch = 0;
   bool windowed = false;
+  // Merge-tree aggregation height (0 = pure raw-ingest leaf).
+  uint32_t merge_height = 0;
 };
 
 class Client {
@@ -62,6 +64,22 @@ class Client {
   StatusCode Checkpoint(const std::string& name, bool* written);
   StatusCode Health(const std::string& name, HealthReply* out);
   StatusCode FlushViews(const std::string& name);
+
+  // ---- merge-tree fan-in ----
+  // One exported image with its aggregation height, as shipped on the wire.
+  struct ExportedSketch {
+    uint32_t height = 0;
+    std::string image;
+  };
+  // Flushes + serializes `name`'s shard image server-side (format 0 = flat,
+  // 1 = DVSZ compressed) and returns it with the tenant's merge height.
+  StatusCode ExportSketch(const std::string& name, uint8_t format,
+                          ExportedSketch* out);
+  // Fan-in: folds `images` (in order) into tenant `name`; on success
+  // `new_height` (optional) reports the tenant's post-import merge height.
+  StatusCode ImportMerge(const std::string& name,
+                         std::span<const ExportedSketch> images,
+                         uint32_t* new_height = nullptr);
 
   // ---- ingest ----
   StatusCode Insert(const std::string& name, uint32_t key, int64_t count = 1);

@@ -1,6 +1,8 @@
 #include "server/dispatcher.h"
 
+#include <algorithm>
 #include <map>
+#include <sstream>
 #include <utility>
 #include <vector>
 
@@ -67,6 +69,8 @@ std::string RequestDispatcher::Dispatch(Op op, WireReader& reader) {
     case Op::kDifferenceQuery: return DifferenceQuery(reader);
     case Op::kInnerProduct: return InnerProduct(reader);
     case Op::kWindowHeavyChangers: return WindowHeavyChangers(reader);
+    case Op::kExportSketch: return ExportSketch(reader);
+    case Op::kImportMerge: return ImportMerge(reader);
   }
   return StatusBody(StatusCode::kUnknownOp);
 }
@@ -162,6 +166,7 @@ std::string RequestDispatcher::Health(WireReader& reader) {
   writer.U64(stats.queries);
   writer.U64(tenant->epoch());
   writer.U8(tenant->windowed() ? 1 : 0);
+  writer.U32(tenant->merge_height());
   return writer.Take();
 }
 
@@ -174,6 +179,84 @@ std::string RequestDispatcher::FlushViews(WireReader& reader) {
   if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
   tenant->engine().FlushViews();
   return StatusBody(StatusCode::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Merge-tree fan-in.
+
+std::string RequestDispatcher::ExportSketch(WireReader& reader) {
+  std::string name;
+  uint8_t format = 0;
+  if (!reader.Str(&name) || !reader.U8(&format) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  if (format > static_cast<uint8_t>(SketchFormat::kCompressed)) {
+    return StatusBody(StatusCode::kBadArgument);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  // Flush first so the exported image carries every completed write, same
+  // contract as a checkpoint.
+  tenant->engine().FlushViews();
+  std::ostringstream image;
+  tenant->engine().SaveShards(image, static_cast<SketchFormat>(format));
+  std::string bytes = std::move(image).str();
+  // status + height + blob length prefix must still frame; a tenant too big
+  // for one flat frame can usually still export compressed.
+  if (bytes.size() + 16 > kMaxFrameBytes) {
+    return StatusBody(StatusCode::kTooLarge);
+  }
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U32(tenant->merge_height());
+  writer.Blob(bytes);
+  return writer.Take();
+}
+
+std::string RequestDispatcher::ImportMerge(WireReader& reader) {
+  std::string name;
+  uint32_t n = 0;
+  if (!reader.Str(&name) || !reader.U32(&n)) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  if (n == 0 || n > kMaxImportImages) {
+    return StatusBody(StatusCode::kBadArgument);
+  }
+  std::vector<uint32_t> heights(n);
+  std::vector<std::string> blobs(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (!reader.U32(&heights[i]) || !reader.Blob(&blobs[i])) {
+      return StatusBody(StatusCode::kMalformed);
+    }
+  }
+  if (!reader.Done()) return StatusBody(StatusCode::kMalformed);
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  // All-or-nothing: every image is parsed and geometry-gated BEFORE any of
+  // them touches the engine, so a bad image in the middle of the batch
+  // cannot leave a half-applied fold.
+  std::vector<std::vector<DaVinciSketch>> staged;
+  staged.reserve(n);
+  uint64_t total_bytes = 0;
+  uint32_t max_source_height = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    std::istringstream in(blobs[i]);
+    std::vector<DaVinciSketch> shards;
+    if (!tenant->engine().ParseShardImage(in, &shards) ||
+        in.peek() != std::char_traits<char>::eof()) {
+      return StatusBody(StatusCode::kBadArgument);
+    }
+    total_bytes += blobs[i].size();
+    max_source_height = std::max(max_source_height, heights[i]);
+    staged.push_back(std::move(shards));
+  }
+  tenant->engine().MergeShardImages(std::move(staged));
+  tenant->RecordImport(n, total_bytes, max_source_height);
+  MaybeCheckpoint(tenant, n);
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U32(tenant->merge_height());
+  return writer.Take();
 }
 
 // ---------------------------------------------------------------------------

@@ -60,6 +60,9 @@ class RequestDispatcher {
   std::string Checkpoint(WireReader& reader);
   std::string Health(WireReader& reader);
   std::string FlushViews(WireReader& reader);
+  // Merge-tree fan-in (docs/SERVER.md §Export / ImportMerge).
+  std::string ExportSketch(WireReader& reader);
+  std::string ImportMerge(WireReader& reader);
   // Ingest.
   std::string Insert(WireReader& reader);
   std::string InsertBatch(WireReader& reader);

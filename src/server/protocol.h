@@ -46,6 +46,10 @@ inline constexpr size_t kMaxNameBytes = 256;
 inline constexpr size_t kMaxBatchKeys = size_t{1} << 22;  // 4M keys/frame
 inline constexpr size_t kMaxTenants = 4096;
 inline constexpr size_t kMaxShardsPerTenant = 1024;
+// Fan-in bound of one kImportMerge frame: N sketch images fold into the
+// target in one request; wider fan-ins compose as multiple requests (or a
+// deeper tree via re-export).
+inline constexpr size_t kMaxImportImages = 64;
 
 enum class Op : uint8_t {
   // Admin / lifecycle.
@@ -73,6 +77,9 @@ enum class Op : uint8_t {
   // Batched / windowed extensions.
   kQueryBatch = 30,
   kWindowHeavyChangers = 31,
+  // Distributed merge tree (docs/SERVER.md §Export / ImportMerge).
+  kExportSketch = 40,  // ship a tenant's SaveShards image (flat or DVSZ)
+  kImportMerge = 41,   // fan-in merge N exported images into a tenant
 };
 
 enum class StatusCode : uint8_t {
@@ -136,6 +143,11 @@ class WireWriter {
       U32(key);
       I64(count);
     }
+  }
+  // Opaque byte payload (serialized sketch images): u32 len + bytes.
+  void Blob(const std::string& blob) {
+    U32(static_cast<uint32_t>(blob.size()));
+    Raw(blob.data(), blob.size());
   }
 
   const std::string& str() const { return bytes_; }
@@ -226,6 +238,19 @@ class WireReader {
       if (!U32(&key) || !I64(&count)) return false;
       pairs->emplace_back(key, count);
     }
+    return true;
+  }
+
+  // Opaque byte payload (serialized sketch images). The length is capped
+  // by the frame bound itself — a blob can never be declared larger than
+  // the body that carries it, so no separate cap is needed before sizing
+  // the copy.
+  bool Blob(std::string* blob) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > kMaxFrameBytes || !Have(len)) return Fail();
+    blob->assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
     return true;
   }
 

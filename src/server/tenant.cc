@@ -15,7 +15,12 @@ namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x4B435644;    // "DVCK"
 constexpr uint32_t kCheckpointTrailer = 0x44564B43;  // "KCVD"
-constexpr uint32_t kCheckpointVersion = 1;
+// v1 bodies carry flat SaveShards images; v2 (current) carries DVSZ
+// compressed ones. Readers accept both — the per-shard format is sniffed
+// by DaVinciSketch::Load, so the version is provenance, not a dispatch
+// key, and pre-compression checkpoints stay recoverable forever.
+constexpr uint32_t kCheckpointVersionFlat = 1;
+constexpr uint32_t kCheckpointVersion = 2;
 
 // Tenant names double as checkpoint file stems, so they are restricted to
 // a filesystem-safe alphabet — no separators, no dotfiles, no traversal.
@@ -98,6 +103,33 @@ void Tenant::CollectStats(obs::HealthSnapshot* out) const {
     }
     out->Accumulate(window_stats);
   }
+  out->merge_tree.height = merge_height();
+  {
+    MutexLock lock(&import_mu_);
+    out->merge_tree.import_requests = import_requests_;
+    out->merge_tree.imported_images = imported_images_;
+    out->merge_tree.imported_bytes = imported_bytes_;
+    out->merge_tree.images_per_level = images_per_level_;
+  }
+}
+
+void Tenant::RecordImport(uint64_t images, uint64_t bytes,
+                          uint32_t max_source_height) {
+  uint32_t new_height = max_source_height + 1;
+  // Monotonic max: concurrent imports race benignly.
+  uint32_t seen = merge_height_.load(std::memory_order_relaxed);
+  while (seen < new_height &&
+         !merge_height_.compare_exchange_weak(seen, new_height,
+                                              std::memory_order_relaxed)) {
+  }
+  MutexLock lock(&import_mu_);
+  ++import_requests_;
+  imported_images_ += images;
+  imported_bytes_ += bytes;
+  size_t level = std::min<size_t>(new_height - 1,
+                                  obs::MergeTreeHealth::kMaxTrackedLevels - 1);
+  if (images_per_level_.size() <= level) images_per_level_.resize(level + 1, 0);
+  images_per_level_[level] += images;
 }
 
 void Tenant::SaveCheckpoint(std::ostream& out) {
@@ -112,7 +144,7 @@ void Tenant::SaveCheckpoint(std::ostream& out) {
   WritePod(out, epoch());
   // Capture every completed write: views may be publish-interval stale.
   engine_.FlushViews();
-  engine_.SaveShards(out);
+  engine_.SaveShards(out, SketchFormat::kCompressed);
   WritePod(out, kCheckpointTrailer);
 }
 
@@ -120,7 +152,10 @@ bool Tenant::ReadCheckpointHeader(std::istream& in, CheckpointHeader* header) {
   uint32_t magic = 0, version = 0;
   uint16_t name_len = 0;
   if (!ReadPod(in, &magic) || magic != kCheckpointMagic) return false;
-  if (!ReadPod(in, &version) || version != kCheckpointVersion) return false;
+  if (!ReadPod(in, &version) ||
+      (version != kCheckpointVersionFlat && version != kCheckpointVersion)) {
+    return false;
+  }
   if (!ReadPod(in, &name_len) || name_len > kMaxNameBytes) return false;
   header->name.resize(name_len);
   in.read(header->name.data(), name_len);

@@ -104,6 +104,19 @@ class Tenant {
     mutations_since_checkpoint_.store(0, std::memory_order_relaxed);
   }
 
+  // ---- merge-tree provenance (kImportMerge; docs/OBSERVABILITY.md) ----
+  // Aggregation height of this tenant's view: 0 until the first import
+  // (pure raw ingest), then max over imports of (tallest source height +
+  // 1). Exported alongside the image so a downstream aggregator can track
+  // its own depth.
+  uint32_t merge_height() const {
+    return merge_height_.load(std::memory_order_relaxed);
+  }
+  // Records one applied kImportMerge: `images` shard images totalling
+  // `bytes` wire bytes, whose tallest source sat at `max_source_height`.
+  void RecordImport(uint64_t images, uint64_t bytes,
+                    uint32_t max_source_height) DAVINCI_EXCLUDES(import_mu_);
+
   // ---- persistence ----
   // Serializes the DVCK image (flushes unpublished views first so the
   // image reflects every completed write at call time).
@@ -132,6 +145,16 @@ class Tenant {
 
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t> mutations_since_checkpoint_{0};
+
+  // Merge-tree provenance. The height is atomic so kExportSketch reads it
+  // lock-free; the counters and per-level histogram sit behind their own
+  // mutex (imports are rare admin-path operations).
+  std::atomic<uint32_t> merge_height_{0};
+  mutable Mutex import_mu_;
+  uint64_t import_requests_ DAVINCI_GUARDED_BY(import_mu_) = 0;
+  uint64_t imported_images_ DAVINCI_GUARDED_BY(import_mu_) = 0;
+  uint64_t imported_bytes_ DAVINCI_GUARDED_BY(import_mu_) = 0;
+  std::vector<uint64_t> images_per_level_ DAVINCI_GUARDED_BY(import_mu_);
 };
 
 // Status of a registry mutation (mirrors the wire statuses the dispatcher

@@ -105,6 +105,65 @@ int WriteSeeds(const std::string& dir) {
       ++written;
     }
   }
+  // Seed 4: DVSZ compressed image with a mixed workload (the varint/RLE/
+  // sparse decode paths).
+  {
+    DaVinciConfig config = DaVinciConfig::FromMemory(16 * 1024, /*seed=*/7);
+    DaVinciSketch sketch(config);
+    for (uint32_t key = 1; key <= 400; ++key) {
+      sketch.Insert(key, 1 + static_cast<int64_t>(key % 19));
+    }
+    std::stringstream out;
+    sketch.Save(out, SketchFormat::kCompressed);
+    if (WriteSeedFile(dir + "/serialize_dvsz_mixed.bin", out.str()) == 0) {
+      ++written;
+    }
+  }
+  // Seed 5: truncated DVSZ image (mid-run short reads).
+  {
+    DaVinciSketch sketch(4 * 1024, /*seed=*/5);
+    for (uint32_t key = 1; key <= 50; ++key) sketch.Insert(key, 2);
+    std::stringstream out;
+    sketch.Save(out, SketchFormat::kCompressed);
+    std::string bytes = out.str();
+    bytes.resize(bytes.size() * 2 / 3);
+    if (WriteSeedFile(dir + "/serialize_dvsz_truncated.bin", bytes) == 0) {
+      ++written;
+    }
+  }
+  // Seed 6: valid DVSZ prefix followed by an overlong varint (eleven
+  // continuation bytes) — the ReadVarU64 overflow gate.
+  {
+    DaVinciSketch sketch(4 * 1024, /*seed=*/9);
+    sketch.Insert(17, 3);
+    std::stringstream out;
+    sketch.Save(out, SketchFormat::kCompressed);
+    std::string bytes = out.str();
+    bytes.resize(bytes.size() / 3);
+    bytes.append(11, '\x80');
+    if (WriteSeedFile(dir + "/serialize_dvsz_varint_overflow.bin", bytes) ==
+        0) {
+      ++written;
+    }
+  }
+  // Seed 7: DVSZ image with its sparse-section bytes scrambled (duplicate
+  // and descending indices for the gap decoder to reject).
+  {
+    DaVinciSketch sketch(8 * 1024, /*seed=*/11);
+    for (uint32_t key = 1; key <= 120; ++key) sketch.Insert(key, 1);
+    std::stringstream out;
+    sketch.Save(out, SketchFormat::kCompressed);
+    std::string bytes = out.str();
+    // Zero a run in the back half (the IFP sparse section lives near the
+    // end): zeroed gaps decode as duplicate indices.
+    size_t begin = bytes.size() * 3 / 4;
+    for (size_t i = begin; i < std::min(bytes.size(), begin + 24); ++i) {
+      bytes[i] = '\0';
+    }
+    if (WriteSeedFile(dir + "/serialize_dvsz_dup_sparse.bin", bytes) == 0) {
+      ++written;
+    }
+  }
   return written;
 }
 

@@ -127,6 +127,69 @@ TEST(SerializationDifferentialTest, StatsOnAndOffBuildsSerializeIdentically) {
   ASSERT_TRUE(DaVinciSketch::Load(reread, &loaded));
   uint32_t probe = static_cast<uint32_t>(Mix64(1) & 0xFFFFF);
   EXPECT_EQ(loaded.Query(probe), sketch.Query(probe));
+
+  // The DVSZ compressed path must reproduce the SAME pinned flat bytes
+  // after a round trip: compression changes the wire image, never the
+  // state. (This is the cross-format half of the digest gate.)
+  std::stringstream dvsz;
+  sketch.Save(dvsz, SketchFormat::kCompressed);
+  ASSERT_LT(dvsz.str().size(), buffer.str().size());
+  DaVinciSketch from_dvsz(1024, 0);
+  ASSERT_TRUE(DaVinciSketch::Load(dvsz, &from_dvsz));
+  std::stringstream resaved;
+  from_dvsz.Save(resaved);
+  EXPECT_EQ(Fnv1a64(resaved.str()), kPinnedDigest)
+      << "DVSZ round trip no longer reproduces the flat byte layout";
+}
+
+// The compressed reader sits behind the same hostile-image contract as the
+// flat one: truncations fail cleanly, byte flips either fail or produce a
+// structurally valid sketch.
+TEST(SerializationFuzzTest, CompressedTruncationPointsFailCleanly) {
+  Trace trace = BuildSkewedTrace("t", 20000, 2000, 1.0, 3);
+  DaVinciSketch sketch(96 * 1024, 3);
+  for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+  std::stringstream buffer;
+  sketch.Save(buffer, SketchFormat::kCompressed);
+  std::string bytes = buffer.str();
+
+  std::vector<size_t> cut_points;
+  for (size_t i = 0; i < 64 && i < bytes.size(); ++i) cut_points.push_back(i);
+  for (size_t i = 64; i < bytes.size(); i += bytes.size() / 97 + 1) {
+    cut_points.push_back(i);
+  }
+  for (size_t cut : cut_points) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    DaVinciSketch loaded(1024, 0);
+    EXPECT_FALSE(DaVinciSketch::Load(truncated, &loaded)) << "cut=" << cut;
+  }
+}
+
+TEST(SerializationFuzzTest, CompressedByteFlipsDoNotCrash) {
+  Trace trace = BuildSkewedTrace("t", 20000, 2000, 1.0, 4);
+  DaVinciSketch sketch(96 * 1024, 4);
+  for (uint32_t key : trace.keys) sketch.Insert(key, 1);
+  std::stringstream buffer;
+  sketch.Save(buffer, SketchFormat::kCompressed);
+  std::string bytes = buffer.str();
+
+  const uint64_t seed = testing::TestSeed(43);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::mt19937_64 rng(seed);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string corrupted = bytes;
+    int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      corrupted[rng() % corrupted.size()] ^=
+          static_cast<char>(1 + rng() % 255);
+    }
+    std::stringstream stream(corrupted);
+    DaVinciSketch loaded(1024, 0);
+    if (DaVinciSketch::Load(stream, &loaded)) {
+      loaded.Query(12345);
+      EXPECT_GT(loaded.MemoryBytes(), 0u);
+    }
+  }
 }
 
 }  // namespace

@@ -325,6 +325,40 @@ TEST_F(ServerTest, HostileRequestsGetCleanErrors) {
     ASSERT_TRUE(client_.Call(writer.Take(), &response));
     EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
   }
+  // Truncated kExportSketch: name but no format byte.
+  {
+    WireWriter writer;
+    writer.U8(kProtocolVersion);
+    writer.U8(static_cast<uint8_t>(Op::kExportSketch));
+    writer.Str("safe");
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
+  }
+  // kImportMerge whose declared image count overruns the actual bytes.
+  {
+    WireWriter writer;
+    writer.U8(kProtocolVersion);
+    writer.U8(static_cast<uint8_t>(Op::kImportMerge));
+    writer.Str("safe");
+    writer.U32(3);  // ...but no (height, blob) entries follow
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
+  }
+  // kImportMerge with a blob length prefix past the frame's end.
+  {
+    WireWriter writer;
+    writer.U8(kProtocolVersion);
+    writer.U8(static_cast<uint8_t>(Op::kImportMerge));
+    writer.Str("safe");
+    writer.U32(1);
+    writer.U32(0);           // source height
+    writer.U32(0xFFFFFF00);  // blob "length" with no bytes behind it
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
+  }
   // The connection is still healthy and tenant state unharmed.
   int64_t count = 0;
   ASSERT_EQ(client_.Query("safe", 7, &count), StatusCode::kOk);
