@@ -1,0 +1,180 @@
+// Dynamic-geometry bench (DESIGN.md §12): resize latency + autotune
+// accuracy under drift.
+//
+//   1. resizes_per_s_carry / resize_carry_ms: grow FP+IFP 2x with the EF
+//      tower carried verbatim (the cheap path — no flow replay of the
+//      EF-resident mass).
+//   2. resizes_per_s_rebuild / resize_rebuild_ms: tower change forces the
+//      full SurvivingFlows replay (the expensive path).
+//   3. The drift scenario from tests/workload_shift_test.cc: a static
+//      FP-starved split vs the same budget driven by AutotuneController
+//      at every epoch seal. Reports frequency ARE and heavy-hitter error
+//      (1 - F1) for both deployments plus the improvements; CI floors
+//      hh_error_improvement, so "autotune beats static under drift" is a
+//      regression-gated fact, not a one-off observation.
+//
+// Env knobs: DAVINCI_BENCH_TRACE_LEN (default 200'000 keys for the
+// latency legs), DAVINCI_BENCH_SKETCH_BYTES (default 1 MiB). The drift
+// leg is fixed-shape so its accuracy numbers stay comparable to the
+// committed baseline. Output: results/BENCH_autotune.json.
+
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/autotune.h"
+#include "core/config.h"
+#include "core/davinci_sketch.h"
+#include "obs/health.h"
+#include "workload/trace.h"
+
+namespace davinci::bench {
+namespace {
+
+size_t EnvCount(const char* name, size_t fallback) {
+  const char* env = std::getenv(name);
+  if (env == nullptr || *env == '\0') return fallback;
+  long long value = std::atoll(env);
+  return value > 0 ? static_cast<size_t>(value) : fallback;
+}
+
+// The drift workload of tests/workload_shift_test.cc: recurring size-1
+// mice every epoch, plus a flash crowd of uniform heavy flows from epoch
+// 3 on (new flows each epoch = churn).
+std::vector<uint32_t> EpochKeys(int epoch, uint64_t seed) {
+  std::vector<uint32_t> keys =
+      BuildSkewedTrace("spray", 2000, 2000, 0.0, seed).keys;
+  if (epoch >= 3) {
+    std::vector<uint32_t> crowd =
+        BuildSkewedTrace("crowd" + std::to_string(epoch), 400 * 100, 400, 0.0,
+                         seed + 100 + static_cast<uint64_t>(epoch))
+            .keys;
+    keys.insert(keys.end(), crowd.begin(), crowd.end());
+  }
+  return keys;
+}
+
+double FrequencyAre(const std::unordered_map<uint32_t, int64_t>& truth,
+                    const DaVinciSketch& sketch) {
+  double sum = 0;
+  for (const auto& [key, count] : truth) {
+    sum += std::abs(static_cast<double>(sketch.Query(key) - count)) /
+           static_cast<double>(count);
+  }
+  return sum / static_cast<double>(truth.size());
+}
+
+std::vector<std::pair<uint32_t, int64_t>> ExactHeavy(
+    const std::unordered_map<uint32_t, int64_t>& truth, int64_t threshold) {
+  std::vector<std::pair<uint32_t, int64_t>> heavy;
+  for (const auto& [key, count] : truth) {
+    if (count > threshold) heavy.emplace_back(key, count);
+  }
+  return heavy;
+}
+
+int Run() {
+  const size_t trace_len = EnvCount("DAVINCI_BENCH_TRACE_LEN", 200'000);
+  const size_t sketch_bytes =
+      EnvCount("DAVINCI_BENCH_SKETCH_BYTES", size_t{1} << 20);
+  const uint64_t seed = 42;
+  const int reps = 5;
+
+  BenchJson json("autotune");
+  json.Count("trace_len", trace_len);
+  json.Count("sketch_bytes", sketch_bytes);
+
+  // ---- resize latency: carry vs full rebuild ----
+  Trace trace =
+      BuildSkewedTrace("resize", trace_len, trace_len / 20, 1.05, seed);
+  DaVinciConfig base = DaVinciConfig::FromMemory(sketch_bytes, seed);
+  DaVinciSketch loaded(base);
+  for (uint32_t key : trace.keys) loaded.Insert(key, 1);
+
+  DaVinciConfig carry = base;  // same tower => EF carried verbatim
+  carry.fp_buckets *= 2;
+  carry.ifp_buckets_per_row *= 2;
+  DaVinciConfig rebuild = base;  // tower change => SurvivingFlows replay
+  rebuild.ef_bytes += 1024;
+  for (const auto& [label, target] :
+       {std::pair<const char*, const DaVinciConfig*>{"carry", &carry},
+        std::pair<const char*, const DaVinciConfig*>{"rebuild", &rebuild}}) {
+    double total_s = 0;
+    for (int r = 0; r < reps; ++r) {
+      DaVinciSketch copy(loaded);  // resize mutates: time a fresh copy
+      Timer timer;
+      if (!copy.Resize(*target)) {
+        std::fprintf(stderr, "bench_autotune: %s resize rejected\n", label);
+        return 1;
+      }
+      total_s += timer.ElapsedSeconds();
+    }
+    const double mean_s = total_s / reps;
+    json.Metric(std::string("resize_") + label + "_ms", mean_s * 1e3);
+    json.Metric(std::string("resizes_per_s_") + label, 1.0 / mean_s);
+    std::printf("resize %s: %.3f ms (%.1f/s)\n", label, mean_s * 1e3,
+                1.0 / mean_s);
+  }
+
+  // ---- drift: static split vs autotuned split on the same budget ----
+  const size_t drift_bytes = 64 * 1024;
+  const int epochs = 12;
+  DaVinciConfig static_config =
+      DaVinciConfig::FromMemorySplit(drift_bytes, 0.10, 0.40, seed);
+  DaVinciSketch static_sketch(static_config);
+  DaVinciSketch tuned(static_config);
+  AutotuneControllerOptions options;
+  options.cooldown_epochs = 1;
+  options.threshold_max = 32;
+  AutotuneController controller(static_config, drift_bytes, options);
+
+  std::unordered_map<uint32_t, int64_t> truth;
+  Timer drift_timer;
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    for (uint32_t key : EpochKeys(epoch, seed)) {
+      ++truth[key];
+      static_sketch.Insert(key, 1);
+      tuned.Insert(key, 1);
+    }
+    obs::HealthSnapshot health;
+    tuned.CollectStats(&health);
+    if (auto proposal = controller.Observe(health)) {
+      if (!tuned.Resize(*proposal)) {
+        std::fprintf(stderr, "bench_autotune: drift resize rejected\n");
+        return 1;
+      }
+    }
+  }
+  json.Metric("drift_ingest_s", drift_timer.ElapsedSeconds());
+  json.Count("autotune_proposals", controller.proposals());
+
+  const double tuned_are = FrequencyAre(truth, tuned);
+  const double static_are = FrequencyAre(truth, static_sketch);
+  auto heavy = ExactHeavy(truth, 80);
+  const double tuned_hh = 1.0 - HeavySetF1(tuned.HeavyHitters(80), heavy);
+  const double static_hh =
+      1.0 - HeavySetF1(static_sketch.HeavyHitters(80), heavy);
+  json.Metric("autotune_freq_are", tuned_are);
+  json.Metric("static_freq_are", static_are);
+  json.Metric("freq_are_improvement", static_are - tuned_are);
+  json.Metric("autotune_hh_error", tuned_hh);
+  json.Metric("static_hh_error", static_hh);
+  json.Metric("hh_error_improvement", static_hh - tuned_hh);
+  std::printf(
+      "drift: proposals %llu, freq are tuned %.4f static %.4f, "
+      "hh error tuned %.4f static %.4f\n",
+      static_cast<unsigned long long>(controller.proposals()), tuned_are,
+      static_are, tuned_hh, static_hh);
+
+  obs::HealthSnapshot snapshot;
+  tuned.CollectStats(&snapshot);
+  json.Snapshot(snapshot);
+  return 0;
+}
+
+}  // namespace
+}  // namespace davinci::bench
+
+int main() { return davinci::bench::Run(); }

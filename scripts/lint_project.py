@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lint rules the generic toolchain can't express.
 
-Four rules, each encoding a decision documented in DESIGN.md /
+Five rules, each encoding a decision documented in DESIGN.md /
 docs/STATIC_ANALYSIS.md:
 
   raw-bucket-mod      src/core must reduce hashes to bucket indexes with
@@ -21,6 +21,17 @@ docs/STATIC_ANALYSIS.md:
   unseeded-random     Tests derive randomness from tests/test_seed.h so
                       failures reproduce. An argless std::random_device
                       gives every run different entropy.
+  geometry-field-read Geometry is dynamic (DESIGN.md §12): a Resize can
+                      change fp_buckets/fp_slots/ef_bytes/ef_level_bits/
+                      ifp_rows/ifp_buckets_per_row at any epoch seal, so
+                      src/ code that reads those DaVinciConfig fields
+                      directly (outside src/core/config.{h,cc} and
+                      constructors) risks caching a stale shape. Go
+                      through the config accessors (FpBytes, TotalBytes,
+                      GeometryEquals, GeometryCompatible, EfCarriesOver)
+                      or the owning part's shape accessors
+                      (fp_.num_buckets() etc), which always reflect the
+                      live geometry.
 
 Suppressions: inline `// davinci-lint: allow(<rule>)` on the offending
 line, or an entry in scripts/lint_suppressions.txt (see its header).
@@ -51,6 +62,9 @@ STORE_MUT_RE = re.compile(
     r"(?:assign|resize|clear|push_back|emplace_back|insert|erase|swap)\s*\(")
 RAW_THREAD_RE = re.compile(r"std::thread\s*(?:\w+\s*)?[({]|std::jthread")
 RANDOM_DEVICE_RE = re.compile(r"std::random_device\s*(?:\w+\s*)?[;({]")
+GEOMETRY_FIELD_RE = re.compile(
+    r"(?:\.|->)\s*(?:fp_buckets|fp_slots|ef_bytes|ef_level_bits"
+    r"|ifp_rows|ifp_buckets_per_row)\b")
 
 # Functions allowed to touch store_-> directly: the CoW choke points plus
 # constructors (storage is unshared until the first Snapshot).
@@ -74,6 +88,12 @@ def _in_src(path: str) -> bool:
 
 def _in_tests(path: str) -> bool:
     return path.startswith("tests/")
+
+
+def _in_geometry_consumers(path: str) -> bool:
+    """src/ minus the accessors' own home (tests fabricate geometries)."""
+    return (path.startswith("src/")
+            and path not in ("src/core/config.h", "src/core/config.cc"))
 
 
 def strip_noncode(line: str) -> str:
@@ -146,6 +166,14 @@ def check_file(path: str, text: str) -> list[tuple[str, int, str, str]]:
                 "unseeded-random", i, raw,
                 "argless std::random_device in tests — derive the seed "
                 "via tests/test_seed.h so failures reproduce"))
+        if (_in_geometry_consumers(path) and GEOMETRY_FIELD_RE.search(code)
+                and funcs[i - 1] != "__ctor__"):
+            findings.append((
+                "geometry-field-read", i, raw,
+                "direct geometry-field read outside config/geometry "
+                "accessors — geometry changes at runtime (DESIGN.md §12); "
+                "use the DaVinciConfig accessors or the owning part's "
+                "shape accessors"))
     return findings
 
 
@@ -245,6 +273,20 @@ SELF_TEST_CASES = [
     ("raw-bucket-mod", "src/core/foo.cc",
      "size_t i = h % width_;  // davinci-lint: allow(raw-bucket-mod)",
      False),
+    ("geometry-field-read", "src/core/foo.cc",
+     "void Foo::Rebuild() {\n  size_t n = config_.fp_buckets;\n}", True),
+    ("geometry-field-read", "src/server/foo.cc",
+     "void Foo::Plan() {\n  rows_ = config->ifp_rows;\n}", True),
+    ("geometry-field-read", "src/core/foo.cc",
+     "Foo::Foo(const DaVinciConfig& c)\n"
+     "    : fp_(c.fp_buckets, c.fp_slots) {}", False),  # ctor builds parts
+    ("geometry-field-read", "src/core/config.cc",
+     "size_t DaVinciConfig::FpBytes() const {\n"
+     "  return fp_buckets * BucketBytes();\n}", False),  # accessors' home
+    ("geometry-field-read", "tests/foo_test.cc",
+     "config.fp_buckets = 1024;", False),  # tests fabricate geometries
+    ("geometry-field-read", "src/core/foo.cc",
+     "size_t n = config_.FpBytes();", False),  # accessor, not a raw field
 ]
 
 

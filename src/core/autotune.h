@@ -2,15 +2,27 @@
 #define DAVINCI_CORE_AUTOTUNE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "core/config.h"
+#include "obs/health.h"
 
-// Configuration auto-tuning: given a sample of the stream and a byte
-// budget, pick the FP/EF/IFP split (and promotion threshold) that
-// minimizes frequency error on the sample. The optimal split depends on
-// the workload's skew — the ablation bench shows 2–3× ARE between splits —
-// so a short calibration pass on a prefix of the stream pays for itself.
+// Configuration auto-tuning, in two forms:
+//
+//  - AutotuneConfig: one-shot, sample-driven — given a prefix of the
+//    stream and a byte budget, grid-search the FP/EF/IFP split (and
+//    promotion threshold) that minimizes frequency error on the sample.
+//
+//  - AutotuneController: continuous — reads each epoch's HealthSnapshot
+//    (FP occupancy and eviction pressure, EF level saturation, IFP load)
+//    and proposes a bounded re-split at the same byte budget when the
+//    pressure across the three parts goes lopsided. Proposals are gated by
+//    hysteresis (a minimum pressure imbalance), a max step size per
+//    proposal, and a cooldown of quiet epochs, so the controller cannot
+//    oscillate; the caller applies them at an epoch seal boundary via
+//    DaVinciSketch::Resize / ConcurrentDaVinci::Resize /
+//    EpochManager::ScheduleResize (DESIGN.md §12).
 
 namespace davinci {
 
@@ -24,6 +36,66 @@ struct AutotuneResult {
 // `total_bytes`. Deterministic for a given seed.
 AutotuneResult AutotuneConfig(const std::vector<uint32_t>& sample_keys,
                               size_t total_bytes, uint64_t seed);
+
+struct AutotuneControllerOptions {
+  // Largest change of any part's byte fraction in one proposal.
+  double max_step = 0.10;
+  // Minimum pressure imbalance (max part pressure − min part pressure)
+  // before a re-split is proposed; below it the controller stays quiet.
+  double hysteresis = 0.25;
+  // Observe() calls to stay quiet after a proposal, letting the resized
+  // sketch's structural scans settle before re-measuring.
+  size_t cooldown_epochs = 2;
+  // Fraction clamps: no part is ever starved to make room for another.
+  double min_fraction = 0.10;
+  double max_fraction = 0.65;
+  // Promotion-threshold recalibration bounds (moved by factors of 2).
+  int64_t threshold_min = 4;
+  int64_t threshold_max = 256;
+};
+
+// Deterministic continuous controller: state is (current geometry,
+// cooldown counter); Observe is a pure function of that state and the
+// snapshot it is fed, so replaying a workload replays the decisions.
+class AutotuneController {
+ public:
+  // Per-part structural pressure in [0, 1], derived from scans that are
+  // live regardless of DAVINCI_STATS.
+  struct Pressures {
+    double fp = 0.0;   // slot occupancy + eviction-flag coverage
+    double ef = 0.0;   // worst tower-level saturation
+    double ifp = 0.0;  // bucket load (decode failure risk grows with it)
+  };
+  static Pressures ComputePressures(const obs::HealthSnapshot& health);
+
+  AutotuneController(const DaVinciConfig& initial, size_t total_bytes,
+                     const AutotuneControllerOptions& options = {});
+
+  // Feeds one epoch's aggregated snapshot. Returns the bounded re-split
+  // to apply — already adopted as the controller's current geometry — or
+  // nullopt when the pressures are balanced or the cooldown is active.
+  // If the caller fails to apply a proposal (quota denial), call
+  // RevertTo() with the geometry actually live so controller state
+  // re-converges with reality.
+  std::optional<DaVinciConfig> Observe(const obs::HealthSnapshot& health);
+  void RevertTo(const DaVinciConfig& live);
+
+  const DaVinciConfig& current() const { return current_; }
+  size_t total_bytes() const { return total_bytes_; }
+  uint64_t proposals() const { return proposals_; }
+
+ private:
+  DaVinciConfig WithSplit(double fp_fraction, double ef_fraction,
+                          int64_t threshold) const;
+
+  AutotuneControllerOptions options_;
+  DaVinciConfig current_;
+  size_t total_bytes_;
+  double fp_fraction_;
+  double ef_fraction_;
+  size_t cooldown_ = 0;
+  uint64_t proposals_ = 0;
+};
 
 }  // namespace davinci
 

@@ -172,9 +172,43 @@ DaVinciSketch ConcurrentDaVinci::Snapshot() const {
   // it mutates. The views pin their state, so no locks are needed.
   DaVinciSketch merged = views[0]->sketch();
   for (size_t s = 1; s < views.size(); ++s) {
-    merged.Merge(views[s]->sketch());
+    const DaVinciSketch& shard_sketch = views[s]->sketch();
+    if (!merged.config().GeometryEquals(shard_sketch.config())) {
+      // Mid-Resize transient: this shard still publishes the other
+      // geometry. Rebuild a copy into the merge geometry (same seed by
+      // construction, so this cannot fail) instead of letting Merge abort.
+      DaVinciSketch rebuilt = shard_sketch;
+      DAVINCI_CHECK(rebuilt.Resize(merged.config()));
+      merged.Merge(rebuilt);
+    } else {
+      merged.Merge(shard_sketch);
+    }
   }
   return merged;
+}
+
+DaVinciConfig ConcurrentDaVinci::ShardConfig() const {
+  return shards_[0].view.load(std::memory_order_acquire)->sketch().config();
+}
+
+bool ConcurrentDaVinci::Resize(const DaVinciConfig& per_shard_config,
+                               uint32_t trigger) {
+  if (DaVinciConfig::GeometryCompatible(ShardConfig(), per_shard_config) ==
+      DaVinciConfig::GeometryRelation::kIncompatible) {
+    RecordResizeRejected();
+    return false;
+  }
+  size_t before = MemoryBytes();
+  for (Shard& shard : shards_) {
+    MutexLock lock(&shard.mutex);
+    DAVINCI_CHECK(shard.sketch->Resize(per_shard_config));
+    Publish(shard);
+  }
+  resize_bytes_before_.store(before, std::memory_order_relaxed);
+  resize_bytes_after_.store(MemoryBytes(), std::memory_order_relaxed);
+  resize_trigger_.store(trigger, std::memory_order_relaxed);
+  resizes_applied_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
@@ -192,6 +226,13 @@ void ConcurrentDaVinci::CollectStats(obs::HealthSnapshot* out) const {
     out->Accumulate(one);
   }
   out->tuning.publish_interval = publish_interval();
+  out->resize.applied = resizes_applied_.load(std::memory_order_relaxed);
+  out->resize.rejected = resizes_rejected_.load(std::memory_order_relaxed);
+  out->resize.bytes_before =
+      resize_bytes_before_.load(std::memory_order_relaxed);
+  out->resize.bytes_after =
+      resize_bytes_after_.load(std::memory_order_relaxed);
+  out->resize.last_trigger = resize_trigger_.load(std::memory_order_relaxed);
 }
 
 void ConcurrentDaVinci::SaveShards(std::ostream& out) const {
@@ -228,7 +269,8 @@ bool ConcurrentDaVinci::ParseShardImage(std::istream& in,
     DaVinciSketch loaded(8 * 1024, 0);  // placeholder, overwritten by Load
     if (!DaVinciSketch::Load(in, &loaded)) return false;
     if (match_live_geometry &&
-        !live_config.GeometryEquals(loaded.config())) {
+        DaVinciConfig::GeometryCompatible(loaded.config(), live_config) !=
+            DaVinciConfig::GeometryRelation::kIdentical) {
       return false;  // Merge into the live shard would abort
     }
     if (!staged->empty() &&

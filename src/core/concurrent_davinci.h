@@ -116,7 +116,46 @@ class ConcurrentDaVinci {
 
   // A single merged sketch built from SnapshotAll() — lock-free (shards
   // hash-partition the key space, so the merge sees each flow once).
+  // During a Resize transient the published views briefly span two
+  // geometries; a view that disagrees with the first shard's is rebuilt
+  // through DaVinciSketch::Resize before merging, so the snapshot stays
+  // servable mid-swap.
   DaVinciSketch Snapshot() const;
+
+  // ---- dynamic geometry (DESIGN.md §12) ----
+  // Rebuilds every shard's live sketch into `per_shard_config`, one shard
+  // at a time under that shard's mutex, publishing a fresh view per shard
+  // — readers stay lock-free on their current views throughout and are
+  // never blocked. Returns false (recording a rejection) when the new
+  // geometry is kIncompatible with the current one. `trigger` is an
+  // obs::ResizeHealth::Trigger value recorded in the resize provenance.
+  // Concurrent writers are safe; concurrent Resize calls must be
+  // externally serialized (the server's tenant does so) — two interleaved
+  // resizes could strand shards on different geometries.
+  bool Resize(const DaVinciConfig& per_shard_config,
+              uint32_t trigger = obs::ResizeHealth::kAdmin);
+  // Bumps the rejected-resize tally (quota denials happen above this
+  // layer but belong in the same provenance stream).
+  void RecordResizeRejected() {
+    resizes_rejected_.fetch_add(1, std::memory_order_relaxed);
+  }
+  uint64_t resizes_applied() const {
+    return resizes_applied_.load(std::memory_order_relaxed);
+  }
+  // The full provenance record (same fields CollectStats reports) — the
+  // server checkpoints it so resize history survives recovery.
+  obs::ResizeHealth ResizeProvenance() const {
+    obs::ResizeHealth resize;
+    resize.applied = resizes_applied_.load(std::memory_order_relaxed);
+    resize.rejected = resizes_rejected_.load(std::memory_order_relaxed);
+    resize.bytes_before = resize_bytes_before_.load(std::memory_order_relaxed);
+    resize.bytes_after = resize_bytes_after_.load(std::memory_order_relaxed);
+    resize.last_trigger = resize_trigger_.load(std::memory_order_relaxed);
+    return resize;
+  }
+  // Per-shard geometry currently live (read off shard 0's published view;
+  // uniform outside a Resize transient).
+  DaVinciConfig ShardConfig() const;
 
   // ---- persistence (the server's tenant checkpoints) ----
   // Serializes the shard count followed by each shard's PUBLISHED view —
@@ -237,6 +276,15 @@ class ConcurrentDaVinci {
   HashFamily shard_hash_;
   std::vector<Shard> shards_;
   std::atomic<size_t> publish_interval_{1};
+
+  // Resize provenance (obs::ResizeHealth). Relaxed atomics: bumped by the
+  // (externally serialized) resize path, read by CollectStats from any
+  // thread.
+  std::atomic<uint64_t> resizes_applied_{0};
+  std::atomic<uint64_t> resizes_rejected_{0};
+  std::atomic<uint64_t> resize_bytes_before_{0};
+  std::atomic<uint64_t> resize_bytes_after_{0};
+  std::atomic<uint32_t> resize_trigger_{obs::ResizeHealth::kNone};
 };
 
 }  // namespace davinci

@@ -95,6 +95,17 @@ bool DaVinciConfig::GeometryEquals(const DaVinciConfig& other) const {
          decode_cross_validation == other.decode_cross_validation;
 }
 
+DaVinciConfig::GeometryRelation DaVinciConfig::GeometryCompatible(
+    const DaVinciConfig& from, const DaVinciConfig& to) {
+  if (!from.Valid() || !to.Valid()) return GeometryRelation::kIncompatible;
+  if (from.GeometryEquals(to)) return GeometryRelation::kIdentical;
+  // The rebuild/replay path re-inserts surviving flows through the new
+  // sketch's hash pipeline; a shared seed keeps the hash family (and the
+  // EF cross-validation it feeds) continuous across the migration.
+  if (from.seed != to.seed) return GeometryRelation::kIncompatible;
+  return GeometryRelation::kResizable;
+}
+
 bool DaVinciConfig::Load(std::istream& in, DaVinciConfig* config) {
   uint64_t fp_buckets = 0;
   if (!ReadPod(in, &fp_buckets)) return false;

@@ -120,6 +120,25 @@ struct DaVinciConfig {
   // answers. The server's cross-tenant query gates call this instead of
   // letting a mismatched Merge abort the process.
   bool GeometryEquals(const DaVinciConfig& other) const;
+
+  // How two geometries relate — the single admission gate shared by
+  // resize, merge/import, and delta-apply instead of scattered ad-hoc
+  // GeometryEquals call sites.
+  enum class GeometryRelation {
+    // Same seed, same serialized geometry: linear ops (Merge / Subtract /
+    // InnerProduct / ApplyDelta / ImportMerge) are sound, and a Resize is
+    // a digest-preserving no-op.
+    kIdentical,
+    // Same seed (hash family continuity), both geometries Valid(), but
+    // shapes differ: linear ops are NOT sound; the only legal migration
+    // is the rebuild/replay path (DaVinciSketch::Resize), with the §12
+    // accuracy contract.
+    kResizable,
+    // Different seed or an invalid geometry: no migration path at all.
+    kIncompatible,
+  };
+  static GeometryRelation GeometryCompatible(const DaVinciConfig& from,
+                                             const DaVinciConfig& to);
 };
 
 }  // namespace davinci

@@ -630,8 +630,12 @@ bool DaVinciSketch::ApplyDelta(std::istream& in) {
   DaVinciConfig config;
   if (!DaVinciConfig::Load(in, &config)) return false;
   // Deltas are positional — applying one across geometries would scatter
-  // cells onto the wrong hashes silently.
-  if (!config.GeometryEquals(config_)) return false;
+  // cells onto the wrong hashes silently, so admission demands the
+  // kIdentical relation (kResizable is rebuildable, not delta-appliable).
+  if (DaVinciConfig::GeometryCompatible(config, config_) !=
+      DaVinciConfig::GeometryRelation::kIdentical) {
+    return false;
+  }
   // Stage on a CoW copy so a hostile image that fails mid-apply leaves
   // *this untouched; the copy also starts with the cold decode cache the
   // commit must end up with anyway.
@@ -642,6 +646,82 @@ bool DaVinciSketch::ApplyDelta(std::istream& in) {
   }
   uint32_t trailer = 0;
   if (!ReadPod(in, &trailer) || trailer != kDvsdTrailer) return false;
+  *this = std::move(staged);
+  return true;
+}
+
+std::vector<std::pair<uint32_t, int64_t>> DaVinciSketch::SurvivingFlows()
+    const {
+  std::vector<std::pair<uint32_t, int64_t>> flows;
+  const std::vector<FrequentPart::Entry> entries = fp_.Entries();
+  const auto& decoded = DecodedFlows();
+  flows.reserve(entries.size() + decoded.size());
+  for (const FrequentPart::Entry& entry : entries) {
+    flows.emplace_back(entry.key, entry.count);
+  }
+  // unordered_map iteration order is not deterministic across layouts;
+  // the replay order must be, so the decoded tail is sorted by key.
+  std::vector<std::pair<uint32_t, int64_t>> tail(decoded.begin(),
+                                                 decoded.end());
+  std::sort(tail.begin(), tail.end());
+  for (const auto& [key, count] : tail) {
+    if (count != 0) flows.emplace_back(key, count);
+  }
+  return flows;
+}
+
+bool DaVinciSketch::EfCarriesOver(const DaVinciConfig& from,
+                                  const DaVinciConfig& to) {
+  return from.seed == to.seed && from.ef_bytes == to.ef_bytes &&
+         from.ef_level_bits == to.ef_level_bits &&
+         to.promotion_threshold >= from.promotion_threshold;
+}
+
+bool DaVinciSketch::Resize(const DaVinciConfig& new_config) {
+  using Rel = DaVinciConfig::GeometryRelation;
+  switch (DaVinciConfig::GeometryCompatible(config_, new_config)) {
+    case Rel::kIncompatible:
+      return false;
+    case Rel::kIdentical:
+      // Geometry (the serialized fields) is unchanged, so the pinned flat
+      // digest is too; only the runtime tuning knobs move.
+      config_ = new_config;
+      config_.Validate();
+      return true;
+    case Rel::kResizable:
+      break;
+  }
+
+  DaVinciSketch staged(new_config);
+  const bool ef_carries = EfCarriesOver(config_, new_config);
+  if (ef_carries) staged.ef_.Merge(ef_);
+  for (const auto& [key, count] : SurvivingFlows()) {
+    staged.Insert(key, count);
+  }
+  if (ef_carries) {
+    // A replayed FP resident may have carried residue in the merged EF
+    // that plain re-insertion cannot know about; re-derive its taint bit
+    // the way Merge does, so the query tail adds the EF share back.
+    for (size_t b = 0; b < staged.fp_.num_buckets(); ++b) {
+      std::vector<FrequentPart::Entry> entries;
+      bool changed = false;
+      for (size_t s = 0; s < staged.fp_.num_slots(); ++s) {
+        FrequentPart::Entry entry = staged.fp_.EntryAt(b, s);
+        if (entry.count == 0) continue;
+        if (!entry.tainted && staged.ef_.Query(entry.key) != 0) {
+          entry.tainted = true;
+          changed = true;
+        }
+        entries.push_back(entry);
+      }
+      if (changed) {
+        staged.fp_.OverwriteBucket(b, entries, staged.fp_.BucketFlag(b));
+      }
+    }
+  }
+  // The replay is migration, not new traffic: carry the old tallies.
+  staged.inserts_ = inserts_;
+  staged.queries_ = queries_;
   *this = std::move(staged);
   return true;
 }

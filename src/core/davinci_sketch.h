@@ -137,6 +137,46 @@ class DaVinciSketch : public FrequencySketch, public HeavyHitterSketch {
   // Cardinality of the inner join, decomposed into the nine FF..EE terms.
   static double InnerProduct(const DaVinciSketch& a, const DaVinciSketch& b);
 
+  // ---- dynamic geometry (DESIGN.md §12) ----
+  // The flows that survive a rebuild, in the deterministic replay order
+  // the migration uses: FP entries in bucket/slot iteration order, then
+  // the decoded IFP flows in ascending key order. EF-resident residue
+  // (≤ T units per flow) is NOT enumerable — the tower is hash-indexed
+  // with no key set — and is therefore absent here; see Resize() for when
+  // it survives anyway.
+  std::vector<std::pair<uint32_t, int64_t>> SurvivingFlows() const;
+
+  // True when the EF tower state can be carried verbatim across a resize
+  // from `from` to `to`: identical tower geometry (ef_bytes + level bits)
+  // and seed, and a non-decreasing promotion threshold (lowering T would
+  // leave carried per-flow residue above the new threshold, breaking the
+  // "EF holds ≤ T per flow" invariant the decode cross-validation needs).
+  static bool EfCarriesOver(const DaVinciConfig& from,
+                            const DaVinciConfig& to);
+
+  // Rebuilds *this into `new_config`'s geometry. Returns false (leaving
+  // *this untouched) when GeometryCompatible says kIncompatible. When the
+  // geometries are kIdentical this is a digest-preserving no-op that only
+  // adopts the new runtime tuning knobs (the serialized image — and thus
+  // the pinned flat-format digest — cannot change, because only geometry
+  // fields are serialized). Otherwise the migration stages a fresh sketch
+  // and move-commits atomically on success:
+  //   1. If EfCarriesOver, the old tower is merged into the staged EF.
+  //   2. SurvivingFlows() is replayed through the staged sketch's normal
+  //      Insert path (so FP placement, eviction routing, and taint bits
+  //      are exactly what honest ingestion would produce).
+  //   3. With a carried EF, a taint-fixup pass marks replayed FP residents
+  //      whose key shows EF residue, mirroring Merge's taint rule.
+  // Accuracy contract: when the EF does not carry over, the result is
+  // bit-identical to a fresh sketch of the new geometry fed
+  // SurvivingFlows() in order — the EF residue (≤ T_old per flow) and any
+  // undecodable IFP remainder are the documented loss. When the EF does
+  // carry over, that residue survives too and per-flow answers stay
+  // within the old sketch's own error bounds. Requires additive state
+  // (InvariantMode::kAdditive) — resizing a subtracted sketch is
+  // unsupported. Insert/query telemetry tallies carry across.
+  bool Resize(const DaVinciConfig& new_config);
+
   // ---- snapshots ----
   // O(1) immutable snapshot: the view shares the parts' CoW buffers with
   // the live sketch, so no counter state is copied now and the live

@@ -8,10 +8,13 @@ namespace davinci {
 
 EpochManager::EpochManager(size_t window_epochs, size_t bytes_per_epoch,
                            uint64_t seed)
+    : EpochManager(window_epochs,
+                   DaVinciConfig::FromMemory(bytes_per_epoch, seed)) {}
+
+EpochManager::EpochManager(size_t window_epochs, const DaVinciConfig& config)
     : max_epochs_(std::max<size_t>(1, window_epochs)),
-      bytes_per_epoch_(bytes_per_epoch),
-      seed_(seed),
-      live_(bytes_per_epoch_, seed_) {}
+      epoch_config_(config),
+      live_(epoch_config_) {}
 
 void EpochManager::Insert(uint32_t key, int64_t count) {
   ++live_inserts_;
@@ -29,13 +32,68 @@ void EpochManager::InsertBatch(std::span<const uint32_t> keys) {
   live_.InsertBatch(keys);
 }
 
+bool EpochManager::ScheduleResize(const DaVinciConfig& config) {
+  if (DaVinciConfig::GeometryCompatible(epoch_config_, config) ==
+      DaVinciConfig::GeometryRelation::kIncompatible) {
+    return false;
+  }
+  pending_config_ = config;
+  return true;
+}
+
+std::shared_ptr<const DaVinciSketch> EpochManager::RebuildEpoch(
+    const std::shared_ptr<const DaVinciSketch>& epoch) {
+  if (epoch->config().GeometryEquals(epoch_config_)) return epoch;
+  auto rebuilt = std::make_shared<DaVinciSketch>(*epoch);
+  DAVINCI_CHECK(rebuilt->Resize(epoch_config_));
+  return rebuilt;
+}
+
+void EpochManager::RebuildWindow() {
+  // Rebuild every retained epoch into the new geometry, then recompute
+  // the two memo structures over the rebuilt epochs so the suffix/fold
+  // relationships Flip() and Advance() maintain keep holding exactly.
+  // front_stack_[0] is the newest entry of the front segment; entry i's
+  // aggregate extends the suffix memo at i−1 (Flip's construction).
+  for (size_t i = 0; i < front_stack_.size(); ++i) {
+    front_stack_[i].epoch = RebuildEpoch(front_stack_[i].epoch);
+    if (i == 0) {
+      front_stack_[i].agg = front_stack_[i].epoch;
+    } else {
+      auto agg = std::make_shared<DaVinciSketch>(*front_stack_[i].epoch);
+      agg->Merge(*front_stack_[i - 1].agg);
+      ++rebuild_merges_;
+      front_stack_[i].agg = std::move(agg);
+    }
+  }
+  for (auto& epoch : back_epochs_) epoch = RebuildEpoch(epoch);
+  if (!back_epochs_.empty()) {
+    back_agg_ = std::make_shared<DaVinciSketch>(*back_epochs_.front());
+    for (size_t i = 1; i < back_epochs_.size(); ++i) {
+      back_agg_->Merge(*back_epochs_[i]);
+      ++rebuild_merges_;
+    }
+  }
+}
+
 void EpochManager::Advance() {
   ++rotations_;
   // Sealing is a move: the epoch's CoW buffers change owner, no counter
   // state is copied. The fresh live sketch reuses the same seed so the
   // window stays mergeable.
   auto sealed = std::make_shared<const DaVinciSketch>(std::move(live_));
-  live_ = DaVinciSketch(bytes_per_epoch_, seed_);
+  if (pending_config_.has_value()) {
+    // The seal boundary is the geometry swap point: adopt the staged
+    // config, rebuild the just-sealed epoch and the retained window, and
+    // open the fresh live epoch at the new size. Snapshots taken before
+    // this line keep their old-geometry CoW state.
+    epoch_config_ = *pending_config_;
+    pending_config_.reset();
+    ++resizes_applied_;
+    sealed = RebuildEpoch(sealed);
+    RebuildWindow();
+  }
+  live_ = DaVinciSketch(epoch_config_);
   live_inserts_ = 0;
 
   back_epochs_.push_back(sealed);
@@ -150,15 +208,20 @@ size_t EpochManager::MemoryBytes() const {
 void EpochManager::CheckInvariants(InvariantMode mode) const {
   DAVINCI_CHECK_LE(epochs_in_window(), max_epochs_);
   DAVINCI_CHECK_EQ(back_epochs_.empty(), back_agg_ == nullptr);
+  // Geometry uniformity: a resize rebuilds every retained epoch eagerly,
+  // so the whole window always shares epoch_config_'s geometry.
+  DAVINCI_CHECK(live_.config().GeometryEquals(epoch_config_));
   live_.CheckInvariants(mode);
   for (const FrontEntry& entry : front_stack_) {
     DAVINCI_CHECK(entry.epoch != nullptr);
     DAVINCI_CHECK(entry.agg != nullptr);
+    DAVINCI_CHECK(entry.epoch->config().GeometryEquals(epoch_config_));
     entry.epoch->CheckInvariants(mode);
     entry.agg->CheckInvariants(mode);
   }
   for (const std::shared_ptr<const DaVinciSketch>& epoch : back_epochs_) {
     DAVINCI_CHECK(epoch != nullptr);
+    DAVINCI_CHECK(epoch->config().GeometryEquals(epoch_config_));
     epoch->CheckInvariants(mode);
   }
   if (back_agg_ != nullptr) back_agg_->CheckInvariants(mode);

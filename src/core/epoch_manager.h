@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <optional>
 #include <span>
 #include <utility>
 #include <vector>
@@ -49,16 +50,20 @@ namespace davinci {
 
 class EpochManager {
  public:
-  // The window spans `window_epochs` epochs of `bytes_per_epoch` each; all
-  // epochs share `seed`, so they stay mergeable.
+  // The window spans `window_epochs` epochs of `bytes_per_epoch` each
+  // (default 25/50/25 split); all epochs share `seed`, so they stay
+  // mergeable.
   EpochManager(size_t window_epochs, size_t bytes_per_epoch, uint64_t seed);
+
+  // Explicit-geometry variant (the resize/autotune entry point).
+  EpochManager(size_t window_epochs, const DaVinciConfig& config);
 
   // Moves require exclusive ownership of both sides, like any write (the
   // atomic telemetry member deletes the implicit versions).
   EpochManager(EpochManager&& other) noexcept
       : max_epochs_(other.max_epochs_),
-        bytes_per_epoch_(other.bytes_per_epoch_),
-        seed_(other.seed_),
+        epoch_config_(std::move(other.epoch_config_)),
+        pending_config_(std::move(other.pending_config_)),
         legacy_heavy_changers_(other.legacy_heavy_changers_),
         live_(std::move(other.live_)),
         live_inserts_(other.live_inserts_),
@@ -67,12 +72,13 @@ class EpochManager {
         back_agg_(std::move(other.back_agg_)),
         rotations_(other.rotations_),
         rebuild_merges_(other.rebuild_merges_),
+        resizes_applied_(other.resizes_applied_),
         window_merge_hits_(other.window_merge_hits()) {}
   EpochManager& operator=(EpochManager&& other) noexcept {
     if (this == &other) return *this;
     max_epochs_ = other.max_epochs_;
-    bytes_per_epoch_ = other.bytes_per_epoch_;
-    seed_ = other.seed_;
+    epoch_config_ = std::move(other.epoch_config_);
+    pending_config_ = std::move(other.pending_config_);
     legacy_heavy_changers_ = other.legacy_heavy_changers_;
     live_ = std::move(other.live_);
     live_inserts_ = other.live_inserts_;
@@ -81,6 +87,7 @@ class EpochManager {
     back_agg_ = std::move(other.back_agg_);
     rotations_ = other.rotations_;
     rebuild_merges_ = other.rebuild_merges_;
+    resizes_applied_ = other.resizes_applied_;
     window_merge_hits_.store(other.window_merge_hits(),
                              std::memory_order_relaxed);
     return *this;
@@ -94,7 +101,27 @@ class EpochManager {
 
   // Seals the current epoch into the ring and opens a fresh same-seed
   // sketch; the oldest epoch expires once the window would exceed W.
+  // If a resize is pending (ScheduleResize), the rotation is also the
+  // geometry swap point: the sealed epoch and every retained window epoch
+  // are rebuilt into the new geometry (DaVinciSketch::Resize), the suffix
+  // memos are recomputed over the rebuilt epochs, and the fresh live
+  // epoch opens at the new size. Outstanding CoW snapshots keep serving
+  // the old-geometry state untouched.
   void Advance();
+
+  // ---- dynamic geometry ----
+  // Stages `config` to take effect at the next Advance() (the seal-by-move
+  // rotation is the one point where no reader holds the live sketch).
+  // Returns false — staging nothing — when the new geometry is
+  // kIncompatible with the current one. A second call before the next
+  // Advance replaces the staged config.
+  bool ScheduleResize(const DaVinciConfig& config);
+  bool resize_pending() const { return pending_config_.has_value(); }
+  // Geometry swaps applied at seal boundaries so far.
+  uint64_t resizes_applied() const { return resizes_applied_; }
+  // The geometry every window epoch currently shares (a pending resize
+  // does not show here until its Advance applies it).
+  const DaVinciConfig& epoch_config() const { return epoch_config_; }
 
   // ---- window queries ----
   // Frequency over the whole window (sum of per-epoch estimates).
@@ -158,10 +185,15 @@ class EpochManager {
   // Merged remainder of the window excluding the live epoch; requires
   // sealed_epochs() > 0. Bumps window_merge_hits_.
   DaVinciSketch MergedSealed() const;
+  // Rebuilds one retained epoch into epoch_config_'s geometry.
+  std::shared_ptr<const DaVinciSketch> RebuildEpoch(
+      const std::shared_ptr<const DaVinciSketch>& epoch);
+  // Rebuilds every retained epoch and recomputes the two-stack memos.
+  void RebuildWindow();
 
   size_t max_epochs_;
-  size_t bytes_per_epoch_;
-  uint64_t seed_;
+  DaVinciConfig epoch_config_;
+  std::optional<DaVinciConfig> pending_config_;
   bool legacy_heavy_changers_ = false;
 
   DaVinciSketch live_;
@@ -175,6 +207,7 @@ class EpochManager {
 
   uint64_t rotations_ = 0;
   uint64_t rebuild_merges_ = 0;
+  uint64_t resizes_applied_ = 0;
   // Bumped from const query paths, which may run concurrently (see the
   // class comment); relaxed is enough for a monotone telemetry tally.
   mutable std::atomic<uint64_t> window_merge_hits_{0};

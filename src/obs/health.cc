@@ -86,6 +86,18 @@ void HealthSnapshot::Accumulate(const HealthSnapshot& other) {
   for (size_t i = 0; i < other.merge_tree.images_per_level.size(); ++i) {
     merge_tree.images_per_level[i] += other.merge_tree.images_per_level[i];
   }
+
+  // Resize provenance: the request tallies sum; the before/after footprint
+  // and trigger describe ONE (the most recent) swap, so the side that has
+  // seen more applied swaps wins — with a tie the non-empty one does.
+  resize.rejected += other.resize.rejected;
+  if (other.resize.applied > 0 &&
+      (resize.applied == 0 || other.resize.applied >= resize.applied)) {
+    resize.bytes_before = other.resize.bytes_before;
+    resize.bytes_after = other.resize.bytes_after;
+    resize.last_trigger = other.resize.last_trigger;
+  }
+  resize.applied += other.resize.applied;
 }
 
 void HealthSnapshot::WriteJson(std::ostream& out) const {
@@ -145,6 +157,12 @@ void HealthSnapshot::WriteJson(std::ostream& out) const {
     out << merge_tree.images_per_level[i];
   }
   out << "]}";
+
+  out << ",\"resize\":{\"applied\":" << resize.applied
+      << ",\"rejected\":" << resize.rejected
+      << ",\"bytes_before\":" << resize.bytes_before
+      << ",\"bytes_after\":" << resize.bytes_after
+      << ",\"last_trigger\":" << resize.last_trigger << "}";
 
   out << "}";
 }

@@ -148,6 +148,24 @@ struct MergeTreeHealth {
   std::vector<uint64_t> images_per_level;
 };
 
+// Dynamic-geometry provenance (DaVinciSketch::Resize via ConcurrentDaVinci
+// / EpochManager / the server's kResizeTenant — see DESIGN.md §12). What
+// triggered the last applied resize, and the footprint it moved between.
+// Structural counters, live regardless of DAVINCI_STATS.
+struct ResizeHealth {
+  // What asked for the last applied resize.
+  enum Trigger : uint32_t {
+    kNone = 0,      // never resized
+    kAdmin = 1,     // kResizeTenant / an explicit Resize call
+    kAutotune = 2,  // the continuous autotune controller
+  };
+  uint64_t applied = 0;   // geometry swaps committed
+  uint64_t rejected = 0;  // requests refused (incompatible geometry / quota)
+  uint64_t bytes_before = 0;  // design bytes before the last applied swap
+  uint64_t bytes_after = 0;   // design bytes after it
+  uint32_t last_trigger = kNone;
+};
+
 struct HealthSnapshot {
   bool stats_enabled = kStatsEnabled;
   size_t shards = 1;  // > 1 when collected from a ConcurrentDaVinci
@@ -160,6 +178,7 @@ struct HealthSnapshot {
   EpochHealth epoch;
   TuningHealth tuning;
   MergeTreeHealth merge_tree;
+  ResizeHealth resize;
 
   // Shard aggregation: sums capacities, scans and counters; takes the max
   // of ecnt_max; merges tower levels element-wise (shards share geometry).

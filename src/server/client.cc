@@ -141,7 +141,7 @@ StatusCode Client::Ping() {
 
 StatusCode Client::CreateTenant(const std::string& name, uint32_t shards,
                                 uint64_t total_bytes, uint64_t seed,
-                                uint32_t window_epochs) {
+                                uint32_t window_epochs, uint64_t max_bytes) {
   WireWriter writer;
   writer.U8(kProtocolVersion);
   writer.U8(static_cast<uint8_t>(Op::kCreateTenant));
@@ -150,12 +150,35 @@ StatusCode Client::CreateTenant(const std::string& name, uint32_t shards,
   writer.U64(total_bytes);
   writer.U64(seed);
   writer.U32(window_epochs);
+  writer.U64(max_bytes);
   std::string response;
   StatusCode status = StatusCode::kInternal;
   if (!RoundTrip(writer.Take(), &response, &status)) {
     return StatusCode::kInternal;
   }
   return status;
+}
+
+StatusCode Client::ResizeTenant(const std::string& name, uint64_t total_bytes,
+                                uint64_t* new_memory_bytes) {
+  WireWriter writer;
+  writer.U8(kProtocolVersion);
+  writer.U8(static_cast<uint8_t>(Op::kResizeTenant));
+  writer.Str(name);
+  writer.U64(total_bytes);
+  std::string response;
+  StatusCode status = StatusCode::kInternal;
+  if (!RoundTrip(writer.Take(), &response, &status)) {
+    return StatusCode::kInternal;
+  }
+  if (status != StatusCode::kOk) return status;
+  WireReader reader(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(response.data()) + 1,
+      response.size() - 1));
+  uint64_t bytes = 0;
+  if (!reader.U64(&bytes) || !reader.Done()) return StatusCode::kInternal;
+  if (new_memory_bytes != nullptr) *new_memory_bytes = bytes;
+  return StatusCode::kOk;
 }
 
 StatusCode Client::DropTenant(const std::string& name) {
@@ -233,7 +256,11 @@ StatusCode Client::Health(const std::string& name, HealthReply* out) {
   if (!reader.U64(&out->shards) || !reader.U64(&out->memory_bytes) ||
       !reader.U64(&out->inserts) || !reader.U64(&out->queries) ||
       !reader.U64(&out->epoch) || !reader.U8(&windowed) ||
-      !reader.U32(&out->merge_height) || !reader.Done()) {
+      !reader.U32(&out->merge_height) || !reader.U64(&out->resizes_applied) ||
+      !reader.U64(&out->resizes_rejected) ||
+      !reader.U64(&out->resize_bytes_before) ||
+      !reader.U64(&out->resize_bytes_after) ||
+      !reader.U32(&out->resize_last_trigger) || !reader.Done()) {
     return StatusCode::kInternal;
   }
   out->windowed = windowed != 0;

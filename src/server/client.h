@@ -27,6 +27,12 @@ struct HealthReply {
   bool windowed = false;
   // Merge-tree aggregation height (0 = pure raw-ingest leaf).
   uint32_t merge_height = 0;
+  // Resize provenance (kResizeTenant / autotune; survives DVCK recovery).
+  uint64_t resizes_applied = 0;
+  uint64_t resizes_rejected = 0;
+  uint64_t resize_bytes_before = 0;
+  uint64_t resize_bytes_after = 0;
+  uint32_t resize_last_trigger = 0;  // obs::ResizeHealth::Trigger
 };
 
 class Client {
@@ -57,7 +63,13 @@ class Client {
   StatusCode Ping();
   StatusCode CreateTenant(const std::string& name, uint32_t shards,
                           uint64_t total_bytes, uint64_t seed,
-                          uint32_t window_epochs = 0);
+                          uint32_t window_epochs = 0, uint64_t max_bytes = 0);
+  // Rebuilds `name` onto a new byte budget (kResizeTenant). On success
+  // `new_memory_bytes` (optional) reports the engine's post-resize
+  // footprint; kQuotaExceeded when the tenant's quota caps it below the
+  // request.
+  StatusCode ResizeTenant(const std::string& name, uint64_t total_bytes,
+                          uint64_t* new_memory_bytes = nullptr);
   StatusCode DropTenant(const std::string& name);
   StatusCode ListTenants(std::vector<std::string>* names);
   StatusCode AdvanceEpoch(const std::string& name, uint64_t* epoch);

@@ -71,6 +71,7 @@ std::string RequestDispatcher::Dispatch(Op op, WireReader& reader) {
     case Op::kWindowHeavyChangers: return WindowHeavyChangers(reader);
     case Op::kExportSketch: return ExportSketch(reader);
     case Op::kImportMerge: return ImportMerge(reader);
+    case Op::kResizeTenant: return ResizeTenant(reader);
   }
   return StatusBody(StatusCode::kUnknownOp);
 }
@@ -94,8 +95,15 @@ std::string RequestDispatcher::CreateTenant(WireReader& reader) {
   TenantOptions options;
   if (!reader.Str(&name) || !reader.U32(&options.shards) ||
       !reader.U64(&options.total_bytes) || !reader.U64(&options.seed) ||
-      !reader.U32(&options.window_epochs) || !reader.Done()) {
+      !reader.U32(&options.window_epochs) || !reader.U64(&options.max_bytes) ||
+      !reader.Done()) {
     return StatusBody(StatusCode::kMalformed);
+  }
+  // Quota admission gets its own status so a client can tell "you asked
+  // for more than your ceiling" from a structurally invalid request
+  // (registry Create would fold both into kBadArgument via Valid()).
+  if (options.max_bytes != 0 && options.total_bytes > options.max_bytes) {
+    return StatusBody(StatusCode::kQuotaExceeded);
   }
   return StatusBody(ToStatus(registry_->Create(name, options)));
 }
@@ -149,6 +157,35 @@ std::string RequestDispatcher::Checkpoint(WireReader& reader) {
   return writer.Take();
 }
 
+std::string RequestDispatcher::ResizeTenant(WireReader& reader) {
+  std::string name;
+  uint64_t total_bytes = 0;
+  if (!reader.Str(&name) || !reader.U64(&total_bytes) || !reader.Done()) {
+    return StatusBody(StatusCode::kMalformed);
+  }
+  std::shared_ptr<Tenant> tenant = registry_->Find(name);
+  if (!tenant) return StatusBody(StatusCode::kNoSuchTenant);
+  switch (tenant->Resize(total_bytes, obs::ResizeHealth::kAdmin)) {
+    case Tenant::ResizeOutcome::kBadArgument:
+      return StatusBody(StatusCode::kBadArgument);
+    case Tenant::ResizeOutcome::kQuotaExceeded:
+      return StatusBody(StatusCode::kQuotaExceeded);
+    case Tenant::ResizeOutcome::kOk:
+      break;
+  }
+  // A resize is durable state: on a persistent server the new geometry
+  // must survive a crash even if no further ingest arrives, so checkpoint
+  // at the same seal boundary the periodic trigger uses.
+  if (registry_->persistent()) {
+    tenant->AdvanceEpoch();
+    registry_->Checkpoint(*tenant);
+  }
+  WireWriter writer;
+  writer.U8(static_cast<uint8_t>(StatusCode::kOk));
+  writer.U64(tenant->engine().MemoryBytes());
+  return writer.Take();
+}
+
 std::string RequestDispatcher::Health(WireReader& reader) {
   std::string name;
   if (!reader.Str(&name) || !reader.Done()) {
@@ -167,6 +204,11 @@ std::string RequestDispatcher::Health(WireReader& reader) {
   writer.U64(tenant->epoch());
   writer.U8(tenant->windowed() ? 1 : 0);
   writer.U32(tenant->merge_height());
+  writer.U64(stats.resize.applied);
+  writer.U64(stats.resize.rejected);
+  writer.U64(stats.resize.bytes_before);
+  writer.U64(stats.resize.bytes_after);
+  writer.U32(stats.resize.last_trigger);
   return writer.Take();
 }
 
@@ -426,7 +468,12 @@ StatusCode SnapshotPair(TenantRegistry* registry, const std::string& name_a,
   if (!out->a || !out->b) return StatusCode::kNoSuchTenant;
   out->snap_a = out->a->engine().Snapshot();
   out->snap_b = out->b->engine().Snapshot();
-  if (!out->snap_a.config().GeometryEquals(out->snap_b.config())) {
+  // Cross-tenant linear ops need the kIdentical relation; two kResizable
+  // tenants (same seed, different split) still answer kBadArgument — the
+  // server never rebuilds a whole tenant to satisfy one query.
+  if (DaVinciConfig::GeometryCompatible(out->snap_a.config(),
+                                        out->snap_b.config()) !=
+      DaVinciConfig::GeometryRelation::kIdentical) {
     return StatusCode::kBadArgument;
   }
   return StatusCode::kOk;

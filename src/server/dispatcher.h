@@ -60,6 +60,8 @@ class RequestDispatcher {
   std::string Checkpoint(WireReader& reader);
   std::string Health(WireReader& reader);
   std::string FlushViews(WireReader& reader);
+  // Dynamic geometry (docs/SERVER.md §Resize).
+  std::string ResizeTenant(WireReader& reader);
   // Merge-tree fan-in (docs/SERVER.md §Export / ImportMerge).
   std::string ExportSketch(WireReader& reader);
   std::string ImportMerge(WireReader& reader);

@@ -80,6 +80,9 @@ enum class Op : uint8_t {
   // Distributed merge tree (docs/SERVER.md §Export / ImportMerge).
   kExportSketch = 40,  // ship a tenant's SaveShards image (flat or DVSZ)
   kImportMerge = 41,   // fan-in merge N exported images into a tenant
+  // Dynamic geometry (docs/SERVER.md §ResizeTenant): live re-split of a
+  // tenant's memory at the publish boundary, gated by the tenant's quota.
+  kResizeTenant = 50,
 };
 
 enum class StatusCode : uint8_t {
@@ -92,6 +95,9 @@ enum class StatusCode : uint8_t {
   kBadArgument = 6,   // e.g. cross-tenant query over mismatched geometry
   kTooLarge = 7,      // length prefix above kMaxFrameBytes (fatal per-conn)
   kInternal = 8,
+  // Create/resize admission: the requested footprint exceeds the
+  // per-tenant memory quota (docs/SERVER.md §Quotas).
+  kQuotaExceeded = 9,
 };
 
 inline const char* StatusName(StatusCode status) {
@@ -105,6 +111,7 @@ inline const char* StatusName(StatusCode status) {
     case StatusCode::kBadArgument: return "bad-argument";
     case StatusCode::kTooLarge: return "too-large";
     case StatusCode::kInternal: return "internal";
+    case StatusCode::kQuotaExceeded: return "quota-exceeded";
   }
   return "invalid-status";
 }

@@ -15,12 +15,16 @@ namespace {
 
 constexpr uint32_t kCheckpointMagic = 0x4B435644;    // "DVCK"
 constexpr uint32_t kCheckpointTrailer = 0x44564B43;  // "KCVD"
-// v1 bodies carry flat SaveShards images; v2 (current) carries DVSZ
-// compressed ones. Readers accept both — the per-shard format is sniffed
-// by DaVinciSketch::Load, so the version is provenance, not a dispatch
-// key, and pre-compression checkpoints stay recoverable forever.
+// v1 bodies carry flat SaveShards images; v2 carries DVSZ compressed
+// ones. Readers accept both — the per-shard format is sniffed by
+// DaVinciSketch::Load, so the version is provenance, not a dispatch key,
+// and pre-compression checkpoints stay recoverable forever. v3 (current)
+// additionally carries the tenant's quota, its live byte budget, and the
+// resize provenance record in the header (see docs/SERVER.md
+// §Checkpoints); v1/v2 recover with those fields zeroed.
 constexpr uint32_t kCheckpointVersionFlat = 1;
-constexpr uint32_t kCheckpointVersion = 2;
+constexpr uint32_t kCheckpointVersionCompressed = 2;
+constexpr uint32_t kCheckpointVersion = 3;
 
 // Tenant names double as checkpoint file stems, so they are restricted to
 // a filesystem-safe alphabet — no separators, no dotfiles, no traversal.
@@ -44,7 +48,8 @@ bool ValidTenantName(const std::string& name) {
 Tenant::Tenant(std::string name, const TenantOptions& options)
     : name_(std::move(name)),
       options_(options),
-      engine_(options.shards, options.total_bytes, options.seed) {
+      engine_(options.shards, options.total_bytes, options.seed),
+      current_bytes_(options.total_bytes) {
   if (options_.window_epochs > 0) {
     // The window shares the engine's per-shard budget so a windowed tenant
     // roughly doubles (not squares) its footprint; same seed keeps the
@@ -85,6 +90,35 @@ uint64_t Tenant::AdvanceEpoch() {
   return epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+Tenant::ResizeOutcome Tenant::Resize(uint64_t total_bytes, uint32_t trigger) {
+  MutexLock lock(&resize_mu_);
+  if (total_bytes < 1024 || total_bytes > (uint64_t{1} << 31)) {
+    engine_.RecordResizeRejected();
+    return ResizeOutcome::kBadArgument;
+  }
+  if (options_.max_bytes != 0 && total_bytes > options_.max_bytes) {
+    engine_.RecordResizeRejected();
+    return ResizeOutcome::kQuotaExceeded;
+  }
+  // Same per-shard derivation as construction, at the new budget; the
+  // creation seed carries over, so the relation is kResizable by
+  // construction and the engine swap cannot be rejected.
+  uint64_t per_shard =
+      std::max<uint64_t>(8 * 1024, total_bytes / options_.shards);
+  DaVinciConfig config =
+      DaVinciConfig::FromMemory(per_shard, options_.seed);
+  if (!engine_.Resize(config, trigger)) return ResizeOutcome::kBadArgument;
+  if (windowed()) {
+    // The window applies the same per-shard geometry at its next seal
+    // boundary (EpochManager::Advance), mirroring its construction-time
+    // budget share.
+    MutexLock window_lock(&window_mu_);
+    DAVINCI_CHECK(window_->ScheduleResize(config));
+  }
+  current_bytes_.store(total_bytes, std::memory_order_relaxed);
+  return ResizeOutcome::kOk;
+}
+
 std::vector<std::pair<uint32_t, int64_t>> Tenant::WindowHeavyChangers(
     int64_t delta) const {
   if (!windowed()) return {};
@@ -102,6 +136,21 @@ void Tenant::CollectStats(obs::HealthSnapshot* out) const {
       window_->CollectStats(&window_stats);
     }
     out->Accumulate(window_stats);
+  }
+  {
+    // Fold the checkpointed provenance baseline under the engine's live
+    // counters so resize history reads continuously across a recovery —
+    // same precedence rule as HealthSnapshot::Accumulate (the live record
+    // wins the bytes/trigger fields once the engine has applied anything).
+    MutexLock lock(&resize_mu_);
+    out->resize.applied += resize_baseline_.applied;
+    out->resize.rejected += resize_baseline_.rejected;
+    if (out->resize.last_trigger == obs::ResizeHealth::kNone &&
+        resize_baseline_.last_trigger != obs::ResizeHealth::kNone) {
+      out->resize.bytes_before = resize_baseline_.bytes_before;
+      out->resize.bytes_after = resize_baseline_.bytes_after;
+      out->resize.last_trigger = resize_baseline_.last_trigger;
+    }
   }
   out->merge_tree.height = merge_height();
   {
@@ -141,7 +190,30 @@ void Tenant::SaveCheckpoint(std::ostream& out) {
   WritePod(out, options_.total_bytes);
   WritePod(out, options_.seed);
   WritePod(out, options_.window_epochs);
+  WritePod(out, options_.max_bytes);
   WritePod(out, epoch());
+  // v3: the live budget and the cumulative resize record (recovery's
+  // baseline + everything the engine applied since), so resize history
+  // reads continuously across any number of crash/recover cycles. The
+  // shard image below already carries the post-resize geometry — this is
+  // provenance, not a rebuild key.
+  WritePod(out, current_bytes());
+  obs::ResizeHealth live = engine_.ResizeProvenance();
+  {
+    MutexLock lock(&resize_mu_);
+    live.applied += resize_baseline_.applied;
+    live.rejected += resize_baseline_.rejected;
+    if (live.last_trigger == obs::ResizeHealth::kNone) {
+      live.bytes_before = resize_baseline_.bytes_before;
+      live.bytes_after = resize_baseline_.bytes_after;
+      live.last_trigger = resize_baseline_.last_trigger;
+    }
+  }
+  WritePod(out, live.applied);
+  WritePod(out, live.rejected);
+  WritePod(out, live.bytes_before);
+  WritePod(out, live.bytes_after);
+  WritePod(out, live.last_trigger);
   // Capture every completed write: views may be publish-interval stale.
   engine_.FlushViews();
   engine_.SaveShards(out, SketchFormat::kCompressed);
@@ -153,7 +225,9 @@ bool Tenant::ReadCheckpointHeader(std::istream& in, CheckpointHeader* header) {
   uint16_t name_len = 0;
   if (!ReadPod(in, &magic) || magic != kCheckpointMagic) return false;
   if (!ReadPod(in, &version) ||
-      (version != kCheckpointVersionFlat && version != kCheckpointVersion)) {
+      (version != kCheckpointVersionFlat &&
+       version != kCheckpointVersionCompressed &&
+       version != kCheckpointVersion)) {
     return false;
   }
   if (!ReadPod(in, &name_len) || name_len > kMaxNameBytes) return false;
@@ -163,18 +237,40 @@ bool Tenant::ReadCheckpointHeader(std::istream& in, CheckpointHeader* header) {
   if (!ReadPod(in, &header->options.shards) ||
       !ReadPod(in, &header->options.total_bytes) ||
       !ReadPod(in, &header->options.seed) ||
-      !ReadPod(in, &header->options.window_epochs) ||
-      !ReadPod(in, &header->epoch)) {
+      !ReadPod(in, &header->options.window_epochs)) {
     return false;
+  }
+  if (version >= kCheckpointVersion &&
+      !ReadPod(in, &header->options.max_bytes)) {
+    return false;
+  }
+  if (!ReadPod(in, &header->epoch)) return false;
+  if (version >= kCheckpointVersion) {
+    if (!ReadPod(in, &header->current_bytes) ||
+        !ReadPod(in, &header->resize.applied) ||
+        !ReadPod(in, &header->resize.rejected) ||
+        !ReadPod(in, &header->resize.bytes_before) ||
+        !ReadPod(in, &header->resize.bytes_after) ||
+        !ReadPod(in, &header->resize.last_trigger)) {
+      return false;
+    }
   }
   return ValidTenantName(header->name) && header->options.Valid();
 }
 
-bool Tenant::RestoreCheckpointBody(std::istream& in, uint64_t epoch) {
+bool Tenant::RestoreCheckpointBody(std::istream& in,
+                                   const CheckpointHeader& header) {
   if (!engine_.RestoreShards(in)) return false;
   uint32_t trailer = 0;
   if (!ReadPod(in, &trailer) || trailer != kCheckpointTrailer) return false;
-  epoch_.store(epoch, std::memory_order_relaxed);
+  epoch_.store(header.epoch, std::memory_order_relaxed);
+  {
+    MutexLock lock(&resize_mu_);
+    resize_baseline_ = header.resize;
+  }
+  if (header.current_bytes != 0) {
+    current_bytes_.store(header.current_bytes, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -307,7 +403,7 @@ size_t TenantRegistry::RecoverAll() {
     if (Create(header.name, header.options, &tenant) != RegistryResult::kOk) {
       continue;  // duplicate name across files, or registry full
     }
-    bool restored = tenant->RestoreCheckpointBody(in, header.epoch);
+    bool restored = tenant->RestoreCheckpointBody(in, header);
     if (!restored) {
       // Load gate rejected the body: the tenant starts empty with the
       // header's options instead of serving a corrupted sketch.

@@ -31,11 +31,20 @@
 // atomically (tmp + rename) so a crash mid-write can never destroy the
 // previous good image:
 //
-//   DVCK v1 := magic u32 'DVCK' | version u32
+//   DVCK v3 := magic u32 'DVCK' | version u32
 //            | name (u16 len + bytes) | shards u32 | bytes u64 | seed u64
-//            | window_epochs u32 | epoch u64
+//            | window_epochs u32 | max_bytes u64 | epoch u64
+//            | current_bytes u64
+//            | resize: applied u64 | rejected u64 | bytes_before u64
+//                    | bytes_after u64 | last_trigger u32
 //            | ConcurrentDaVinci::SaveShards image
 //            | trailer u32 'KCVD'
+//
+// v1 (flat shard images) and v2 (DVSZ-compressed, no quota/resize fields)
+// remain readable; their missing fields recover as zero. The shard image
+// itself carries each shard's geometry, so a tenant resized after creation
+// recovers at its post-resize geometry even though the header's
+// total_bytes still records the creation-time budget.
 //
 // Recovery re-creates the tenant from the header and restores the shard
 // image through the hostile-input Load gates; a corrupted or truncated
@@ -52,11 +61,16 @@ struct TenantOptions {
   uint64_t seed = 1;
   // 0 = no window: AdvanceEpoch only bumps the checkpoint clock.
   uint32_t window_epochs = 0;
+  // Memory quota: the ceiling any kResizeTenant (or the initial
+  // total_bytes) may grow the tenant to. 0 = unlimited. Enforced at create
+  // and resize admission (StatusCode::kQuotaExceeded on the wire).
+  uint64_t max_bytes = 0;
 
   bool Valid() const {
     return shards >= 1 && shards <= kMaxShardsPerTenant &&
            total_bytes >= 1024 && total_bytes <= (uint64_t{1} << 31) &&
-           window_epochs <= 64;
+           window_epochs <= 64 &&
+           (max_bytes == 0 || total_bytes <= max_bytes);
   }
 };
 
@@ -93,6 +107,25 @@ class Tenant {
   void CollectStats(obs::HealthSnapshot* out) const
       DAVINCI_EXCLUDES(window_mu_);
 
+  // ---- dynamic geometry (kResizeTenant; DESIGN.md §12) ----
+  // Rebuilds the tenant onto a `total_bytes` budget: the engine resizes
+  // shard-by-shard (readers stay lock-free throughout) and a windowed
+  // tenant schedules the matching per-epoch geometry for its next seal
+  // boundary. The seed and shard count are fixed at creation, so the new
+  // geometry is always kResizable. Returns kQuotaExceeded (recording a
+  // rejection) when options().max_bytes caps the tenant below the request,
+  // kBadArgument when `total_bytes` is outside TenantOptions bounds.
+  // Serialized internally: concurrent Resize calls queue on resize_mu_.
+  enum class ResizeOutcome : uint8_t { kOk, kBadArgument, kQuotaExceeded };
+  ResizeOutcome Resize(uint64_t total_bytes,
+                       uint32_t trigger = obs::ResizeHealth::kAdmin)
+      DAVINCI_EXCLUDES(resize_mu_, window_mu_);
+  // The byte budget currently live (creation total_bytes until the first
+  // successful Resize; restored from a v3 checkpoint on recovery).
+  uint64_t current_bytes() const {
+    return current_bytes_.load(std::memory_order_relaxed);
+  }
+
   // Mutations since the last checkpoint (the server's periodic
   // seal-and-checkpoint trigger reads and resets this).
   uint64_t CountMutations(uint64_t mutations) {
@@ -127,11 +160,15 @@ class Tenant {
     std::string name;
     TenantOptions options;
     uint64_t epoch = 0;
+    // v3 fields; zero when recovering a v1/v2 image.
+    uint64_t current_bytes = 0;
+    obs::ResizeHealth resize;
   };
   static bool ReadCheckpointHeader(std::istream& in, CheckpointHeader* header);
-  // Restores the shard image + trailer into this tenant's engine. False
-  // (engine untouched) on any validation failure.
-  bool RestoreCheckpointBody(std::istream& in, uint64_t epoch);
+  // Restores the shard image + trailer into this tenant's engine, plus the
+  // header's epoch and (v3) resize provenance. False (engine untouched) on
+  // any validation failure.
+  bool RestoreCheckpointBody(std::istream& in, const CheckpointHeader& header);
 
  private:
   const std::string name_;
@@ -145,6 +182,15 @@ class Tenant {
 
   std::atomic<uint64_t> epoch_{0};
   std::atomic<uint64_t> mutations_since_checkpoint_{0};
+
+  // Resize path. resize_mu_ serializes concurrent Resize calls (the
+  // engine's shard-by-shard swap must not interleave with another resize)
+  // and guards the provenance baseline restored from a v3 checkpoint —
+  // CollectStats folds it into the engine's live counters so resize
+  // history survives recovery.
+  mutable Mutex resize_mu_;
+  obs::ResizeHealth resize_baseline_ DAVINCI_GUARDED_BY(resize_mu_);
+  std::atomic<uint64_t> current_bytes_;
 
   // Merge-tree provenance. The height is atomic so kExportSketch reads it
   // lock-free; the counters and per-level histogram sit behind their own

@@ -45,21 +45,32 @@ using davinci::server::WireWriter;
 // through untouched.
 bool AllowDispatch(const std::vector<uint8_t>& body,
                    const TenantRegistry& registry) {
-  if (body.size() < 2 ||
-      static_cast<Op>(body[1]) != Op::kCreateTenant) {
-    return true;
-  }
+  if (body.size() < 2) return true;
   WireReader reader(std::span<const uint8_t>(body.data() + 2,
                                              body.size() - 2));
-  std::string name;
-  TenantOptions options;
-  if (!reader.Str(&name) || !reader.U32(&options.shards) ||
-      !reader.U64(&options.total_bytes) || !reader.U64(&options.seed) ||
-      !reader.U32(&options.window_epochs) || !reader.Done()) {
-    return true;  // will be answered kMalformed — no allocation happens
+  if (static_cast<Op>(body[1]) == Op::kCreateTenant) {
+    std::string name;
+    TenantOptions options;
+    if (!reader.Str(&name) || !reader.U32(&options.shards) ||
+        !reader.U64(&options.total_bytes) || !reader.U64(&options.seed) ||
+        !reader.U32(&options.window_epochs) ||
+        !reader.U64(&options.max_bytes) || !reader.Done()) {
+      return true;  // will be answered kMalformed — no allocation happens
+    }
+    return options.shards <= 8 && options.total_bytes <= 64 * 1024 &&
+           options.window_epochs <= 4 && registry.size() < 8;
   }
-  return options.shards <= 8 && options.total_bytes <= 64 * 1024 &&
-         options.window_epochs <= 4 && registry.size() < 8;
+  if (static_cast<Op>(body[1]) == Op::kResizeTenant) {
+    // Same memory bound for the rebuild path: a parsed "grow to 2 GiB"
+    // reads as the admission rejection it is elsewhere, not a harness OOM.
+    std::string name;
+    uint64_t total_bytes = 0;
+    if (!reader.Str(&name) || !reader.U64(&total_bytes) || !reader.Done()) {
+      return true;
+    }
+    return total_bytes <= 64 * 1024;
+  }
+  return true;
 }
 
 }  // namespace
@@ -90,7 +101,7 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
       // Every response leads with a valid status byte.
       FUZZ_EXPECT(!response.empty());
       FUZZ_EXPECT(static_cast<uint8_t>(response[0]) <=
-                  static_cast<uint8_t>(StatusCode::kInternal));
+                  static_cast<uint8_t>(StatusCode::kQuotaExceeded));
     }
     if (!fed) {
       FUZZ_EXPECT(assembler.fatal());
@@ -128,6 +139,24 @@ int WriteSeeds(const std::string& dir) {
       w.U64(16 * 1024);
       w.U64(7);
       w.U32(0);
+      w.U64(32 * 1024);  // quota
+      stream += FramedRequest(w.Take());
+    }
+    {
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kResizeTenant));
+      w.Str("seed");
+      w.U64(24 * 1024);
+      stream += FramedRequest(w.Take());
+    }
+    {
+      // Over-quota resize: exercises the kQuotaExceeded admission path.
+      WireWriter w;
+      w.U8(davinci::server::kProtocolVersion);
+      w.U8(static_cast<uint8_t>(Op::kResizeTenant));
+      w.Str("seed");
+      w.U64(48 * 1024);
       stream += FramedRequest(w.Take());
     }
     {

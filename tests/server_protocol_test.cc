@@ -18,6 +18,7 @@
 #include <gtest/gtest.h>
 
 #include "core/concurrent_davinci.h"
+#include "obs/health.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "test_seed.h"
@@ -271,6 +272,76 @@ TEST_F(ServerTest, CrossTenantGeometryMismatchIsRejected) {
             StatusCode::kBadArgument);
   // The daemon survived every rejected pairing.
   EXPECT_EQ(client_.Ping(), StatusCode::kOk);
+}
+
+TEST_F(ServerTest, ResizeTenantRebuildsLiveAndEnforcesQuota) {
+  const uint64_t seed = testing::TestSeed(31);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  ASSERT_EQ(client_.CreateTenant("elastic", kShards, kTenantBytes, 9),
+            StatusCode::kOk);
+  Trace trace = BuildSkewedTrace("resize", 40000, 4000, 1.0, seed);
+  std::vector<int64_t> counts(trace.keys.size(), 1);
+  ASSERT_EQ(client_.InsertBatch("elastic", trace.keys, counts),
+            StatusCode::kOk);
+  int64_t heavy_before = 0;
+  ASSERT_EQ(client_.Query("elastic", trace.keys.front(), &heavy_before),
+            StatusCode::kOk);
+
+  // Grow 2x: the reply reports the real post-resize footprint and the
+  // tenant keeps serving with its state migrated.
+  uint64_t new_bytes = 0;
+  ASSERT_EQ(client_.ResizeTenant("elastic", 2 * kTenantBytes, &new_bytes),
+            StatusCode::kOk);
+  EXPECT_GT(new_bytes, kTenantBytes);
+  int64_t heavy_after = 0;
+  ASSERT_EQ(client_.Query("elastic", trace.keys.front(), &heavy_after),
+            StatusCode::kOk);
+  // The heavy key's estimate survives migration (promotion-threshold
+  // slack is the only mass a rebuild may shed per flow).
+  EXPECT_GE(heavy_after, heavy_before - 64);
+  EXPECT_LE(heavy_after, heavy_before + 64);
+
+  // Provenance lands in kHealth.
+  HealthReply health;
+  ASSERT_EQ(client_.Health("elastic", &health), StatusCode::kOk);
+  EXPECT_EQ(health.resizes_applied, 1u);
+  EXPECT_EQ(health.resizes_rejected, 0u);
+  EXPECT_GT(health.resize_bytes_after, health.resize_bytes_before);
+  EXPECT_EQ(health.resize_last_trigger,
+            static_cast<uint32_t>(obs::ResizeHealth::kAdmin));
+
+  // Quota: a capped tenant admits in-quota resizes and rejects past the
+  // ceiling with kQuotaExceeded (recorded as a rejection, state intact).
+  ASSERT_EQ(client_.CreateTenant("capped", kShards, kTenantBytes, 9,
+                                 /*window_epochs=*/0,
+                                 /*max_bytes=*/2 * kTenantBytes),
+            StatusCode::kOk);
+  EXPECT_EQ(client_.CreateTenant("greedy", kShards, 4 * kTenantBytes, 9,
+                                 /*window_epochs=*/0,
+                                 /*max_bytes=*/2 * kTenantBytes),
+            StatusCode::kQuotaExceeded);
+  ASSERT_EQ(client_.ResizeTenant("capped", 2 * kTenantBytes, &new_bytes),
+            StatusCode::kOk);
+  EXPECT_EQ(client_.ResizeTenant("capped", 4 * kTenantBytes, &new_bytes),
+            StatusCode::kQuotaExceeded);
+  ASSERT_EQ(client_.Health("capped", &health), StatusCode::kOk);
+  EXPECT_EQ(health.resizes_applied, 1u);
+  EXPECT_GE(health.resizes_rejected, 1u);
+
+  // Degenerate budgets and missing tenants get clean errors.
+  EXPECT_EQ(client_.ResizeTenant("elastic", 0), StatusCode::kBadArgument);
+  EXPECT_EQ(client_.ResizeTenant("ghost", kTenantBytes),
+            StatusCode::kNoSuchTenant);
+  // Truncated kResizeTenant: name but no budget.
+  {
+    WireWriter writer;
+    writer.U8(kProtocolVersion);
+    writer.U8(static_cast<uint8_t>(Op::kResizeTenant));
+    writer.Str("elastic");
+    std::string response;
+    ASSERT_TRUE(client_.Call(writer.Take(), &response));
+    EXPECT_EQ(Client::ParseStatus(response), StatusCode::kMalformed);
+  }
 }
 
 TEST_F(ServerTest, HostileRequestsGetCleanErrors) {

@@ -26,6 +26,7 @@
 #include <gtest/gtest.h>
 
 #include "core/concurrent_davinci.h"
+#include "obs/health.h"
 #include "server/client.h"
 #include "server/server.h"
 #include "test_seed.h"
@@ -156,6 +157,65 @@ TEST(ServerRecoveryTest, Sigkill_RecoversPreCheckpointPrefix) {
     std::vector<std::pair<uint32_t, int64_t>> hitters;
     ASSERT_EQ(client.HeavyHitters("t", 50, &hitters), StatusCode::kOk);
     EXPECT_EQ(hitters, reference.HeavyHitters(50));
+  }
+  KillDaemon(daemon.pid, SIGTERM);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServerRecoveryTest, Sigkill_ResizedGeometryAndQuotaSurviveRestart) {
+  const uint64_t seed = testing::TestSeed(47);
+  DAVINCI_ANNOUNCE_SEED(seed);
+  std::filesystem::path dir = FreshDir("resize");
+
+  Trace trace = BuildSkewedTrace("z", 30000, 2500, 1.0, seed);
+  std::vector<int64_t> ones(trace.keys.size(), 1);
+
+  DaemonHandle daemon = SpawnDaemon(dir.string());
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_NE(daemon.port, 0);
+  uint64_t resized_memory = 0;
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect(daemon.port));
+    // A quota-capped tenant: create at 128K with a 512K ceiling.
+    ASSERT_EQ(client.CreateTenant("z", kShards, kTenantBytes, seed,
+                                  /*window_epochs=*/0,
+                                  /*max_bytes=*/4 * kTenantBytes),
+              StatusCode::kOk);
+    ASSERT_EQ(client.InsertBatch("z", trace.keys, ones), StatusCode::kOk);
+    // kResizeTenant on a persistent server checkpoints at the same seal
+    // boundary it rebuilds on: no explicit kCheckpoint follows, the
+    // SIGKILL must not lose the new geometry OR the migrated state.
+    ASSERT_EQ(client.ResizeTenant("z", 2 * kTenantBytes, &resized_memory),
+              StatusCode::kOk);
+    EXPECT_GT(resized_memory, kTenantBytes);
+  }
+  KillDaemon(daemon.pid, SIGKILL);
+
+  daemon = SpawnDaemon(dir.string());
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_NE(daemon.port, 0);
+  {
+    Client client;
+    ASSERT_TRUE(client.Connect(daemon.port));
+    HealthReply health;
+    ASSERT_EQ(client.Health("z", &health), StatusCode::kOk);
+    // The recovered engine reports the post-resize footprint, and the
+    // resize provenance itself survived the DVCK round trip.
+    EXPECT_EQ(health.memory_bytes, resized_memory);
+    EXPECT_EQ(health.resizes_applied, 1u);
+    EXPECT_EQ(health.resize_bytes_after, resized_memory);
+    EXPECT_EQ(health.resize_last_trigger,
+              static_cast<uint32_t>(obs::ResizeHealth::kAdmin));
+    // Migrated state serves: the heaviest flow's estimate is within the
+    // rebuild contract's per-flow slack of its true count.
+    int64_t heavy = 0;
+    ASSERT_EQ(client.Query("z", trace.keys.front(), &heavy), StatusCode::kOk);
+    EXPECT_GT(heavy, 0);
+    // The quota survived too: over-ceiling resizes still bounce.
+    EXPECT_EQ(client.ResizeTenant("z", 8 * kTenantBytes),
+              StatusCode::kQuotaExceeded);
+    ASSERT_EQ(client.ResizeTenant("z", 4 * kTenantBytes), StatusCode::kOk);
   }
   KillDaemon(daemon.pid, SIGTERM);
   std::filesystem::remove_all(dir);
